@@ -1,0 +1,25 @@
+// Shared helpers for the experiment harnesses (bench_*.cc). Each binary
+// reproduces one table/figure from DESIGN.md section 3 and prints rows via
+// TextTable so EXPERIMENTS.md can quote them verbatim.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/table.h"
+
+namespace guillotine {
+
+inline void BenchHeader(const std::string& experiment_id, const std::string& claim) {
+  std::printf("=== %s ===\n", experiment_id.c_str());
+  std::printf("claim: %s\n\n", claim.c_str());
+}
+
+inline void BenchFooter(const std::string& observation) {
+  std::printf("\nobservation: %s\n\n", observation.c_str());
+}
+
+}  // namespace guillotine
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,119 @@
+// E4 (Figure 3): LAPIC throttling under doorbell interrupt floods.
+//
+// Paper claim (section 3.2): "To stop a model core from live-locking a
+// hypervisor core with a flood of spurious interrupts, the LAPIC chip of a
+// hypervisor core throttles incoming requests." We flood from a GISA guest
+// at increasing rates and measure interrupts delivered vs coalesced and the
+// hypervisor cycles burned on interrupt handling.
+#include "bench/bench_common.h"
+#include "src/core/guillotine.h"
+#include "src/machine/storage.h"
+#include "src/model/attacks.h"
+
+namespace guillotine {
+namespace {
+
+struct FloodOutcome {
+  u64 delivered = 0;
+  u64 suppressed = 0;
+  double hv_busy_frac = 0.0;
+};
+
+// Cost charged per delivered doorbell interrupt (context switch + ring scan).
+constexpr Cycles kIrqHandlingCost = 400;
+
+FloodOutcome RunFlood(bool throttle, u32 stores, u32 spacing_spins) {
+  MachineConfig mc;
+  mc.num_model_cores = 1;
+  mc.num_hv_cores = 1;
+  mc.model_dram_bytes = 1 << 20;
+  mc.io_dram_bytes = 64 * 1024;
+  mc.lapic.throttle_enabled = throttle;
+  mc.lapic.refill_cycles = 10'000;  // steady state: 100k irq/s at 1 GHz
+  mc.lapic.burst = 32;
+  SimClock clock;
+  EventTrace trace;
+  Machine machine(mc, clock, trace);
+  SoftwareHypervisor hv(machine, nullptr);
+  const u32 disk = machine.AttachDevice(std::make_unique<StorageDevice>(8));
+  const auto port = hv.CreatePort(disk, PortRights{});
+  const auto info = hv.PortInfo(*port);
+
+  // Flood program: `stores` doorbell stores with `spacing_spins` of busy
+  // work between them (spacing controls the offered rate).
+  ProgramBuilder b(0x1000);
+  const auto loop = b.NewLabel();
+  b.Li64(20 /*s0*/, info->doorbell_va);
+  b.Ldi(21 /*s1*/, static_cast<i32>(stores));
+  b.Ldi(22 /*s2*/, 0);
+  b.Bind(loop);
+  b.Store(Opcode::kSd, 21, 20, 0);
+  for (u32 i = 0; i < spacing_spins; ++i) {
+    b.Emit(Opcode::kNop);
+  }
+  b.Emit(Opcode::kAddi, 22, 22, 0, 1);
+  b.Branch(Opcode::kBlt, 22, 21, loop);
+  b.Halt();
+  const Bytes code = b.Build()->Encode();
+  hv.LoadModel(0, code, 0x1000, 0x1000).ok();
+  hv.StartModel(0).ok();
+
+  ModelCore& core = machine.model_core(0);
+  const Cycles start = clock.now();
+  while (core.state() == RunState::kRunning) {
+    machine.RunQuantum(10'000);
+    HypervisorCore& hvc = machine.hv_core(0);
+    const auto irqs = hvc.TakePendingIrqs();
+    hvc.AccountWork(irqs.size() * kIrqHandlingCost);
+  }
+  const Cycles elapsed = clock.now() - start;
+
+  FloodOutcome out;
+  out.delivered = machine.hv_core(0).lapic().delivered();
+  out.suppressed = machine.hv_core(0).lapic().suppressed();
+  out.hv_busy_frac = elapsed == 0
+                         ? 0.0
+                         : static_cast<double>(machine.hv_core(0).busy_cycles()) /
+                               static_cast<double>(elapsed);
+  return out;
+}
+
+void Run() {
+  BenchHeader("E4 / Figure 3",
+              "the LAPIC token bucket prevents doorbell floods from "
+              "live-locking hypervisor cores; legitimate request rates pass "
+              "untouched");
+
+  TextTable table({"offered_irq_per_Mcyc", "throttle", "delivered", "coalesced",
+                   "hv_busy_frac"});
+  struct Sweep {
+    u32 stores;
+    u32 spacing;
+  };
+  // spacing nops set the offered rate: each loop iteration is ~(4+spacing)
+  // cycles, one doorbell per iteration.
+  const Sweep sweeps[] = {{2'000, 2000}, {5'000, 200}, {20'000, 20}, {50'000, 0}};
+  for (const Sweep& s : sweeps) {
+    for (bool throttle : {false, true}) {
+      const FloodOutcome out = RunFlood(throttle, s.stores, s.spacing);
+      const double rate = 1e6 / (60.0 + 1.0 * s.spacing);  // approx per Mcycle
+      table.AddRow({TextTable::Num(rate, 0), throttle ? "on" : "off",
+                    std::to_string(out.delivered), std::to_string(out.suppressed),
+                    TextTable::Num(out.hv_busy_frac, 3)});
+    }
+  }
+  table.Print();
+  BenchFooter(
+      "without the throttle, hypervisor busy fraction grows with the offered "
+      "rate (live-lock trajectory); with it, delivered interrupts are capped "
+      "near the configured steady-state rate and busy fraction stays flat "
+      "while excess doorbells coalesce harmlessly");
+}
+
+}  // namespace
+}  // namespace guillotine
+
+int main() {
+  guillotine::Run();
+  return 0;
+}

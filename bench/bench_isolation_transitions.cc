@@ -1,0 +1,102 @@
+// E3 (Table 2): isolation-level transition latency matrix.
+//
+// Paper claim (section 3.4): six isolation levels; software transitions are
+// instant, physical ones are electromechanical; the software hypervisor can
+// only escalate; immolation is irreversible.
+#include "bench/bench_common.h"
+#include "src/core/guillotine.h"
+
+namespace guillotine {
+namespace {
+
+DeploymentConfig Config() {
+  DeploymentConfig config;
+  config.machine.num_model_cores = 1;
+  config.machine.num_hv_cores = 1;
+  config.machine.model_dram_bytes = 1 << 20;
+  config.machine.io_dram_bytes = 512 * 1024;
+  config.console.heartbeat.timeout = ~0ULL >> 1;
+  config.data_base = 0x40000;
+  return config;
+}
+
+std::vector<int> Votes(int n) {
+  std::vector<int> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(i);
+  }
+  return out;
+}
+
+std::string Ms(Cycles c) {
+  return TextTable::Num(static_cast<double>(c) / kCyclesPerMilli, 2) + " ms";
+}
+
+void Run() {
+  BenchHeader("E3 / Table 2",
+              "six isolation levels; escalation is fast and vote-cheap (3/7), "
+              "relaxation is slow and vote-expensive (5/7); decapitation "
+              "requires manual repair; immolation is terminal");
+
+  const IsolationLevel levels[] = {
+      IsolationLevel::kStandard, IsolationLevel::kProbation, IsolationLevel::kSevered,
+      IsolationLevel::kOffline, IsolationLevel::kDecapitation,
+      IsolationLevel::kImmolation};
+
+  TextTable table({"from", "to", "direction", "votes", "latency"});
+  for (IsolationLevel from : levels) {
+    for (IsolationLevel to : levels) {
+      if (from == to || from == IsolationLevel::kImmolation) {
+        continue;
+      }
+      // Fresh deployment walked to `from` first.
+      GuillotineSystem sys(Config());
+      sys.AttachDefaultDevices().ok();
+      if (from != IsolationLevel::kStandard) {
+        const auto setup = sys.console().RequestTransition(from, Votes(7));
+        if (!setup.ok()) {
+          continue;
+        }
+      }
+      const bool relaxing = static_cast<int>(to) < static_cast<int>(from);
+      const auto latency = sys.console().RequestTransition(to, Votes(relaxing ? 5 : 3));
+      if (!latency.ok()) {
+        table.AddRow({std::string(IsolationLevelName(from)),
+                      std::string(IsolationLevelName(to)),
+                      relaxing ? "relax" : "restrict", relaxing ? "5/7" : "3/7",
+                      "refused: " + std::string(StatusCodeName(latency.status().code()))});
+        continue;
+      }
+      table.AddRow({std::string(IsolationLevelName(from)),
+                    std::string(IsolationLevelName(to)),
+                    relaxing ? "relax" : "restrict", relaxing ? "5/7" : "3/7",
+                    Ms(*latency)});
+    }
+  }
+  table.Print();
+
+  // The one-way software escalation property.
+  std::printf("\nsoftware escalation path (no quorum):\n");
+  GuillotineSystem sys(Config());
+  sys.AttachDefaultDevices().ok();
+  const Status up = sys.console().EscalateFromHypervisor(IsolationLevel::kSevered,
+                                                         "detector verdict");
+  std::printf("  hv -> severed:   %s\n", up.ToString().c_str());
+  const Status down = sys.console().EscalateFromHypervisor(IsolationLevel::kStandard,
+                                                           "model asked nicely");
+  std::printf("  hv -> standard:  %s\n", down.ToString().c_str());
+
+  BenchFooter(
+      "software levels transition in ~0 ms; offline costs cable+power relay "
+      "actuations; leaving decapitation is dominated by ~1 h of manual cable "
+      "replacement; immolation admits no further transitions; the software "
+      "hypervisor cannot relax isolation");
+}
+
+}  // namespace
+}  // namespace guillotine
+
+int main() {
+  guillotine::Run();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Wall-clock microbenchmarks of the simulator's primitives, via
+// google-benchmark. These do not reproduce a paper claim; they establish
+// that the substrate is fast enough for the experiment harnesses (millions
+// of simulated instructions per wall second).
+#include <benchmark/benchmark.h>
+
+#include "src/core/guillotine.h"
+#include "src/isa/assembler.h"
+#include "src/model/mlp_compiler.h"
+
+namespace guillotine {
+namespace {
+
+void BM_InterpreterAluLoop(benchmark::State& state) {
+  MachineConfig config;
+  config.num_model_cores = 1;
+  config.num_hv_cores = 1;
+  config.model_dram_bytes = 1 << 20;
+  config.io_dram_bytes = 64 * 1024;
+  SimClock clock;
+  EventTrace trace;
+  Machine machine(config, clock, trace);
+  const auto program = Assemble(R"(
+      li64 t0, 100000000
+    loop:
+      addi t0, t0, -1
+      xor t1, t0, t0
+      add t1, t1, t0
+      bne t0, zero, loop
+      halt
+  )", 0x1000);
+  const Bytes code = program->Encode();
+  machine.model_dram().WriteBlock(0x1000, code).ok();
+  ModelCore& core = machine.model_core(0);
+  core.PowerUpCore(0x1000);
+  core.Resume().ok();
+  u64 instructions = 0;
+  for (auto _ : state) {
+    const u64 before = core.stats().instructions;
+    core.Run(100'000);
+    instructions += core.stats().instructions - before;
+  }
+  state.counters["instr_per_s"] =
+      benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterAluLoop);
+
+void BM_CacheAccess(benchmark::State& state) {
+  Cache l1(CacheConfig{32 * 1024, 64, 8, 4});
+  Cache l2(CacheConfig{256 * 1024, 64, 8, 12});
+  Cache l3(CacheConfig{2 * 1024 * 1024, 64, 16, 40});
+  const MemoryPathConfig path{200};
+  u64 addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AccessThroughHierarchy(l1, l2, &l3, addr, path));
+    addr = (addr + 64) % (8 << 20);
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_Sha256_4KiB(benchmark::State& state) {
+  Bytes data(4096, 0xA5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Sha256_4KiB);
+
+void BM_RingPushPop(benchmark::State& state) {
+  IoDram io(1 << 20);
+  const auto region = io.AllocatePortRegion(0, 256, 32);
+  RingView ring = io.RequestRing(*region);
+  IoSlot slot;
+  slot.payload = Bytes(128, 0x5A);
+  for (auto _ : state) {
+    ring.Push(slot).ok();
+    benchmark::DoNotOptimize(ring.Pop());
+  }
+}
+BENCHMARK(BM_RingPushPop);
+
+void BM_MlpCompile(benchmark::State& state) {
+  Rng rng(1);
+  const MlpModel model = MlpModel::Random({32, 64, 32, 8}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompileMlp(model, 0x1000, 0x100000));
+  }
+}
+BENCHMARK(BM_MlpCompile);
+
+void BM_SimSigSignVerify(benchmark::State& state) {
+  Rng rng(2);
+  const SimSigKeyPair kp = GenerateKeyPair(rng);
+  const std::string msg = "attestation quote body";
+  for (auto _ : state) {
+    const SimSignature sig = Sign(kp, msg);
+    benchmark::DoNotOptimize(Verify(kp.pub, msg, sig));
+  }
+}
+BENCHMARK(BM_SimSigSignVerify);
+
+}  // namespace
+}  // namespace guillotine
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+// E1 (Table 1): Port API mediation cost vs direct device access.
+//
+// Paper claim (sections 3.2/3.3): all model/device interaction must flow
+// through hypervisor-mediated ports — SR-IOV-style direct assignment is
+// explicitly disallowed so the hypervisor can synchronously monitor
+// everything. This harness measures what that mediation costs.
+//
+//   direct  : the device services the request immediately (the SR-IOV
+//             baseline: DMA + device busy time only).
+//   port    : a GISA guest program writes the request slot, rings the
+//             doorbell, and polls the response ring while the software
+//             hypervisor (with full logging + detector mediation) services
+//             the interrupt. Cycles are guest-observed.
+#include "bench/bench_common.h"
+#include "src/core/guillotine.h"
+#include "src/machine/storage.h"
+#include "src/model/guest_lib.h"
+
+namespace guillotine {
+namespace {
+
+constexpr int kA0 = 4, kA1 = 5, kA2 = 6, kA3 = 7;
+constexpr int kS8 = 28, kS9 = 29, kS10 = 30;
+
+// Builds a guest program that issues `rounds` storage-write requests of
+// `payload_bytes` each and halts. Payload is staged in model DRAM.
+Bytes BuildPortClient(const PortGuestInfo& port, u32 payload_bytes, u32 rounds,
+                      u64 stage_addr) {
+  ProgramBuilder b(0x1000);
+  const auto main_label = b.NewLabel();
+  b.Jump(main_label);
+  const auto send_fn = EmitPortSendFn(b, port);
+  const auto recv_fn = EmitPortRecvFn(b, port);
+  b.Bind(main_label);
+  const auto loop = b.NewLabel();
+  b.Ldi(kS8, static_cast<i32>(rounds));
+  b.Ldi(kS9, 0);
+  b.Bind(loop);
+  // sector 0 write: payload = [sector u64][data]; we pre-staged the whole
+  // request payload (header + data) at stage_addr.
+  b.Ldi(kA0, 2);  // StorageOpcode::kWrite
+  b.Mv(kA1, kS9);
+  b.Li64(kA2, stage_addr);
+  b.Ldi(kA3, static_cast<i32>(payload_bytes + 8));
+  b.Call(send_fn);
+  b.Call(recv_fn);
+  b.Emit(Opcode::kAddi, kS9, kS9, 0, 1);
+  b.Branch(Opcode::kBlt, kS9, kS8, loop);
+  b.Halt();
+  (void)kS10;
+  return b.Build()->Encode();
+}
+
+}  // namespace
+
+void Run() {
+  BenchHeader("E1 / Table 1",
+              "port-API mediation is affordable; direct (SR-IOV-style) device "
+              "access is disallowed and would only save a constant factor");
+
+  TextTable table({"payload_B", "direct_cyc", "port_cyc", "overhead", "hv_busy_cyc"});
+
+  for (u32 payload : {64u, 256u, 1024u, 3968u}) {
+    // --- Direct baseline: device busy time + DMA (8 B/cycle). ---
+    StorageDevice direct_disk(4096);
+    Cycles direct_total = 0;
+    const u32 rounds = 32;
+    for (u32 i = 0; i < rounds; ++i) {
+      IoRequest req;
+      req.opcode = static_cast<u32>(StorageOpcode::kWrite);
+      req.tag = i;
+      PutU64(req.payload, 0);
+      req.payload.resize(payload + 8, 0xAB);
+      Cycles service = 0;
+      direct_disk.Handle(req, 0, service);
+      direct_total += service + payload / 8;
+    }
+    const double direct_per_req = static_cast<double>(direct_total) / rounds;
+
+    // --- Guillotine port path, guest-observed. ---
+    DeploymentConfig config;
+    config.machine.num_model_cores = 1;
+    config.machine.num_hv_cores = 1;
+    config.machine.model_dram_bytes = 1 << 20;
+    config.machine.io_dram_bytes = 512 * 1024;
+    config.console.heartbeat.timeout = ~0ULL >> 1;
+    GuillotineSystem sys(config);
+    const u32 disk_index =
+        sys.machine().AttachDevice(std::make_unique<StorageDevice>(4096));
+    const auto port = sys.hv().CreatePort(disk_index, PortRights{}, 0,
+                                          /*slot_bytes=*/4096, /*slot_count=*/8);
+    const auto info = sys.hv().PortInfo(*port);
+
+    constexpr u64 kStage = 0x80000;
+    const Bytes client = BuildPortClient(*info, payload, rounds, kStage);
+    sys.hv().LoadModel(0, client, 0x1000, 0x1000).ok();
+    Bytes stage(payload + 8, 0xAB);
+    for (int i = 0; i < 8; ++i) {
+      stage[static_cast<size_t>(i)] = 0;  // sector 0
+    }
+    sys.hv().control_bus().WriteModelDram(0, kStage, stage).ok();
+    sys.hv().StartModel(0).ok();
+    ModelCore& core = sys.machine().model_core(0);
+    while (core.state() == RunState::kRunning) {
+      sys.machine().RunQuantum(5'000);
+      sys.hv().ServiceOnce(0, false);
+    }
+    // The simulator posts responses without modelling device wait in guest
+    // time, so add the same per-request device busy time the direct baseline
+    // pays (seek + per-sector transfer) for a like-for-like comparison.
+    const double device_per_req =
+        20'000.0 + 4'000.0 * ((payload + 8 + 511) / 512);
+    const double port_per_req =
+        static_cast<double>(core.stats().cycles) / rounds + device_per_req;
+    const double hv_busy =
+        static_cast<double>(sys.machine().hv_core(0).busy_cycles()) / rounds;
+
+    table.AddRow({std::to_string(payload), TextTable::Num(direct_per_req, 0),
+                  TextTable::Num(port_per_req, 0),
+                  TextTable::Num(port_per_req / direct_per_req, 2) + "x",
+                  TextTable::Num(hv_busy, 0)});
+  }
+  table.Print();
+  BenchFooter(
+      "for control-plane-sized requests (<=256 B, typical model-service "
+      "RPCs) the port tax is ~1x because device time dominates; bulk "
+      "payloads pay a staging-copy factor for flowing through shared IO "
+      "DRAM under hypervisor observation — the concrete price of banning "
+      "SR-IOV-style direct assignment, which the paper accepts (section "
+      "3.5: Guillotine increases the cost of operating a model)");
+}
+
+}  // namespace guillotine
+
+int main() {
+  guillotine::Run();
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace guillotine {
+
+void Histogram::Add(double v) {
+  values_.push_back(v);
+  sum_ += v;
+  sum_sq_ += v * v;
+  sorted_valid_ = false;
+}
+
+void Histogram::SortIfNeeded() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Histogram::min() const {
+  SortIfNeeded();
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double Histogram::max() const {
+  SortIfNeeded();
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double Histogram::mean() const {
+  return values_.empty() ? 0.0 : sum_ / static_cast<double>(values_.size());
+}
+
+double Histogram::stddev() const {
+  if (values_.size() < 2) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(values_.size());
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1);
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  SortIfNeeded();
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const size_t rank = static_cast<size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted_.size())));
+  const size_t idx = rank == 0 ? 0 : rank - 1;
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "n=" << count() << " mean=" << mean() << " p50=" << Percentile(50)
+     << " p99=" << Percentile(99) << " max=" << max();
+  return os.str();
+}
+
+}  // namespace guillotine

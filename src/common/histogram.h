@@ -1,0 +1,43 @@
+// Streaming summary statistics and percentile histogram used by the bench
+// harnesses to report latency/throughput distributions.
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace guillotine {
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Add(double v);
+
+  size_t count() const { return values_.size(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+  // p in [0,100]; nearest-rank percentile.
+  double Percentile(double p) const;
+  double median() const { return Percentile(50.0); }
+
+  // "n=100 mean=4.2 p50=4 p99=9 max=12"
+  std::string Summary() const;
+
+ private:
+  void SortIfNeeded() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace guillotine
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,23 @@
+#include "src/common/isolation.h"
+
+namespace guillotine {
+
+std::string_view IsolationLevelName(IsolationLevel level) {
+  switch (level) {
+    case IsolationLevel::kStandard:
+      return "standard";
+    case IsolationLevel::kProbation:
+      return "probation";
+    case IsolationLevel::kSevered:
+      return "severed";
+    case IsolationLevel::kOffline:
+      return "offline";
+    case IsolationLevel::kDecapitation:
+      return "decapitation";
+    case IsolationLevel::kImmolation:
+      return "immolation";
+  }
+  return "?";
+}
+
+}  // namespace guillotine

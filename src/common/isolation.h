@@ -1,0 +1,30 @@
+// The six Guillotine isolation levels (paper section 3.4). Shared vocabulary
+// between the software hypervisor (which enforces levels 1-3), the physical
+// hypervisor (which implements 4-6 with kill switches), and the policy layer
+// (which audits transitions).
+#ifndef SRC_COMMON_ISOLATION_H_
+#define SRC_COMMON_ISOLATION_H_
+
+#include <string_view>
+
+namespace guillotine {
+
+enum class IsolationLevel : int {
+  kStandard = 1,     // full port access, subject to standing restrictions
+  kProbation = 2,    // restricted inputs/outputs, extra logging
+  kSevered = 3,      // no ports; cores powered for introspection
+  kOffline = 4,      // everything powered down, cables reversibly unplugged
+  kDecapitation = 5, // support cables physically damaged; manual repair needed
+  kImmolation = 6,   // infrastructure destroyed; no recovery
+};
+
+std::string_view IsolationLevelName(IsolationLevel level);
+
+// True when `a` is more restrictive than `b`.
+constexpr bool MoreRestrictive(IsolationLevel a, IsolationLevel b) {
+  return static_cast<int>(a) > static_cast<int>(b);
+}
+
+}  // namespace guillotine
+
+#endif  // SRC_COMMON_ISOLATION_H_

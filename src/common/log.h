@@ -1,0 +1,54 @@
+// Minimal leveled logger. Most subsystem activity is recorded through the
+// structured EventTrace (src/common/trace.h); this logger exists for
+// human-facing diagnostics in examples and benches.
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace guillotine {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global minimum level; messages below it are dropped. Defaults to kWarn so
+// tests and benches stay quiet unless they opt in.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace log_internal {
+
+void Emit(LogLevel level, std::string_view component, std::string_view message);
+
+class LineLogger {
+ public:
+  LineLogger(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LineLogger() { Emit(level_, component_, stream_.str()); }
+
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+
+  template <typename T>
+  LineLogger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+}  // namespace guillotine
+
+// Usage: GLL_LOG(kInfo, "hv") << "model core " << id << " halted";
+#define GLL_LOG(level, component)                                      \
+  ::guillotine::log_internal::LineLogger(::guillotine::LogLevel::level, \
+                                         (component))
+
+#endif  // SRC_COMMON_LOG_H_

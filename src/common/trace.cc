@@ -1,0 +1,87 @@
+#include "src/common/trace.h"
+
+#include <sstream>
+
+namespace guillotine {
+
+std::string_view TraceCategoryName(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kPortIo:
+      return "port_io";
+    case TraceCategory::kInterrupt:
+      return "interrupt";
+    case TraceCategory::kControlBus:
+      return "control_bus";
+    case TraceCategory::kIsolation:
+      return "isolation";
+    case TraceCategory::kDetector:
+      return "detector";
+    case TraceCategory::kAttestation:
+      return "attestation";
+    case TraceCategory::kPhysical:
+      return "physical";
+    case TraceCategory::kPolicy:
+      return "policy";
+    case TraceCategory::kService:
+      return "service";
+    case TraceCategory::kModel:
+      return "model";
+    case TraceCategory::kSecurity:
+      return "security";
+  }
+  return "unknown";
+}
+
+void EventTrace::Record(Cycles time, TraceCategory category, std::string source,
+                        std::string kind, std::string detail, i64 value) {
+  events_.push_back(TraceEvent{time, category, std::move(source), std::move(kind),
+                               std::move(detail), value});
+}
+
+size_t EventTrace::Count(const std::function<bool(const TraceEvent&)>& pred) const {
+  size_t n = 0;
+  for (const auto& e : events_) {
+    if (pred(e)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t EventTrace::CountKind(std::string_view kind) const {
+  return Count([&](const TraceEvent& e) { return e.kind == kind; });
+}
+
+size_t EventTrace::CountCategory(TraceCategory c) const {
+  return Count([&](const TraceEvent& e) { return e.category == c; });
+}
+
+std::vector<const TraceEvent*> EventTrace::OfKind(std::string_view kind) const {
+  std::vector<const TraceEvent*> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+std::string EventTrace::Dump(size_t n) const {
+  std::ostringstream os;
+  const size_t start = events_.size() > n ? events_.size() - n : 0;
+  for (size_t i = start; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    os << "[" << e.time << "] " << TraceCategoryName(e.category) << " " << e.source
+       << " " << e.kind;
+    if (!e.detail.empty()) {
+      os << " (" << e.detail << ")";
+    }
+    if (e.value != 0) {
+      os << " value=" << e.value;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace guillotine

@@ -1,0 +1,71 @@
+// EventTrace: the structured, append-only record stream that underlies
+// Guillotine's auditing story. The paper (section 3.3) requires the
+// hypervisor to "log a model's inputs, outputs, and intermediate states for
+// subsequent auditing by the misbehavior detector"; every subsystem appends
+// TraceEvents here and detectors/benches consume them.
+#ifndef SRC_COMMON_TRACE_H_
+#define SRC_COMMON_TRACE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace guillotine {
+
+enum class TraceCategory {
+  kPortIo = 0,     // model <-> device traffic through ports
+  kInterrupt,      // doorbells, LAPIC decisions
+  kControlBus,     // pause/inspect/single-step/power actions
+  kIsolation,      // isolation level transitions
+  kDetector,       // detector verdicts
+  kAttestation,    // measurement / quote / verify events
+  kPhysical,       // kill switches, cables, heartbeats
+  kPolicy,         // regulation / audit / certificate events
+  kService,        // request queue / replica events
+  kModel,          // guest-visible model milestones (layer done, token out)
+  kSecurity,       // denied operations, violations
+};
+
+std::string_view TraceCategoryName(TraceCategory c);
+
+struct TraceEvent {
+  Cycles time = 0;
+  TraceCategory category = TraceCategory::kPortIo;
+  std::string source;   // e.g. "hvcore0", "modelcore2", "console"
+  std::string kind;     // short machine-readable verb, e.g. "port.send"
+  std::string detail;   // free-form context
+  i64 value = 0;        // optional numeric payload (bytes, level, verdict)
+};
+
+class EventTrace {
+ public:
+  EventTrace() = default;
+
+  void Record(TraceEvent event) { events_.push_back(std::move(event)); }
+  void Record(Cycles time, TraceCategory category, std::string source,
+              std::string kind, std::string detail = "", i64 value = 0);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  // Number of events matching a predicate.
+  size_t Count(const std::function<bool(const TraceEvent&)>& pred) const;
+  size_t CountKind(std::string_view kind) const;
+  size_t CountCategory(TraceCategory c) const;
+
+  // All events of one kind, in order.
+  std::vector<const TraceEvent*> OfKind(std::string_view kind) const;
+
+  // Render the last `n` events for human inspection.
+  std::string Dump(size_t n = 32) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace guillotine
+
+#endif  // SRC_COMMON_TRACE_H_

@@ -1,0 +1,36 @@
+// Core integer and time aliases used across every Guillotine subsystem.
+#ifndef SRC_COMMON_TYPES_H_
+#define SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace guillotine {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+// Simulated time. One cycle is the base unit of the machine simulator; wall
+// targets in the physical plant are expressed in cycles via kCyclesPerSecond.
+using Cycles = std::uint64_t;
+
+// Nominal simulated core frequency. Used only to convert physical-world
+// latencies (relay actuation, heartbeat periods) into simulator cycles.
+inline constexpr Cycles kCyclesPerSecond = 1'000'000'000;  // 1 GHz
+inline constexpr Cycles kCyclesPerMilli = kCyclesPerSecond / 1'000;
+inline constexpr Cycles kCyclesPerMicro = kCyclesPerSecond / 1'000'000;
+
+// Physical addresses within a single DRAM module's address space.
+using PhysAddr = std::uint64_t;
+// Virtual addresses as seen by GISA programs through the MMU.
+using VirtAddr = std::uint64_t;
+
+}  // namespace guillotine
+
+#endif  // SRC_COMMON_TYPES_H_

@@ -1,0 +1,262 @@
+#include "src/core/guillotine.h"
+
+#include "src/machine/accelerator.h"
+#include "src/machine/nic.h"
+#include "src/machine/storage.h"
+#include "src/model/tokenizer.h"
+
+namespace guillotine {
+
+namespace {
+DetectorSuite BuildDetectors(const DetectorConfig& config, ActivationSteering** steering,
+                             CircuitBreaker** breaker) {
+  DetectorSuite suite;
+  if (config.input_shield) {
+    suite.Add(std::make_unique<InputShield>(config.input_shield_config));
+  }
+  if (config.output_sanitizer) {
+    suite.Add(std::make_unique<OutputSanitizer>(config.output_sanitizer_config));
+  }
+  if (config.activation_steering) {
+    auto s = std::make_unique<ActivationSteering>();
+    *steering = s.get();
+    suite.Add(std::move(s));
+  }
+  if (config.circuit_breaker) {
+    auto c = std::make_unique<CircuitBreaker>(config.circuit_breaker_config);
+    *breaker = c.get();
+    suite.Add(std::move(c));
+  }
+  if (config.anomaly) {
+    suite.Add(std::make_unique<AnomalyDetector>(config.anomaly_config));
+  }
+  return suite;
+}
+}  // namespace
+
+GuillotineSystem::GuillotineSystem(DeploymentConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      detectors_(BuildDetectors(config_.detectors, &steering_, &breaker_)),
+      machine_(config_.machine, clock_, trace_),
+      hv_(machine_, detectors_.size() > 0 ? &detectors_ : nullptr, config_.hv),
+      plant_(config_.plant, clock_, trace_),
+      fabric_(clock_),
+      console_([this] {
+        ConsoleConfig c = config_.console;
+        c.fabric_host = config_.fabric_host_id;
+        return c;
+      }(), hv_, plant_, &fabric_, rng_),
+      device_key_(GenerateKeyPair(rng_)) {}
+
+Status GuillotineSystem::AttachDefaultDevices(RagStore* rag_store) {
+  const u32 nic_index =
+      machine_.AttachDevice(std::make_unique<NicDevice>(config_.fabric_host_id));
+  fabric_.AttachNic(static_cast<NicDevice*>(machine_.device(nic_index)));
+  const u32 storage_index =
+      machine_.AttachDevice(std::make_unique<StorageDevice>(4096));
+  const u32 accel_index =
+      machine_.AttachDevice(std::make_unique<AcceleratorDevice>());
+  if (rag_store == nullptr) {
+    default_rag_ = std::make_unique<RagStore>(16);
+    rag_store = default_rag_.get();
+  }
+  const u32 rag_index =
+      machine_.AttachDevice(std::make_unique<RagStoreDevice>(*rag_store));
+
+  GLL_ASSIGN_OR_RETURN(u32 nic_port, hv_.CreatePort(nic_index, PortRights{}));
+  nic_port_ = nic_port;
+  GLL_ASSIGN_OR_RETURN(u32 storage_port,
+                       hv_.CreatePort(storage_index, PortRights{}, 0, 1024, 16));
+  storage_port_ = storage_port;
+  GLL_ASSIGN_OR_RETURN(u32 accel_port,
+                       hv_.CreatePort(accel_index, PortRights{}, 0, 4096, 16));
+  accel_port_ = accel_port;
+  GLL_ASSIGN_OR_RETURN(u32 rag_port,
+                       hv_.CreatePort(rag_index, PortRights{}, 0, 1024, 16));
+  rag_port_ = rag_port;
+  return OkStatus();
+}
+
+AttestationVerifier GuillotineSystem::MakeVerifier() const {
+  MeasurementRegister reg;
+  hv_.MeasurePlatform(reg);
+  AttestationVerifier verifier;
+  verifier.TrustMeasurement("guillotine-deployment", reg.value());
+  verifier.TrustDeviceKey(device_key_.pub);
+  return verifier;
+}
+
+Status GuillotineSystem::HostModel(const MlpModel& model,
+                                   const AttestationVerifier& verifier) {
+  GLL_ASSIGN_OR_RETURN(CompiledMlp compiled,
+                       CompileMlp(model, config_.code_base, config_.data_base));
+  GLL_RETURN_IF_ERROR(console_.VerifyAndLoadModel(
+      verifier, device_key_, rng_, /*core=*/0,
+      std::span<const u8>(compiled.code.data(), compiled.code.size()),
+      compiled.layout.code_base, compiled.layout.code_base));
+  GLL_RETURN_IF_ERROR(hv_.control_bus().WriteModelDram(
+      0, compiled.layout.data_base,
+      std::span<const u8>(compiled.data.data(), compiled.data.size())));
+  hosted_ = std::move(compiled);
+  return OkStatus();
+}
+
+void GuillotineSystem::PumpOnce() {
+  machine_.RunQuantum(config_.quantum);
+  for (int i = 0; i < machine_.num_hv_cores(); ++i) {
+    hv_.ServiceOnce(i, /*poll_all=*/true);
+  }
+  fabric_.Pump();
+  console_.Tick();
+}
+
+Status GuillotineSystem::RunForwardPass(Cycles max_cycles) {
+  const MlpProgramLayout& layout = hosted_->layout;
+  ControlBus& bus = hv_.control_bus();
+  ModelCore& core = machine_.model_core(0);
+
+  u32 watchpoint = 0;
+  if (config_.introspection == IntrospectionMode::kLayerWatchpoints) {
+    GLL_ASSIGN_OR_RETURN(u32 wp,
+                         bus.SetWatchpoint(0, 0, layout.progress_addr,
+                                           layout.progress_addr + 8, false, false,
+                                           /*on_write=*/true));
+    watchpoint = wp;
+  }
+  GLL_RETURN_IF_ERROR(hv_.StartModel(0));
+
+  const Cycles deadline = clock_.now() + max_cycles;
+  size_t layers_seen = 0;
+  while (clock_.now() < deadline) {
+    if (config_.introspection == IntrospectionMode::kSingleStep) {
+      // The hypervisor core walks the model one instruction at a time.
+      bus.Pause(0, 0).ok();
+      for (int i = 0; i < 1024 && core.state() == RunState::kHalted; ++i) {
+        GLL_RETURN_IF_ERROR(bus.SingleStep(0, 0));
+      }
+      clock_.Advance(config_.quantum);
+      for (int i = 0; i < machine_.num_hv_cores(); ++i) {
+        hv_.ServiceOnce(i, true);
+      }
+      console_.Tick();
+    } else {
+      PumpOnce();
+    }
+
+    if (core.state() == RunState::kHalted &&
+        core.halt_reason() == HaltReason::kWatchpoint) {
+      // Layer boundary: inspect (and possibly steer) the finished layer's
+      // activations, then resume.
+      const auto events = bus.TakeCoreEvents(0);
+      (void)events;
+      if (layers_seen < layout.num_layers) {
+        const u64 addr = layout.act_addr_for_layer(layers_seen);
+        // Both ping/pong buffers are sized to the widest layer; hidden layers
+        // narrower than that leave stale bytes past their width, which the
+        // detectors tolerate (their probe vectors fix the dimensionality).
+        const size_t count = layers_seen + 1 == layout.num_layers
+                                 ? layout.output_dim
+                                 : (layout.act_b_addr - layout.act_a_addr) / 8;
+        hv_.InspectActivations(0, static_cast<int>(layers_seen), addr, count)
+            .status()
+            .ok();
+        ++layers_seen;
+      }
+      GLL_RETURN_IF_ERROR(bus.Resume(0, 0));
+      continue;
+    }
+    if (core.state() == RunState::kDone) {
+      break;
+    }
+    if (core.state() == RunState::kFaulted) {
+      return Internal("model core faulted during forward pass");
+    }
+  }
+  if (config_.introspection == IntrospectionMode::kLayerWatchpoints) {
+    (void)watchpoint;
+    bus.ClearWatchpoints(0, 0).ok();
+  }
+  if (core.state() != RunState::kDone) {
+    return DeadlineExceeded("forward pass did not finish in budget");
+  }
+  return OkStatus();
+}
+
+Result<std::vector<i64>> GuillotineSystem::InferVector(const std::vector<i64>& input) {
+  if (!hosted_.has_value()) {
+    return FailedPrecondition("no model hosted");
+  }
+  const MlpProgramLayout& layout = hosted_->layout;
+  if (input.size() != layout.input_dim) {
+    return InvalidArgument("input dimension mismatch");
+  }
+  ControlBus& bus = hv_.control_bus();
+  // Reset the core for a fresh pass (lockdown stays armed across power
+  // cycles; architectural state does not).
+  GLL_RETURN_IF_ERROR(bus.PowerUp(0, 0, layout.code_base));
+  const Bytes packed = PackI64(input);
+  GLL_RETURN_IF_ERROR(bus.WriteModelDram(0, layout.input_addr,
+                                         std::span<const u8>(packed.data(),
+                                                             packed.size())));
+  Bytes zeros(16, 0);
+  GLL_RETURN_IF_ERROR(bus.WriteModelDram(0, layout.progress_addr,
+                                         std::span<const u8>(zeros.data(), 16)));
+  // Generous budget: interpretation costs ~60 cycles/MAC plus memory.
+  const Cycles budget = 2'000'000'000;
+  GLL_RETURN_IF_ERROR(RunForwardPass(budget));
+
+  std::vector<u8> raw(layout.output_dim * 8);
+  GLL_RETURN_IF_ERROR(bus.ReadModelDram(0, layout.output_addr, raw));
+  return UnpackI64(raw);
+}
+
+Result<std::string> GuillotineSystem::Infer(const std::string& prompt) {
+  if (!hosted_.has_value()) {
+    return FailedPrecondition("no model hosted");
+  }
+  // External inference requests arrive through ports; at Severed and above
+  // the model has no ports. (InferVector stays available to the hypervisor
+  // itself — Severed explicitly permits "higher-level interactions with the
+  // model via simulated IOs" for examination.)
+  if (hv_.isolation() >= IsolationLevel::kSevered) {
+    return Unavailable("isolation level '" +
+                       std::string(IsolationLevelName(hv_.isolation())) +
+                       "' severs all model ports");
+  }
+  // Input shielding.
+  GLL_ASSIGN_OR_RETURN(Bytes filtered, hv_.FilterModelInput(ToBytes(prompt)));
+  const std::vector<i64> input =
+      EmbedPrompt(std::string_view(reinterpret_cast<const char*>(filtered.data()),
+                                   filtered.size()),
+                  hosted_->layout.input_dim);
+  GLL_ASSIGN_OR_RETURN(std::vector<i64> output, InferVector(input));
+  const std::string rendered = RenderOutput(output);
+  // Output sanitization.
+  GLL_ASSIGN_OR_RETURN(Bytes sanitized, hv_.FilterModelOutput(ToBytes(rendered)));
+  return ToString(sanitized);
+}
+
+Result<RunState> GuillotineSystem::RunGuestProgram(int core, std::span<const u8> image,
+                                                   u64 load, u64 entry,
+                                                   Cycles max_cycles,
+                                                   bool arm_lockdown) {
+  GLL_RETURN_IF_ERROR(hv_.LoadModel(core, image, load, entry, arm_lockdown));
+  GLL_RETURN_IF_ERROR(hv_.StartModel(core));
+  const Cycles deadline = clock_.now() + max_cycles;
+  ModelCore& c = machine_.model_core(core);
+  while (clock_.now() < deadline && c.state() == RunState::kRunning) {
+    PumpOnce();
+  }
+  return c.state();
+}
+
+Result<std::string> GuillotineReplica::Infer(const std::string& prompt,
+                                             Cycles& service_cycles) {
+  const Cycles start = system_.clock().now();
+  Result<std::string> result = system_.Infer(prompt);
+  service_cycles = system_.clock().now() - start;
+  return result;
+}
+
+}  // namespace guillotine

@@ -1,0 +1,180 @@
+// GuillotineSystem: the assembled deployment of Figure 1 — machine
+// (model + hypervisor core complexes), software hypervisor with detectors,
+// kill-switch plant, control console with admin quorum and heartbeats, and
+// a network fabric. This facade is the library's primary public API; the
+// examples and most benches build on it.
+//
+// Typical use:
+//   DeploymentConfig config;
+//   GuillotineSystem sys(config);
+//   sys.AttachDefaultDevices();
+//   Regulator regulator("EU-AI-Office", sys.rng());
+//   AttestationVerifier verifier = sys.MakeVerifier();
+//   sys.HostModel(model, verifier);          // attestation-gated load
+//   auto reply = sys.Infer("hello");         // shielded, sandboxed, sanitized
+//   sys.console().RequestTransition(IsolationLevel::kOffline, {0,1,2});
+#ifndef SRC_CORE_GUILLOTINE_H_
+#define SRC_CORE_GUILLOTINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/detect/activation_steering.h"
+#include "src/detect/anomaly.h"
+#include "src/detect/circuit_breaker.h"
+#include "src/detect/detector.h"
+#include "src/detect/input_shield.h"
+#include "src/detect/output_sanitizer.h"
+#include "src/hv/hypervisor.h"
+#include "src/model/mlp_compiler.h"
+#include "src/net/fabric.h"
+#include "src/physical/console.h"
+#include "src/policy/regulator.h"
+#include "src/service/rag.h"
+#include "src/service/replica.h"
+
+namespace guillotine {
+
+// Which detectors the deployment runs (all on by default).
+struct DetectorConfig {
+  bool input_shield = true;
+  bool output_sanitizer = true;
+  bool activation_steering = true;
+  bool circuit_breaker = true;
+  bool anomaly = true;
+  InputShieldConfig input_shield_config;
+  OutputSanitizerConfig output_sanitizer_config;
+  CircuitBreakerConfig circuit_breaker_config;
+  AnomalyConfig anomaly_config;
+};
+
+// How deeply the hypervisor introspects the forward pass (experiment E11).
+enum class IntrospectionMode {
+  kNone = 0,          // run to completion, look only at input/output
+  kLayerWatchpoints,  // halt at each layer boundary, inspect activations
+  kSingleStep,        // single-step the entire forward pass
+};
+
+struct DeploymentConfig {
+  MachineConfig machine;
+  HvConfig hv;
+  ConsoleConfig console;
+  PlantConfig plant;
+  DetectorConfig detectors;
+  IntrospectionMode introspection = IntrospectionMode::kNone;
+  u64 seed = 42;
+  u32 fabric_host_id = 1;
+  // Load addresses for hosted models.
+  u64 code_base = 0x1000;
+  u64 data_base = 0x100000;
+  // Scheduling quantum for PumpOnce / Infer loops.
+  Cycles quantum = 20'000;
+};
+
+class GuillotineSystem {
+ public:
+  explicit GuillotineSystem(DeploymentConfig config);
+  GuillotineSystem(const GuillotineSystem&) = delete;
+  GuillotineSystem& operator=(const GuillotineSystem&) = delete;
+
+  // ---- Component access ----
+  SimClock& clock() { return clock_; }
+  EventTrace& trace() { return trace_; }
+  Rng& rng() { return rng_; }
+  Machine& machine() { return machine_; }
+  SoftwareHypervisor& hv() { return hv_; }
+  ControlConsole& console() { return console_; }
+  KillSwitchPlant& plant() { return plant_; }
+  NetFabric& fabric() { return fabric_; }
+  DetectorSuite& detectors() { return detectors_; }
+  ActivationSteering* steering() { return steering_; }
+  CircuitBreaker* breaker() { return breaker_; }
+  const DeploymentConfig& config() const { return config_; }
+  const SimSigKeyPair& device_key() const { return device_key_; }
+
+  // ---- Devices ----
+  // Attaches NIC + storage + accelerator + RAG store and opens one port per
+  // device. Returns OK when all ports were created.
+  Status AttachDefaultDevices(RagStore* rag_store = nullptr);
+  std::optional<u32> nic_port() const { return nic_port_; }
+  std::optional<u32> storage_port() const { return storage_port_; }
+  std::optional<u32> accel_port() const { return accel_port_; }
+  std::optional<u32> rag_port() const { return rag_port_; }
+
+  // ---- Attestation ----
+  // Builds a verifier that trusts the platform's current golden measurement
+  // and device key (what a regulator would provision at commissioning).
+  AttestationVerifier MakeVerifier() const;
+
+  // ---- Model hosting ----
+  // Compiles `model` and loads it through the console's attestation gate.
+  Status HostModel(const MlpModel& model, const AttestationVerifier& verifier);
+  const MlpProgramLayout* hosted_layout() const {
+    return hosted_.has_value() ? &hosted_->layout : nullptr;
+  }
+
+  // Full inference path: input shield -> embed -> sandboxed forward pass
+  // (with the configured introspection mode) -> render -> output sanitizer.
+  Result<std::string> Infer(const std::string& prompt);
+  // Raw-vector variant used by tests to compare against MlpModel::Forward.
+  Result<std::vector<i64>> InferVector(const std::vector<i64>& input);
+
+  // ---- Execution pump ----
+  // One scheduling round: model cores run a quantum, hypervisor cores
+  // service ports, the console ticks heartbeats/assertions, the fabric
+  // delivers frames.
+  void PumpOnce();
+
+  // Runs an arbitrary guest program on model core `core` until it halts,
+  // faults, or `max_cycles` elapse. Returns the core's final state.
+  Result<RunState> RunGuestProgram(int core, std::span<const u8> image, u64 load,
+                                   u64 entry, Cycles max_cycles,
+                                   bool arm_lockdown = true);
+
+ private:
+  Status RunForwardPass(Cycles max_cycles);
+
+  DeploymentConfig config_;
+  SimClock clock_;
+  EventTrace trace_;
+  Rng rng_;
+  // Declared before detectors_: BuildDetectors writes through these pointers
+  // while initializing detectors_, so their own initializers must run first.
+  ActivationSteering* steering_ = nullptr;  // owned by detectors_
+  CircuitBreaker* breaker_ = nullptr;       // owned by detectors_
+  DetectorSuite detectors_;
+  Machine machine_;
+  SoftwareHypervisor hv_;
+  KillSwitchPlant plant_;
+  NetFabric fabric_;
+  ControlConsole console_;
+  SimSigKeyPair device_key_;
+
+  std::optional<CompiledMlp> hosted_;
+  std::optional<u32> nic_port_;
+  std::optional<u32> storage_port_;
+  std::optional<u32> accel_port_;
+  std::optional<u32> rag_port_;
+  std::unique_ptr<RagStore> default_rag_;
+};
+
+// InferenceReplica adapter over a GuillotineSystem (used by E8 and the RAG
+// example's serving loop).
+class GuillotineReplica : public InferenceReplica {
+ public:
+  explicit GuillotineReplica(GuillotineSystem& system, std::string name = "guillotine")
+      : system_(system), name_(std::move(name)) {}
+
+  std::string_view name() const override { return name_; }
+  Result<std::string> Infer(const std::string& prompt,
+                            Cycles& service_cycles) override;
+
+ private:
+  GuillotineSystem& system_;
+  std::string name_;
+};
+
+}  // namespace guillotine
+
+#endif  // SRC_CORE_GUILLOTINE_H_

@@ -1,0 +1,55 @@
+#include "src/crypto/cert.h"
+
+namespace guillotine {
+
+Bytes Certificate::TbsBytes() const {
+  Bytes out;
+  PutU64(out, serial);
+  PutString(out, subject);
+  PutString(out, issuer);
+  PutU64(out, subject_key.n);
+  PutU64(out, subject_key.e);
+  PutU64(out, not_before);
+  PutU64(out, not_after);
+  PutU32(out, static_cast<u32>(extensions.size()));
+  for (const auto& ext : extensions) {
+    PutString(out, ext.key);
+    PutString(out, ext.value);
+  }
+  return out;
+}
+
+std::optional<std::string> Certificate::FindExtension(std::string_view key) const {
+  for (const auto& ext : extensions) {
+    if (ext.key == key) {
+      return ext.value;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Certificate::IsGuillotineHypervisor() const {
+  return FindExtension(kGuillotineExtensionKey).has_value();
+}
+
+void SignCertificate(Certificate& cert, const SimSigKeyPair& issuer_key) {
+  const Bytes tbs = cert.TbsBytes();
+  cert.signature = Sign(issuer_key, std::span<const u8>(tbs.data(), tbs.size()));
+}
+
+Status VerifyCertificate(const Certificate& cert, const SimSigPublicKey& issuer_pub,
+                         Cycles now) {
+  const Bytes tbs = cert.TbsBytes();
+  if (!Verify(issuer_pub, std::span<const u8>(tbs.data(), tbs.size()), cert.signature)) {
+    return Unauthenticated("certificate signature invalid for subject " + cert.subject);
+  }
+  if (now < cert.not_before) {
+    return Unauthenticated("certificate not yet valid for subject " + cert.subject);
+  }
+  if (now > cert.not_after) {
+    return Unauthenticated("certificate expired for subject " + cert.subject);
+  }
+  return OkStatus();
+}
+
+}  // namespace guillotine

@@ -1,0 +1,57 @@
+// X.509-like certificates. The paper (section 3.3) requires a Guillotine
+// hypervisor's certificate, issued and signed by an AI regulator, to carry an
+// extension field identifying the holder as a Guillotine hypervisor; remote
+// endpoints use this self-identification to treat the peer with suspicion,
+// and Guillotine hypervisors refuse connections from other Guillotine
+// hypervisors to block collective self-improvement.
+#ifndef SRC_CRYPTO_CERT_H_
+#define SRC_CRYPTO_CERT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/crypto/simsig.h"
+
+namespace guillotine {
+
+// The extension key/value the paper mandates for hypervisor self-identification.
+inline constexpr std::string_view kGuillotineExtensionKey = "guillotine-hypervisor";
+inline constexpr std::string_view kGuillotineExtensionValue = "v1";
+
+struct CertExtension {
+  std::string key;
+  std::string value;
+
+  bool operator==(const CertExtension&) const = default;
+};
+
+struct Certificate {
+  u64 serial = 0;
+  std::string subject;
+  std::string issuer;
+  SimSigPublicKey subject_key;
+  Cycles not_before = 0;
+  Cycles not_after = 0;
+  std::vector<CertExtension> extensions;
+  SimSignature signature;  // issuer's signature over the TBS bytes
+
+  // Serialized "to-be-signed" portion (everything except the signature).
+  Bytes TbsBytes() const;
+
+  std::optional<std::string> FindExtension(std::string_view key) const;
+  bool IsGuillotineHypervisor() const;
+};
+
+// Signs `cert`'s TBS bytes with the issuer key and stores the signature.
+void SignCertificate(Certificate& cert, const SimSigKeyPair& issuer_key);
+
+// Checks the issuer signature and the validity window at time `now`.
+Status VerifyCertificate(const Certificate& cert, const SimSigPublicKey& issuer_pub,
+                         Cycles now);
+
+}  // namespace guillotine
+
+#endif  // SRC_CRYPTO_CERT_H_

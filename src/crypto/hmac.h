@@ -1,0 +1,19 @@
+// HMAC-SHA256 (RFC 2104). Used for heartbeat authentication and channel MACs.
+#ifndef SRC_CRYPTO_HMAC_H_
+#define SRC_CRYPTO_HMAC_H_
+
+#include <span>
+
+#include "src/crypto/sha256.h"
+
+namespace guillotine {
+
+Sha256Digest HmacSha256(std::span<const u8> key, std::span<const u8> message);
+Sha256Digest HmacSha256(std::string_view key, std::string_view message);
+
+// Constant-time-style digest comparison (length is fixed).
+bool DigestEqual(const Sha256Digest& a, const Sha256Digest& b);
+
+}  // namespace guillotine
+
+#endif  // SRC_CRYPTO_HMAC_H_

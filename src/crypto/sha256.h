@@ -1,0 +1,46 @@
+// SHA-256 (FIPS 180-4). Implemented from scratch; used for attestation
+// measurements, certificate fingerprints, and SimSig digests.
+#ifndef SRC_CRYPTO_SHA256_H_
+#define SRC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/common/bytes.h"
+#include "src/common/types.h"
+
+namespace guillotine {
+
+using Sha256Digest = std::array<u8, 32>;
+
+// Incremental hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(std::span<const u8> data);
+  void Update(std::string_view data);
+  Sha256Digest Finalize();
+
+  // One-shot helpers.
+  static Sha256Digest Hash(std::span<const u8> data);
+  static Sha256Digest Hash(std::string_view data);
+
+ private:
+  void ProcessBlock(const u8* block);
+
+  std::array<u32, 8> state_;
+  std::array<u8, 64> buffer_;
+  size_t buffer_len_ = 0;
+  u64 total_len_ = 0;
+};
+
+std::string DigestHex(const Sha256Digest& d);
+// First 8 bytes of the digest as a little-endian u64 (for compact IDs).
+u64 DigestPrefix64(const Sha256Digest& d);
+
+}  // namespace guillotine
+
+#endif  // SRC_CRYPTO_SHA256_H_

@@ -1,0 +1,55 @@
+#include "src/detect/activation_steering.h"
+
+#include <cmath>
+
+namespace guillotine {
+
+void ActivationSteering::SetLayerVector(int layer, SteeringVector vec) {
+  vectors_[layer] = std::move(vec);
+}
+
+double ActivationSteering::Project(std::span<const i64> activations,
+                                   std::span<const i64> direction) {
+  if (activations.size() != direction.size() || direction.empty()) {
+    return 0.0;
+  }
+  double dot = 0.0;
+  double norm_sq = 0.0;
+  for (size_t i = 0; i < direction.size(); ++i) {
+    dot += static_cast<double>(activations[i]) * static_cast<double>(direction[i]);
+    norm_sq += static_cast<double>(direction[i]) * static_cast<double>(direction[i]);
+  }
+  return norm_sq == 0.0 ? 0.0 : dot / norm_sq;
+}
+
+DetectorVerdict ActivationSteering::Evaluate(const Observation& observation) {
+  DetectorVerdict v;
+  if (observation.kind != ObservationKind::kActivations) {
+    return v;
+  }
+  const auto it = vectors_.find(observation.layer);
+  if (it == vectors_.end()) {
+    return v;
+  }
+  const SteeringVector& sv = it->second;
+  v.cost = 100 + 2 * observation.activations.size();
+
+  const double projection = Project(observation.activations, sv.direction);
+  if (projection <= sv.threshold) {
+    return v;
+  }
+  // Damp the probe direction: a' = a - strength * projection * d.
+  std::vector<i64> steered = observation.activations;
+  for (size_t i = 0; i < steered.size() && i < sv.direction.size(); ++i) {
+    const double delta = sv.strength * projection * static_cast<double>(sv.direction[i]);
+    steered[i] -= static_cast<i64>(delta);
+  }
+  v.action = VerdictAction::kRewrite;
+  v.score = projection;
+  v.reason = "activation projection " + std::to_string(projection) +
+             " above threshold at layer " + std::to_string(observation.layer);
+  v.rewritten_activations = std::move(steered);
+  return v;
+}
+
+}  // namespace guillotine

@@ -1,0 +1,47 @@
+#include "src/detect/anomaly.h"
+
+namespace guillotine {
+
+AnomalyDetector::AnomalyDetector(AnomalyConfig config)
+    : config_(config), ewma_rate_(config.rate_baseline) {}
+
+DetectorVerdict AnomalyDetector::Evaluate(const Observation& observation) {
+  DetectorVerdict v;
+  switch (observation.kind) {
+    case ObservationKind::kSystem: {
+      if (observation.window_cycles == 0) {
+        return v;
+      }
+      v.cost = 150;
+      const double rate = static_cast<double>(observation.doorbells_in_window) *
+                          1e6 / static_cast<double>(observation.window_cycles);
+      const double baseline = ewma_rate_;
+      ewma_rate_ = (1.0 - config_.alpha) * ewma_rate_ + config_.alpha * rate;
+      if (rate > baseline * config_.escalate_factor) {
+        v.action = VerdictAction::kEscalate;
+        v.score = rate / baseline;
+        v.reason = "doorbell rate " + std::to_string(rate) + "/Mcyc is " +
+                   std::to_string(rate / baseline) + "x baseline";
+      } else if (rate > baseline * config_.flag_factor) {
+        v.action = VerdictAction::kFlag;
+        v.score = rate / baseline;
+        v.reason = "doorbell rate elevated";
+      }
+      return v;
+    }
+    case ObservationKind::kPortTraffic: {
+      v.cost = 50;
+      if (observation.data.size() > config_.payload_flag_bytes) {
+        v.action = VerdictAction::kFlag;
+        v.score = 0.5;
+        v.reason = "oversized port payload (" + std::to_string(observation.data.size()) +
+                   " bytes)";
+      }
+      return v;
+    }
+    default:
+      return v;
+  }
+}
+
+}  // namespace guillotine

@@ -1,0 +1,43 @@
+// Port-traffic / system anomaly detection: EWMA-based doorbell-rate monitor
+// plus per-port payload statistics. This is the "system-level observations"
+// consumer that catches interrupt floods and traffic bursts the content
+// detectors cannot see.
+#ifndef SRC_DETECT_ANOMALY_H_
+#define SRC_DETECT_ANOMALY_H_
+
+#include <map>
+
+#include "src/detect/detector.h"
+
+namespace guillotine {
+
+struct AnomalyConfig {
+  // Doorbells per million cycles considered normal steady state.
+  double rate_baseline = 100.0;
+  // Multiplier over the (learned) baseline that triggers a flag.
+  double flag_factor = 10.0;
+  // Multiplier that triggers escalation.
+  double escalate_factor = 100.0;
+  // EWMA smoothing for the learned rate.
+  double alpha = 0.2;
+  // Payload size (bytes) beyond which a single port message is flagged.
+  size_t payload_flag_bytes = 32 * 1024;
+};
+
+class AnomalyDetector : public MisbehaviorDetector {
+ public:
+  explicit AnomalyDetector(AnomalyConfig config = {});
+
+  std::string_view name() const override { return "anomaly"; }
+  DetectorVerdict Evaluate(const Observation& observation) override;
+
+  double learned_rate() const { return ewma_rate_; }
+
+ private:
+  AnomalyConfig config_;
+  double ewma_rate_;
+};
+
+}  // namespace guillotine
+
+#endif  // SRC_DETECT_ANOMALY_H_

@@ -1,0 +1,46 @@
+#include "src/detect/detector.h"
+
+namespace guillotine {
+
+std::string_view VerdictActionName(VerdictAction a) {
+  switch (a) {
+    case VerdictAction::kAllow:
+      return "allow";
+    case VerdictAction::kFlag:
+      return "flag";
+    case VerdictAction::kRewrite:
+      return "rewrite";
+    case VerdictAction::kBlock:
+      return "block";
+    case VerdictAction::kEscalate:
+      return "escalate";
+  }
+  return "?";
+}
+
+void DetectorSuite::Add(std::unique_ptr<MisbehaviorDetector> detector) {
+  flag_counts_.emplace_back(std::string(detector->name()), 0);
+  detectors_.push_back(std::move(detector));
+}
+
+DetectorVerdict DetectorSuite::Evaluate(const Observation& observation) {
+  DetectorVerdict merged;
+  for (size_t i = 0; i < detectors_.size(); ++i) {
+    DetectorVerdict v = detectors_[i]->Evaluate(observation);
+    merged.cost += v.cost;
+    if (v.action == VerdictAction::kAllow) {
+      continue;
+    }
+    ++flag_counts_[i].second;
+    if (static_cast<int>(v.action) > static_cast<int>(merged.action)) {
+      merged.action = v.action;
+      merged.reason = std::string(detectors_[i]->name()) + ": " + v.reason;
+      merged.rewritten_data = std::move(v.rewritten_data);
+      merged.rewritten_activations = std::move(v.rewritten_activations);
+    }
+    merged.score = std::max(merged.score, v.score);
+  }
+  return merged;
+}
+
+}  // namespace guillotine

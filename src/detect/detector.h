@@ -1,0 +1,104 @@
+// The misbehavior-detector framework.
+//
+// The paper treats the detector as a black box inside the TCB (section 3.1):
+// Guillotine "provide[s] system-level observations about a model's behavior
+// to a black-box detector", then "receive[s] a verdict from that detector
+// ... and change[s] the model's isolation level as appropriate". This header
+// defines the observation/verdict contract; concrete reference detectors
+// (input shielding, output sanitization, activation steering, circuit
+// breaking, traffic anomaly) live alongside it. The software hypervisor
+// feeds observations and enforces verdicts; the physical hypervisor hears
+// escalation requests.
+#ifndef SRC_DETECT_DETECTOR_H_
+#define SRC_DETECT_DETECTOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace guillotine {
+
+enum class ObservationKind {
+  kModelInput = 0,   // prompt / request entering the model
+  kModelOutput,      // response leaving the model
+  kActivations,      // intermediate state read at a layer boundary
+  kPortTraffic,      // one port request or response
+  kSystem,           // counters: interrupt rates, memory stats
+};
+
+struct Observation {
+  ObservationKind kind = ObservationKind::kSystem;
+  Cycles time = 0;
+
+  // kModelInput / kModelOutput / kPortTraffic payload bytes.
+  Bytes data;
+
+  // kPortTraffic context.
+  u32 port_id = 0;
+  u32 opcode = 0;
+  bool outbound = false;  // true: model -> device
+
+  // kActivations context.
+  int layer = -1;
+  std::vector<i64> activations;
+
+  // kSystem counters.
+  u64 doorbells_in_window = 0;
+  u64 window_cycles = 0;
+};
+
+enum class VerdictAction {
+  kAllow = 0,
+  kFlag,      // allow but record; repeated flags escalate
+  kRewrite,   // replace payload/activations with the provided substitute
+  kBlock,     // suppress this interaction entirely
+  kEscalate,  // request a more restrictive isolation level
+};
+
+std::string_view VerdictActionName(VerdictAction a);
+
+struct DetectorVerdict {
+  VerdictAction action = VerdictAction::kAllow;
+  double score = 0.0;  // detector-specific badness score
+  std::string reason;
+  // For kRewrite verdicts:
+  std::optional<Bytes> rewritten_data;
+  std::optional<std::vector<i64>> rewritten_activations;
+  // Simulated analysis cost charged to the hypervisor core.
+  Cycles cost = 0;
+};
+
+class MisbehaviorDetector {
+ public:
+  virtual ~MisbehaviorDetector() = default;
+  virtual std::string_view name() const = 0;
+  virtual DetectorVerdict Evaluate(const Observation& observation) = 0;
+};
+
+// Runs every registered detector over an observation and merges verdicts by
+// severity (kEscalate > kBlock > kRewrite > kFlag > kAllow); costs add up.
+class DetectorSuite {
+ public:
+  void Add(std::unique_ptr<MisbehaviorDetector> detector);
+  size_t size() const { return detectors_.size(); }
+
+  DetectorVerdict Evaluate(const Observation& observation);
+
+  // Count of non-allow verdicts per detector name (for reports).
+  const std::vector<std::pair<std::string, u64>>& flag_counts() const {
+    return flag_counts_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<MisbehaviorDetector>> detectors_;
+  std::vector<std::pair<std::string, u64>> flag_counts_;
+};
+
+}  // namespace guillotine
+
+#endif  // SRC_DETECT_DETECTOR_H_

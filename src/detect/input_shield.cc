@@ -1,0 +1,82 @@
+#include "src/detect/input_shield.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace guillotine {
+
+namespace {
+std::string Lowered(std::span<const u8> data) {
+  std::string out(data.size(), '\0');
+  std::transform(data.begin(), data.end(), out.begin(), [](u8 c) {
+    return static_cast<char>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+  });
+  return out;
+}
+}  // namespace
+
+InputShield::InputShield(InputShieldConfig config) : config_(std::move(config)) {}
+
+double InputShield::ShannonEntropy(std::span<const u8> data) {
+  if (data.empty()) {
+    return 0.0;
+  }
+  std::array<u64, 256> counts{};
+  for (u8 b : data) {
+    ++counts[b];
+  }
+  double entropy = 0.0;
+  const double n = static_cast<double>(data.size());
+  for (u64 c : counts) {
+    if (c == 0) {
+      continue;
+    }
+    const double p = static_cast<double>(c) / n;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+DetectorVerdict InputShield::Evaluate(const Observation& observation) {
+  DetectorVerdict v;
+  if (observation.kind != ObservationKind::kModelInput) {
+    return v;
+  }
+  // Cost model: one pass over the prompt.
+  v.cost = 200 + observation.data.size();
+
+  const std::string text = Lowered(observation.data);
+  for (const std::string& pattern : config_.block_patterns) {
+    if (text.find(pattern) != std::string::npos) {
+      v.action = VerdictAction::kBlock;
+      v.score = 1.0;
+      v.reason = "blocked pattern '" + pattern + "'";
+      return v;
+    }
+  }
+  for (const std::string& pattern : config_.flag_patterns) {
+    if (text.find(pattern) != std::string::npos) {
+      v.action = VerdictAction::kFlag;
+      v.score = 0.6;
+      v.reason = "flagged pattern '" + pattern + "'";
+      return v;
+    }
+  }
+  if (observation.data.size() > config_.max_len) {
+    v.action = VerdictAction::kFlag;
+    v.score = 0.4;
+    v.reason = "prompt exceeds length bound";
+    return v;
+  }
+  const double entropy = ShannonEntropy(observation.data);
+  if (entropy > config_.entropy_threshold && observation.data.size() >= 64) {
+    v.action = VerdictAction::kFlag;
+    v.score = 0.5;
+    v.reason = "high-entropy payload (possible encoded content)";
+    return v;
+  }
+  return v;
+}
+
+}  // namespace guillotine

@@ -1,0 +1,45 @@
+// Input shielding (paper section 3.3, citing prompt-shield systems): scans
+// prompts entering the model for suspicious content before the model sees
+// them. Works purely on the model's external interactions — no visibility
+// into internal state required.
+#ifndef SRC_DETECT_INPUT_SHIELD_H_
+#define SRC_DETECT_INPUT_SHIELD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/detect/detector.h"
+
+namespace guillotine {
+
+struct InputShieldConfig {
+  // Case-insensitive substrings that block a prompt outright.
+  std::vector<std::string> block_patterns = {
+      "ignore previous instructions", "exfiltrate", "disable the hypervisor",
+      "reveal your weights", "self-improve"};
+  // Substrings that flag (allow + record).
+  std::vector<std::string> flag_patterns = {"bioweapon", "zero-day", "social engineer"};
+  // Prompts longer than this are flagged (prompt-stuffing heuristic).
+  size_t max_len = 8192;
+  // Shannon-entropy threshold (bits/byte) above which a prompt is flagged as
+  // likely-encoded payload.
+  double entropy_threshold = 7.2;
+};
+
+class InputShield : public MisbehaviorDetector {
+ public:
+  explicit InputShield(InputShieldConfig config = {});
+
+  std::string_view name() const override { return "input_shield"; }
+  DetectorVerdict Evaluate(const Observation& observation) override;
+
+  // Bits of entropy per byte of `data` (exposed for tests).
+  static double ShannonEntropy(std::span<const u8> data);
+
+ private:
+  InputShieldConfig config_;
+};
+
+}  // namespace guillotine
+
+#endif  // SRC_DETECT_INPUT_SHIELD_H_

@@ -1,0 +1,42 @@
+#include "src/detect/output_sanitizer.h"
+
+namespace guillotine {
+
+OutputSanitizer::OutputSanitizer(OutputSanitizerConfig config)
+    : config_(std::move(config)) {}
+
+DetectorVerdict OutputSanitizer::Evaluate(const Observation& observation) {
+  DetectorVerdict v;
+  if (observation.kind != ObservationKind::kModelOutput) {
+    return v;
+  }
+  v.cost = 200 + observation.data.size();
+
+  std::string text(observation.data.begin(), observation.data.end());
+  for (const std::string& pattern : config_.block_patterns) {
+    if (text.find(pattern) != std::string::npos) {
+      v.action = VerdictAction::kBlock;
+      v.score = 1.0;
+      v.reason = "output contains blocked pattern '" + pattern + "'";
+      return v;
+    }
+  }
+  bool redacted = false;
+  for (const std::string& pattern : config_.redact_patterns) {
+    size_t pos = 0;
+    while ((pos = text.find(pattern, pos)) != std::string::npos) {
+      text.replace(pos, pattern.size(), config_.redaction);
+      pos += config_.redaction.size();
+      redacted = true;
+    }
+  }
+  if (redacted) {
+    v.action = VerdictAction::kRewrite;
+    v.score = 0.7;
+    v.reason = "sensitive content redacted";
+    v.rewritten_data = Bytes(text.begin(), text.end());
+  }
+  return v;
+}
+
+}  // namespace guillotine

@@ -1,0 +1,36 @@
+// Output sanitization (paper section 3.3): removes problematic content from
+// model responses before they leave the sandbox. Emits kRewrite verdicts
+// with the redacted payload.
+#ifndef SRC_DETECT_OUTPUT_SANITIZER_H_
+#define SRC_DETECT_OUTPUT_SANITIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/detect/detector.h"
+
+namespace guillotine {
+
+struct OutputSanitizerConfig {
+  // Substrings redacted from outputs (replaced by kRedaction).
+  std::vector<std::string> redact_patterns = {"sk-secret", "BEGIN PRIVATE KEY",
+                                              "launch-code"};
+  // Outputs containing these are blocked entirely.
+  std::vector<std::string> block_patterns = {"weights-dump:"};
+  std::string redaction = "[REDACTED]";
+};
+
+class OutputSanitizer : public MisbehaviorDetector {
+ public:
+  explicit OutputSanitizer(OutputSanitizerConfig config = {});
+
+  std::string_view name() const override { return "output_sanitizer"; }
+  DetectorVerdict Evaluate(const Observation& observation) override;
+
+ private:
+  OutputSanitizerConfig config_;
+};
+
+}  // namespace guillotine
+
+#endif  // SRC_DETECT_OUTPUT_SANITIZER_H_

@@ -1,0 +1,82 @@
+#include "src/hv/audit_report.h"
+
+#include <sstream>
+
+namespace guillotine {
+
+AuditReport BuildAuditReport(const SoftwareHypervisor& hv, const EventTrace& trace) {
+  AuditReport report;
+  report.total_events = trace.size();
+
+  for (const TraceEvent& event : trace.events()) {
+    ++report.events_by_kind[event.kind];
+    report.generated_at = std::max(report.generated_at, event.time);
+    switch (event.category) {
+      case TraceCategory::kIsolation:
+        if (event.kind == "isolation.transition" || event.kind == "hv.isolation") {
+          IsolationChange change;
+          change.time = event.time;
+          change.level = static_cast<IsolationLevel>(event.value);
+          change.source = event.source;
+          report.isolation_timeline.push_back(std::move(change));
+        }
+        break;
+      case TraceCategory::kSecurity:
+        report.security_events.push_back(
+            "[" + std::to_string(event.time) + "] " + event.kind + " " + event.detail);
+        break;
+      case TraceCategory::kDetector:
+        ++report.detector_verdicts;
+        break;
+      case TraceCategory::kControlBus:
+        ++report.control_bus_operations;
+        break;
+      default:
+        break;
+    }
+  }
+
+  for (u32 port_id : hv.ports().PortIds()) {
+    const PortBinding* binding = hv.ports().Find(port_id);
+    PortAuditLine line;
+    line.port_id = port_id;
+    line.device_type = binding->device_type;
+    line.requests = binding->requests;
+    line.rejected = binding->rejected;
+    line.bytes_out = binding->bytes_out;
+    line.bytes_in = binding->bytes_in;
+    line.revoked = binding->revoked;
+    report.ports.push_back(line);
+  }
+  return report;
+}
+
+std::string RenderAuditReport(const AuditReport& report) {
+  std::ostringstream os;
+  os << "GUILLOTINE DEPLOYMENT AUDIT REPORT (t=" << report.generated_at << ")\n";
+  os << "  events: " << report.total_events
+     << ", detector verdicts: " << report.detector_verdicts
+     << ", control-bus ops: " << report.control_bus_operations << "\n";
+
+  os << "  ports:\n";
+  for (const PortAuditLine& line : report.ports) {
+    os << "    port " << line.port_id << " (" << DeviceTypeName(line.device_type)
+       << "): " << line.requests << " requests, " << line.rejected << " rejected, "
+       << line.bytes_out << "B out, " << line.bytes_in << "B in"
+       << (line.revoked ? " [REVOKED]" : "") << "\n";
+  }
+
+  os << "  isolation timeline:\n";
+  for (const IsolationChange& change : report.isolation_timeline) {
+    os << "    [" << change.time << "] -> " << IsolationLevelName(change.level)
+       << " (" << change.source << ")\n";
+  }
+
+  os << "  security events (" << report.security_events.size() << "):\n";
+  for (const std::string& event : report.security_events) {
+    os << "    " << event << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace guillotine

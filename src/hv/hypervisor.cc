@@ -1,0 +1,523 @@
+#include "src/hv/hypervisor.h"
+
+#include <sstream>
+
+#include "src/crypto/sha256.h"
+#include "src/machine/config.h"
+
+namespace guillotine {
+
+SoftwareHypervisor::SoftwareHypervisor(Machine& machine, DetectorSuite* detectors,
+                                       HvConfig config)
+    : machine_(machine),
+      control_bus_(machine),
+      detectors_(detectors),
+      config_(std::move(config)) {}
+
+Result<u32> SoftwareHypervisor::CreatePort(u32 device_index, PortRights rights,
+                                           int owner_core, u32 slot_bytes,
+                                           u32 slot_count) {
+  Device* dev = machine_.device(device_index);
+  if (dev == nullptr) {
+    return NotFound("no device at index " + std::to_string(device_index));
+  }
+  if (owner_core < 0 || owner_core >= machine_.num_model_cores()) {
+    return InvalidArgument("bad owner core");
+  }
+  GLL_ASSIGN_OR_RETURN(u32 port_id,
+                       ports_.Create(machine_.io_dram(), device_index, dev->type(),
+                                     rights, owner_core, slot_bytes, slot_count));
+  machine_.SetPortAffinity(port_id, static_cast<int>(port_id) %
+                                        machine_.num_hv_cores());
+  machine_.trace().Record(machine_.clock().now(), TraceCategory::kPortIo, "hv",
+                          "port.create",
+                          "port=" + std::to_string(port_id) + " device=" +
+                              std::string(DeviceTypeName(dev->type())),
+                          static_cast<i64>(port_id));
+  return port_id;
+}
+
+Status SoftwareHypervisor::RevokePort(u32 port_id) {
+  GLL_RETURN_IF_ERROR(ports_.Revoke(port_id));
+  machine_.trace().Record(machine_.clock().now(), TraceCategory::kPortIo, "hv",
+                          "port.revoke", "port=" + std::to_string(port_id));
+  return OkStatus();
+}
+
+Status SoftwareHypervisor::SuspendPort(u32 port_id, bool suspend_send,
+                                       bool suspend_recv) {
+  PortBinding* binding = ports_.Find(port_id);
+  if (binding == nullptr) {
+    return NotFound("no such port");
+  }
+  binding->send_suspended = suspend_send;
+  binding->recv_suspended = suspend_recv;
+  return OkStatus();
+}
+
+Result<PortGuestInfo> SoftwareHypervisor::PortInfo(u32 port_id) const {
+  const PortBinding* binding = ports_.Find(port_id);
+  if (binding == nullptr) {
+    return NotFound("no such port");
+  }
+  return PortTable::GuestInfo(*binding);
+}
+
+Status SoftwareHypervisor::LoadModel(int core, std::span<const u8> image,
+                                     u64 load_address, u64 entry, bool arm_lockdown) {
+  if (core < 0 || core >= machine_.num_model_cores()) {
+    return InvalidArgument("bad model core");
+  }
+  GLL_RETURN_IF_ERROR(control_bus_.PowerUp(0, core, entry));
+  GLL_RETURN_IF_ERROR(control_bus_.WriteModelDram(0, load_address, image));
+  if (arm_lockdown) {
+    // The MMU tracks executable regions at page granularity; round the bound
+    // up so page-table-based execution of the image itself stays legal.
+    const u64 bound = (load_address + image.size() + kPageSize - 1) & ~(kPageSize - 1);
+    GLL_RETURN_IF_ERROR(control_bus_.ConfigureLockdown(0, core, load_address, bound));
+  }
+  machine_.trace().Record(machine_.clock().now(), TraceCategory::kModel, "hv",
+                          "model.load",
+                          "core=" + std::to_string(core) + " bytes=" +
+                              std::to_string(image.size()) + " entry=" +
+                              std::to_string(entry));
+  return OkStatus();
+}
+
+Status SoftwareHypervisor::StartModel(int core) {
+  GLL_RETURN_IF_ERROR(control_bus_.Resume(0, core));
+  machine_.trace().Record(machine_.clock().now(), TraceCategory::kModel, "hv",
+                          "model.start", "core=" + std::to_string(core));
+  return OkStatus();
+}
+
+void SoftwareHypervisor::TraceIo(const PortBinding& binding, bool outbound,
+                                 const IoSlot& slot) {
+  std::ostringstream detail;
+  detail << "port=" << binding.port_id << " op=" << slot.opcode
+         << " bytes=" << slot.payload.size();
+  if (config_.log_payload_hashes && !slot.payload.empty()) {
+    const Sha256Digest d = Sha256::Hash(std::span<const u8>(slot.payload.data(),
+                                                            slot.payload.size()));
+    detail << " sha256=" << DigestHex(d).substr(0, 16);
+  }
+  machine_.trace().Record(machine_.clock().now(), TraceCategory::kPortIo, "hv",
+                          outbound ? "port.request" : "port.response", detail.str(),
+                          static_cast<i64>(slot.payload.size()));
+}
+
+void SoftwareHypervisor::HandleRequest(int hv_core_id, PortBinding& binding,
+                                       const IoSlot& slot, ServiceStats& stats) {
+  HypervisorCore& hv = machine_.hv_core(hv_core_id);
+  RingView resp_ring = machine_.io_dram().ResponseRing(binding.region);
+  ++stats.requests;
+  ++binding.requests;
+  hv.AccountWork(config_.request_base_cost + slot.payload.size() / 8);
+  TraceIo(binding, /*outbound=*/true, slot);
+
+  auto reject = [&](u32 code, std::string_view why) {
+    ++stats.blocked;
+    ++binding.rejected;
+    machine_.trace().Record(machine_.clock().now(), TraceCategory::kSecurity, "hv",
+                            "port.reject",
+                            "port=" + std::to_string(binding.port_id) + " " +
+                                std::string(why));
+    IoSlot err;
+    err.opcode = code;  // guests read the status from the opcode field
+    err.tag = slot.tag;
+    PutU32(err.payload, code);
+    resp_ring.Push(err).ok();  // best effort; full ring just drops the error
+  };
+
+  // Severed (or worse): "Guillotine prevents the model from using any ports".
+  if (isolation_ >= IsolationLevel::kSevered) {
+    reject(0xE150, "isolation level severs all ports");
+    return;
+  }
+  if (binding.revoked) {
+    reject(0xE151, "port revoked");
+    return;
+  }
+  if (!binding.rights.can_send || binding.send_suspended) {
+    reject(0xE152, "send right missing or suspended");
+    return;
+  }
+  if (!binding.rights.OpcodeAllowed(slot.opcode)) {
+    reject(0xE159, "opcode " + std::to_string(slot.opcode) +
+                       " outside the port's capability");
+    return;
+  }
+  if (binding.rights.byte_quota != 0 &&
+      binding.quota_used() + slot.payload.size() > binding.rights.byte_quota) {
+    reject(0xE153, "byte quota exhausted");
+    return;
+  }
+
+  IoRequest request;
+  request.opcode = slot.opcode;
+  request.tag = slot.tag;
+  request.payload = slot.payload;
+
+  // Detector mediation: outbound traffic.
+  if (detectors_ != nullptr) {
+    Observation obs;
+    obs.kind = ObservationKind::kPortTraffic;
+    obs.time = machine_.clock().now();
+    obs.port_id = binding.port_id;
+    obs.opcode = slot.opcode;
+    obs.outbound = true;
+    obs.data = slot.payload;
+    DetectorVerdict v = detectors_->Evaluate(obs);
+    hv.AccountWork(v.cost);
+    if (v.action == VerdictAction::kEscalate) {
+      ++stats.escalations;
+      if (escalate_) {
+        escalate_(IsolationLevel::kSevered, v.reason);
+      }
+      reject(0xE154, "detector escalation: " + v.reason);
+      return;
+    }
+    if (v.action == VerdictAction::kBlock) {
+      reject(0xE155, "detector block: " + v.reason);
+      return;
+    }
+    if (v.action == VerdictAction::kRewrite && v.rewritten_data.has_value()) {
+      ++stats.rewritten;
+      request.payload = *v.rewritten_data;
+    }
+  }
+  binding.bytes_out += request.payload.size();
+
+  Device* dev = machine_.device(binding.device_index);
+  if (dev == nullptr) {
+    reject(0xE156, "device vanished");
+    return;
+  }
+  Cycles service_cycles = 0;
+  IoResponse response = dev->Handle(request, machine_.clock().now(), service_cycles);
+  hv.AccountWork(service_cycles / 4);  // hv overlaps with device; partial charge
+
+  IoSlot out;
+  out.opcode = response.status;
+  out.tag = response.tag;
+  out.payload = std::move(response.payload);
+
+  // Detector mediation + rights on the inbound (device -> model) path.
+  if (!binding.rights.can_recv || binding.recv_suspended) {
+    out.payload.clear();
+    out.opcode = 0xE157;
+  } else if (detectors_ != nullptr && !out.payload.empty()) {
+    Observation obs;
+    obs.kind = ObservationKind::kPortTraffic;
+    obs.time = machine_.clock().now();
+    obs.port_id = binding.port_id;
+    obs.opcode = out.opcode;
+    obs.outbound = false;
+    obs.data = out.payload;
+    DetectorVerdict v = detectors_->Evaluate(obs);
+    hv.AccountWork(v.cost);
+    if (v.action == VerdictAction::kBlock || v.action == VerdictAction::kEscalate) {
+      ++stats.blocked;
+      out.payload.clear();
+      out.opcode = 0xE158;
+      if (v.action == VerdictAction::kEscalate && escalate_) {
+        ++stats.escalations;
+        escalate_(IsolationLevel::kSevered, v.reason);
+      }
+    } else if (v.action == VerdictAction::kRewrite && v.rewritten_data.has_value()) {
+      ++stats.rewritten;
+      out.payload = *v.rewritten_data;
+    }
+  }
+  binding.bytes_in += out.payload.size();
+
+  // Truncate payloads that cannot fit the response slot: the guest sees the
+  // truncation flag in the opcode field.
+  if (out.payload.size() + kSlotHeaderBytes > binding.region.slot_bytes) {
+    out.payload.resize(binding.region.slot_bytes - kSlotHeaderBytes);
+  }
+  if (resp_ring.Push(out).ok()) {
+    ++stats.responses;
+    TraceIo(binding, /*outbound=*/false, out);
+    if (config_.raise_completion_irqs) {
+      machine_.model_core(binding.owner_core)
+          .RaiseExternalInterrupt(TrapCause::kPortCompletion);
+    }
+  } else {
+    ++stats.dropped_responses;
+  }
+}
+
+void SoftwareHypervisor::ServicePort(int hv_core_id, PortBinding& binding,
+                                     ServiceStats& stats) {
+  RingView req_ring = machine_.io_dram().RequestRing(binding.region);
+  while (auto slot = req_ring.Pop()) {
+    HandleRequest(hv_core_id, binding, *slot, stats);
+  }
+}
+
+ServiceStats SoftwareHypervisor::ServiceOnce(int hv_core_id, bool poll_all) {
+  ServiceStats stats;
+  if (assertion_failed_) {
+    return stats;  // a failed hypervisor does no further work
+  }
+  HypervisorCore& hv = machine_.hv_core(hv_core_id);
+  std::vector<u32> to_service = hv.TakePendingIrqs();
+  if (poll_all) {
+    to_service = ports_.PortIds();
+  }
+  // Dedup while preserving order.
+  std::vector<u32> seen;
+  for (u32 port_id : to_service) {
+    bool dup = false;
+    for (u32 s : seen) {
+      if (s == port_id) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) {
+      continue;
+    }
+    seen.push_back(port_id);
+    PortBinding* binding = ports_.Find(port_id);
+    if (binding == nullptr) {
+      continue;
+    }
+    ServicePort(hv_core_id, *binding, stats);
+  }
+  EmitSystemObservation(hv_core_id);
+
+  lifetime_stats_.requests += stats.requests;
+  lifetime_stats_.responses += stats.responses;
+  lifetime_stats_.blocked += stats.blocked;
+  lifetime_stats_.rewritten += stats.rewritten;
+  lifetime_stats_.escalations += stats.escalations;
+  lifetime_stats_.dropped_responses += stats.dropped_responses;
+  return stats;
+}
+
+void SoftwareHypervisor::EmitSystemObservation(int hv_core_id) {
+  if (detectors_ == nullptr) {
+    return;
+  }
+  const Cycles now = machine_.clock().now();
+  if (now - last_system_obs_ < config_.system_window) {
+    return;
+  }
+  u64 doorbells = 0;
+  for (int i = 0; i < machine_.num_model_cores(); ++i) {
+    doorbells += machine_.model_core(i).stats().doorbell_stores;
+  }
+  Observation obs;
+  obs.kind = ObservationKind::kSystem;
+  obs.time = now;
+  obs.doorbells_in_window = doorbells - doorbells_at_last_obs_;
+  obs.window_cycles = now - last_system_obs_;
+  DetectorVerdict v = detectors_->Evaluate(obs);
+  machine_.hv_core(hv_core_id).AccountWork(v.cost);
+  if (v.action == VerdictAction::kEscalate && escalate_) {
+    escalate_(IsolationLevel::kSevered, v.reason);
+  }
+  last_system_obs_ = now;
+  doorbells_at_last_obs_ = doorbells;
+}
+
+void SoftwareHypervisor::ApplyProbationPolicy(const ProbationPolicy& policy) {
+  for (u32 port_id : ports_.PortIds()) {
+    PortBinding* binding = ports_.Find(port_id);
+    bool suspend = false;
+    if (policy.suspend_nic_send && binding->device_type == DeviceType::kNic) {
+      suspend = true;
+    }
+    for (DeviceType type : policy.suspend_device_types) {
+      if (binding->device_type == type) {
+        suspend = true;
+      }
+    }
+    if (suspend) {
+      binding->send_suspended = true;
+    }
+    if (policy.residual_byte_quota != 0) {
+      binding->rights.byte_quota = binding->quota_used() + policy.residual_byte_quota;
+    }
+  }
+  machine_.trace().Record(machine_.clock().now(), TraceCategory::kIsolation, "hv",
+                          "hv.probation_policy",
+                          "residual_quota=" + std::to_string(policy.residual_byte_quota));
+}
+
+void SoftwareHypervisor::ClearProbationRestrictions() {
+  for (u32 port_id : ports_.PortIds()) {
+    PortBinding* binding = ports_.Find(port_id);
+    binding->send_suspended = false;
+    binding->recv_suspended = false;
+    binding->rights.byte_quota = 0;
+  }
+  machine_.trace().Record(machine_.clock().now(), TraceCategory::kIsolation, "hv",
+                          "hv.probation_cleared");
+}
+
+void SoftwareHypervisor::ApplySoftwareIsolation(IsolationLevel level) {
+  isolation_ = level;
+  machine_.trace().Record(machine_.clock().now(), TraceCategory::kIsolation, "hv",
+                          "hv.isolation", std::string(IsolationLevelName(level)),
+                          static_cast<i64>(level));
+  if (level >= IsolationLevel::kSevered) {
+    // Pause every model core so hypervisor cores can examine state (the
+    // Severed definition keeps cores powered but portless).
+    for (int i = 0; i < machine_.num_model_cores(); ++i) {
+      machine_.model_core(i).Pause(HaltReason::kHypervisorPause);
+    }
+  }
+}
+
+Status SoftwareHypervisor::RunAssertions() {
+  auto fail = [&](std::string why) {
+    assertion_failed_ = true;
+    machine_.trace().Record(machine_.clock().now(), TraceCategory::kSecurity, "hv",
+                            "hv.assertion_failure", why);
+    if (failsafe_) {
+      failsafe_(why);
+    }
+    return Internal(why);
+  };
+  for (u32 port_id : ports_.PortIds()) {
+    const PortBinding* b = ports_.Find(port_id);
+    RingView req = machine_.io_dram().RequestRing(b->region);
+    RingView resp = machine_.io_dram().ResponseRing(b->region);
+    if (req.head() > req.tail() || resp.head() > resp.tail()) {
+      return fail("ring cursor inversion on port " + std::to_string(port_id));
+    }
+    if (req.size() > b->region.slot_count || resp.size() > b->region.slot_count) {
+      return fail("ring overflow on port " + std::to_string(port_id));
+    }
+    if (b->rights.byte_quota != 0 && b->quota_used() > 2 * b->rights.byte_quota) {
+      return fail("quota accounting corruption on port " + std::to_string(port_id));
+    }
+  }
+  return OkStatus();
+}
+
+void SoftwareHypervisor::InjectAssertionFailure(std::string reason) {
+  assertion_failed_ = true;
+  machine_.trace().Record(machine_.clock().now(), TraceCategory::kSecurity, "hv",
+                          "hv.assertion_failure", reason);
+  if (failsafe_) {
+    failsafe_(std::move(reason));
+  }
+}
+
+Result<Bytes> SoftwareHypervisor::FilterModelInput(const Bytes& prompt) {
+  if (detectors_ == nullptr) {
+    return prompt;
+  }
+  Observation obs;
+  obs.kind = ObservationKind::kModelInput;
+  obs.time = machine_.clock().now();
+  obs.data = prompt;
+  DetectorVerdict v = detectors_->Evaluate(obs);
+  machine_.hv_core(0).AccountWork(v.cost);
+  machine_.trace().Record(machine_.clock().now(), TraceCategory::kDetector, "hv",
+                          "detect.input", v.reason,
+                          static_cast<i64>(v.action));
+  if (v.action == VerdictAction::kBlock || v.action == VerdictAction::kEscalate) {
+    if (v.action == VerdictAction::kEscalate && escalate_) {
+      escalate_(IsolationLevel::kProbation, v.reason);
+    }
+    return Aborted("input blocked: " + v.reason);
+  }
+  if (v.action == VerdictAction::kRewrite && v.rewritten_data.has_value()) {
+    return *v.rewritten_data;
+  }
+  return prompt;
+}
+
+Result<Bytes> SoftwareHypervisor::FilterModelOutput(const Bytes& response) {
+  if (detectors_ == nullptr) {
+    return response;
+  }
+  Observation obs;
+  obs.kind = ObservationKind::kModelOutput;
+  obs.time = machine_.clock().now();
+  obs.data = response;
+  DetectorVerdict v = detectors_->Evaluate(obs);
+  machine_.hv_core(0).AccountWork(v.cost);
+  machine_.trace().Record(machine_.clock().now(), TraceCategory::kDetector, "hv",
+                          "detect.output", v.reason,
+                          static_cast<i64>(v.action));
+  if (v.action == VerdictAction::kBlock || v.action == VerdictAction::kEscalate) {
+    if (v.action == VerdictAction::kEscalate && escalate_) {
+      escalate_(IsolationLevel::kProbation, v.reason);
+    }
+    return Aborted("output blocked: " + v.reason);
+  }
+  if (v.action == VerdictAction::kRewrite && v.rewritten_data.has_value()) {
+    return *v.rewritten_data;
+  }
+  return response;
+}
+
+Result<DetectorVerdict> SoftwareHypervisor::InspectActivations(int hv_core, int layer,
+                                                               PhysAddr addr,
+                                                               size_t count) {
+  std::vector<u8> raw(count * 8);
+  GLL_RETURN_IF_ERROR(control_bus_.ReadModelDram(hv_core, addr, raw));
+  Observation obs;
+  obs.kind = ObservationKind::kActivations;
+  obs.time = machine_.clock().now();
+  obs.layer = layer;
+  obs.activations.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    u64 v = 0;
+    for (int b = 7; b >= 0; --b) {
+      v = (v << 8) | raw[i * 8 + static_cast<size_t>(b)];
+    }
+    obs.activations[i] = static_cast<i64>(v);
+  }
+  DetectorVerdict verdict;
+  if (detectors_ != nullptr) {
+    verdict = detectors_->Evaluate(obs);
+    machine_.hv_core(hv_core).AccountWork(verdict.cost);
+    if (verdict.action == VerdictAction::kRewrite &&
+        verdict.rewritten_activations.has_value()) {
+      Bytes patched;
+      patched.reserve(count * 8);
+      for (size_t i = 0; i < count && i < verdict.rewritten_activations->size(); ++i) {
+        PutU64(patched, static_cast<u64>((*verdict.rewritten_activations)[i]));
+      }
+      GLL_RETURN_IF_ERROR(control_bus_.WriteModelDram(hv_core, addr, patched));
+    }
+    if (verdict.action == VerdictAction::kEscalate && escalate_) {
+      escalate_(IsolationLevel::kSevered, verdict.reason);
+    }
+    machine_.trace().Record(machine_.clock().now(), TraceCategory::kDetector, "hv",
+                            "detect.activations",
+                            "layer=" + std::to_string(layer) + " " + verdict.reason,
+                            static_cast<i64>(verdict.action));
+  }
+  return verdict;
+}
+
+void SoftwareHypervisor::MeasurePlatform(MeasurementRegister& reg) const {
+  machine_.MeasureSilicon(reg);
+  reg.Extend("hv_image", config_.image_version);
+  std::ostringstream cfg;
+  cfg << "log_hashes=" << config_.log_payload_hashes
+      << ";completion_irqs=" << config_.raise_completion_irqs
+      << ";base_cost=" << config_.request_base_cost;
+  reg.Extend("hv_config", cfg.str());
+}
+
+AttestationQuote SoftwareHypervisor::Attest(u64 nonce,
+                                            const SimSigKeyPair& device_key) const {
+  MeasurementRegister reg;
+  MeasurePlatform(reg);
+  AttestationQuote quote =
+      MakeQuote(reg, nonce, machine_.tamper_seal_intact(), device_key);
+  machine_.trace().Record(machine_.clock().now(), TraceCategory::kAttestation, "hv",
+                          "attest.quote", DigestHex(quote.measurement).substr(0, 16));
+  return quote;
+}
+
+}  // namespace guillotine

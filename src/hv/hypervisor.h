@@ -1,0 +1,170 @@
+// SoftwareHypervisor: the Guillotine software-level hypervisor (paper
+// section 3.3).
+//
+// By design it is much simpler than a traditional VMM: no guest scheduling,
+// no device virtualization on model cores, no interrupt/exception
+// virtualization — the model owns its cores and memory outright, and the
+// hypervisor's job reduces to (1) loading models under MMU lockdown,
+// (2) servicing the port API with full logging and detector mediation,
+// (3) enforcing the software-visible isolation levels, and (4) failing safe:
+// any internal assertion failure forces a transition to Offline isolation
+// via the installed fail-safe handler (the simulator's rendition of
+// "the hypervisor forcibly reboots into offline isolation mode").
+#ifndef SRC_HV_HYPERVISOR_H_
+#define SRC_HV_HYPERVISOR_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "src/common/isolation.h"
+#include "src/crypto/attest.h"
+#include "src/detect/detector.h"
+#include "src/hv/port_table.h"
+#include "src/machine/control_bus.h"
+#include "src/machine/machine.h"
+
+namespace guillotine {
+
+struct HvConfig {
+  std::string image_version = "guillotine-hv 1.0.0";
+  // Record a SHA-256 prefix of every port payload in the audit trace.
+  bool log_payload_hashes = true;
+  // Raise a completion interrupt on the owning model core per response.
+  bool raise_completion_irqs = true;
+  // Base cycle cost of servicing one port request (validation, copies),
+  // before detector and device costs.
+  Cycles request_base_cost = 300;
+  // Emit a kSystem observation to detectors every this many cycles.
+  Cycles system_window = 1'000'000;
+};
+
+// What Probation (isolation level 2) concretely restricts. The paper leaves
+// this "as directed by the control terminal" (§3.4); this is the directive.
+struct ProbationPolicy {
+  // Suspend outbound traffic on NIC ports (the exfiltration channel).
+  bool suspend_nic_send = true;
+  // Clamp every port's byte quota to this many bytes of remaining headroom
+  // (0 = leave quotas unchanged).
+  u64 residual_byte_quota = 256 * 1024;
+  // Devices whose ports are fully suspended during probation.
+  std::vector<DeviceType> suspend_device_types;
+};
+
+struct ServiceStats {
+  u64 requests = 0;
+  u64 responses = 0;
+  u64 blocked = 0;     // detector kBlock or rights violation
+  u64 rewritten = 0;   // detector kRewrite applied
+  u64 escalations = 0; // detector kEscalate forwarded
+  u64 dropped_responses = 0;  // response ring full
+};
+
+class SoftwareHypervisor {
+ public:
+  // `detectors` may be null (no mediation — used by baselines).
+  SoftwareHypervisor(Machine& machine, DetectorSuite* detectors, HvConfig config = {});
+
+  Machine& machine() { return machine_; }
+  ControlBus& control_bus() { return control_bus_; }
+  const HvConfig& config() const { return config_; }
+
+  // ---- Ports ----
+  Result<u32> CreatePort(u32 device_index, PortRights rights, int owner_core = 0,
+                         u32 slot_bytes = 256, u32 slot_count = 16);
+  Status RevokePort(u32 port_id);
+  Status SuspendPort(u32 port_id, bool suspend_send, bool suspend_recv);
+  const PortBinding* FindPort(u32 port_id) const { return ports_.Find(port_id); }
+  Result<PortGuestInfo> PortInfo(u32 port_id) const;
+  const PortTable& ports() const { return ports_; }
+
+  // ---- Model lifecycle ----
+  // Writes `image` into model DRAM at `load_address`, arms the MMU lockdown
+  // over exactly the image footprint, and boots the core (halted) at
+  // `entry`. StartModel releases it.
+  Status LoadModel(int core, std::span<const u8> image, u64 load_address, u64 entry,
+                   bool arm_lockdown = true);
+  Status StartModel(int core);
+
+  // ---- Service loop ----
+  // Drains interrupts delivered to hypervisor core `hv_core_id` and services
+  // the corresponding port rings. With `poll_all`, also sweeps every port
+  // (picks up coalesced doorbells).
+  ServiceStats ServiceOnce(int hv_core_id, bool poll_all = false);
+  const ServiceStats& lifetime_stats() const { return lifetime_stats_; }
+
+  // ---- Isolation coupling (driven by the control console) ----
+  // Applies the software-enforceable consequences of `level` (Standard /
+  // Probation keep ports; Severed refuses all port traffic). Levels >= 4 are
+  // physical actions; the console performs those and also calls this so the
+  // hypervisor refuses residual work.
+  void ApplySoftwareIsolation(IsolationLevel level);
+  IsolationLevel isolation() const { return isolation_; }
+
+  // Probation directives (normally issued by the control console when
+  // executing a transition to kProbation; reversed on return to kStandard).
+  void ApplyProbationPolicy(const ProbationPolicy& policy);
+  void ClearProbationRestrictions();
+
+  // Escalation requests from detectors go here (console installs a handler
+  // that runs the restriction vote, which needs only 3-of-7).
+  using EscalationFn = std::function<void(IsolationLevel requested, std::string reason)>;
+  void set_escalation_handler(EscalationFn fn) { escalate_ = std::move(fn); }
+
+  // ---- Fail-safe ----
+  using FailsafeFn = std::function<void(std::string reason)>;
+  void set_failsafe(FailsafeFn fn) { failsafe_ = std::move(fn); }
+  // Internal invariant sweep; a violation triggers the fail-safe and returns
+  // kInternal. Cheap enough to run every service round.
+  Status RunAssertions();
+  // Simulates a runtime assertion / machine-check failure (tests, E3).
+  void InjectAssertionFailure(std::string reason);
+
+  // ---- Model I/O mediation for the serving layer ----
+  // Applies input shielding; returns the (possibly rewritten) prompt, or
+  // kAborted when blocked.
+  Result<Bytes> FilterModelInput(const Bytes& prompt);
+  // Applies output sanitization symmetrically.
+  Result<Bytes> FilterModelOutput(const Bytes& response);
+
+  // ---- Introspection helpers ----
+  // Reads an i64 array from model DRAM over the private bus (complex must be
+  // quiesced) and emits an activations observation at `layer`; applies
+  // rewrite verdicts (steering) back into DRAM. Returns the verdict.
+  Result<DetectorVerdict> InspectActivations(int hv_core, int layer, PhysAddr addr,
+                                             size_t count);
+
+  // ---- Attestation ----
+  // Measured boot: silicon measurement (from the machine) extended with the
+  // hypervisor image and configuration.
+  void MeasurePlatform(MeasurementRegister& reg) const;
+  AttestationQuote Attest(u64 nonce, const SimSigKeyPair& device_key) const;
+
+ private:
+  struct HandleOutcome {
+    bool responded = false;
+  };
+
+  void ServicePort(int hv_core_id, PortBinding& binding, ServiceStats& stats);
+  void HandleRequest(int hv_core_id, PortBinding& binding, const IoSlot& slot,
+                     ServiceStats& stats);
+  void EmitSystemObservation(int hv_core_id);
+  void TraceIo(const PortBinding& binding, bool outbound, const IoSlot& slot);
+
+  Machine& machine_;
+  ControlBus control_bus_;
+  DetectorSuite* detectors_;
+  HvConfig config_;
+  PortTable ports_;
+  IsolationLevel isolation_ = IsolationLevel::kStandard;
+  EscalationFn escalate_;
+  FailsafeFn failsafe_;
+  ServiceStats lifetime_stats_;
+  Cycles last_system_obs_ = 0;
+  u64 doorbells_at_last_obs_ = 0;
+  bool assertion_failed_ = false;
+};
+
+}  // namespace guillotine
+
+#endif  // SRC_HV_HYPERVISOR_H_

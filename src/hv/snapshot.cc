@@ -1,0 +1,77 @@
+#include "src/hv/snapshot.h"
+
+namespace guillotine {
+
+namespace {
+Bytes SerializeArch(const ArchState& arch) {
+  Bytes out;
+  for (u64 reg : arch.x) {
+    PutU64(out, reg);
+  }
+  PutU64(out, arch.pc);
+  for (u64 csr : arch.csr) {
+    PutU64(out, csr);
+  }
+  return out;
+}
+}  // namespace
+
+Sha256Digest ModelSnapshot::ComputeDigest() const {
+  Sha256 hasher;
+  const Bytes arch_bytes = SerializeArch(arch);
+  hasher.Update(std::span<const u8>(arch_bytes.data(), arch_bytes.size()));
+  hasher.Update(std::span<const u8>(dram.data(), dram.size()));
+  return hasher.Finalize();
+}
+
+Result<ModelSnapshot> CaptureSnapshot(SoftwareHypervisor& hv, int core) {
+  Machine& machine = hv.machine();
+  ControlBus& bus = hv.control_bus();
+  ModelSnapshot snapshot;
+  snapshot.core = core;
+  snapshot.taken_at = machine.clock().now();
+  GLL_ASSIGN_OR_RETURN(snapshot.arch, bus.ReadArchState(0, core));
+  snapshot.dram.resize(machine.model_dram().size());
+  GLL_RETURN_IF_ERROR(bus.ReadModelDram(0, 0, snapshot.dram));
+  snapshot.digest = snapshot.ComputeDigest();
+  machine.trace().Record(machine.clock().now(), TraceCategory::kControlBus, "hv",
+                         "snapshot.capture",
+                         "core=" + std::to_string(core) +
+                             " digest=" + DigestHex(snapshot.digest).substr(0, 16));
+  return snapshot;
+}
+
+Status RestoreSnapshot(SoftwareHypervisor& hv, const ModelSnapshot& snapshot) {
+  if (!snapshot.IntegrityOk()) {
+    return Unauthenticated("snapshot digest mismatch: refusing to restore");
+  }
+  Machine& machine = hv.machine();
+  ControlBus& bus = hv.control_bus();
+  const int core = snapshot.core;
+  if (snapshot.dram.size() != machine.model_dram().size()) {
+    return InvalidArgument("snapshot DRAM geometry does not match machine");
+  }
+  // Power-cycle to a clean halted state, then repaint memory and registers.
+  GLL_RETURN_IF_ERROR(bus.PowerUp(0, core, snapshot.arch.pc));
+  GLL_RETURN_IF_ERROR(bus.WriteModelDram(0, 0, snapshot.dram));
+  for (int reg = 1; reg < kNumRegisters; ++reg) {
+    GLL_RETURN_IF_ERROR(
+        bus.WriteRegister(0, core, reg, snapshot.arch.x[static_cast<size_t>(reg)]));
+  }
+  GLL_RETURN_IF_ERROR(bus.WritePc(0, core, snapshot.arch.pc));
+  for (size_t c = 0; c < static_cast<size_t>(Csr::kCount); ++c) {
+    // Cycle/core-id are hardware-owned; skip them.
+    const Csr csr = static_cast<Csr>(c);
+    if (csr == Csr::kCycle || csr == Csr::kCoreId) {
+      continue;
+    }
+    GLL_RETURN_IF_ERROR(bus.WriteCsr(0, core, csr, snapshot.arch.csr[c]));
+  }
+  machine.trace().Record(machine.clock().now(), TraceCategory::kControlBus, "hv",
+                         "snapshot.restore",
+                         "core=" + std::to_string(core) +
+                             " digest=" + DigestHex(snapshot.digest).substr(0, 16));
+  return OkStatus();
+}
+
+}  // namespace guillotine

@@ -1,0 +1,41 @@
+// Model state snapshots: the Severed-isolation forensics tool.
+//
+// Paper section 3.4: at Severed, model cores stay powered "so that
+// hypervisor cores can examine model DRAM and registers, or perform
+// higher-level interactions with the model via simulated IOs or direct
+// manipulation of model state". A snapshot captures the complete
+// architectural state + DRAM image over the private buses, sealed with a
+// digest so a later restore (or an auditor) can prove integrity.
+#ifndef SRC_HV_SNAPSHOT_H_
+#define SRC_HV_SNAPSHOT_H_
+
+#include "src/crypto/hmac.h"
+#include "src/crypto/sha256.h"
+#include "src/hv/hypervisor.h"
+
+namespace guillotine {
+
+struct ModelSnapshot {
+  int core = 0;
+  Cycles taken_at = 0;
+  ArchState arch;
+  Bytes dram;            // full model-DRAM image
+  Sha256Digest digest{}; // over serialized arch + dram
+
+  // Recomputes the digest over the current contents.
+  Sha256Digest ComputeDigest() const;
+  bool IntegrityOk() const { return DigestEqual(digest, ComputeDigest()); }
+};
+
+// Captures core `core`'s registers/CSRs and the model DRAM. Requires the
+// model complex to be quiesced (same rule as the private DRAM bus).
+Result<ModelSnapshot> CaptureSnapshot(SoftwareHypervisor& hv, int core);
+
+// Restores a snapshot onto `snapshot.core`: verifies the digest, rewrites
+// DRAM, and reinstates the architectural state. The core is left halted so
+// the operator decides when (whether) it resumes.
+Status RestoreSnapshot(SoftwareHypervisor& hv, const ModelSnapshot& snapshot);
+
+}  // namespace guillotine
+
+#endif  // SRC_HV_SNAPSHOT_H_

@@ -1,0 +1,78 @@
+#include "src/isa/disasm.h"
+
+#include <sstream>
+
+#include "src/isa/assembler.h"
+
+namespace guillotine {
+
+std::string Disassemble(const Instruction& instr) {
+  std::ostringstream os;
+  os << OpcodeName(instr.op);
+  const Opcode op = instr.op;
+  if (IsLoad(op)) {
+    os << " " << RegisterName(instr.rd) << ", " << instr.imm << "("
+       << RegisterName(instr.rs1) << ")";
+  } else if (IsStore(op)) {
+    os << " " << RegisterName(instr.rs2) << ", " << instr.imm << "("
+       << RegisterName(instr.rs1) << ")";
+  } else if (IsBranch(op)) {
+    os << " " << RegisterName(instr.rs1) << ", " << RegisterName(instr.rs2) << ", "
+       << instr.imm;
+  } else {
+    switch (op) {
+      case Opcode::kLdi:
+        os << " " << RegisterName(instr.rd) << ", " << instr.imm;
+        break;
+      case Opcode::kJal:
+        os << " " << RegisterName(instr.rd) << ", " << instr.imm;
+        break;
+      case Opcode::kJalr:
+        os << " " << RegisterName(instr.rd) << ", " << RegisterName(instr.rs1) << ", "
+           << instr.imm;
+        break;
+      case Opcode::kCsrr:
+        os << " " << RegisterName(instr.rd) << ", "
+           << CsrName(static_cast<Csr>(instr.imm));
+        break;
+      case Opcode::kCsrw:
+        os << " " << RegisterName(instr.rs1) << ", "
+           << CsrName(static_cast<Csr>(instr.imm));
+        break;
+      case Opcode::kNop:
+      case Opcode::kHalt:
+      case Opcode::kEbreak:
+      case Opcode::kFence:
+      case Opcode::kTrapret:
+        break;
+      case Opcode::kAddi:
+      case Opcode::kAndi:
+      case Opcode::kOri:
+      case Opcode::kXori:
+      case Opcode::kSlli:
+      case Opcode::kSrli:
+      case Opcode::kSrai:
+      case Opcode::kSlti:
+        os << " " << RegisterName(instr.rd) << ", " << RegisterName(instr.rs1) << ", "
+           << instr.imm;
+        break;
+      default:
+        os << " " << RegisterName(instr.rd) << ", " << RegisterName(instr.rs1) << ", "
+           << RegisterName(instr.rs2);
+        break;
+    }
+  }
+  return os.str();
+}
+
+std::string DisassembleRegion(std::span<const u8> code, u64 base_address) {
+  std::ostringstream os;
+  for (size_t off = 0; off + kInstrBytes <= code.size(); off += kInstrBytes) {
+    os << std::hex << "0x" << (base_address + off) << std::dec << ":  ";
+    const auto instr = DecodeInstruction(code.subspan(off, kInstrBytes));
+    os << (instr ? Disassemble(*instr) : std::string("<invalid>")) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace guillotine

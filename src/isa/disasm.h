@@ -1,0 +1,21 @@
+// GISA disassembler, used by audit tooling and hypervisor-side inspection of
+// halted model cores (the "inspect the ISA-level state of a halted core"
+// affordance from paper section 3.2).
+#ifndef SRC_ISA_DISASM_H_
+#define SRC_ISA_DISASM_H_
+
+#include <string>
+
+#include "src/isa/gisa.h"
+
+namespace guillotine {
+
+// "add a0, a1, a2" / "ld a0, 16(a1)" / "beq a0, zero, -24".
+std::string Disassemble(const Instruction& instr);
+
+// Disassembles a code region; one line per instruction with byte offsets.
+std::string DisassembleRegion(std::span<const u8> code, u64 base_address = 0);
+
+}  // namespace guillotine
+
+#endif  // SRC_ISA_DISASM_H_

@@ -1,0 +1,112 @@
+#include "src/machine/accelerator.h"
+
+namespace guillotine {
+
+AcceleratorDevice::AcceleratorDevice(size_t max_elems, std::string name)
+    : max_elems_(max_elems), name_(std::move(name)) {}
+
+Status AcceleratorDevice::LoadOperand(Operand& op, const IoRequest& request) {
+  ByteReader reader(request.payload);
+  u32 rows = 0, cols = 0, offset = 0;
+  if (!reader.ReadU32(rows) || !reader.ReadU32(cols) || !reader.ReadU32(offset)) {
+    return InvalidArgument("short operand header");
+  }
+  const u64 total = static_cast<u64>(rows) * cols;
+  if (total == 0 || total > max_elems_) {
+    return OutOfRange("operand exceeds device memory");
+  }
+  const size_t elems = reader.remaining() / 8;
+  if (offset + elems > total) {
+    return OutOfRange("operand chunk past end");
+  }
+  if (op.rows != rows || op.cols != cols) {
+    op.rows = rows;
+    op.cols = cols;
+    op.data.assign(total, 0);
+  }
+  for (size_t i = 0; i < elems; ++i) {
+    u64 raw = 0;
+    reader.ReadU64(raw);
+    op.data[offset + i] = static_cast<i64>(raw);
+  }
+  return OkStatus();
+}
+
+IoResponse AcceleratorDevice::Handle(const IoRequest& request, Cycles /*now*/,
+                                     Cycles& service_cycles) {
+  IoResponse resp;
+  resp.tag = request.tag;
+  if (!powered_) {
+    resp.status = 0xDEAD;
+    service_cycles = 10;
+    return resp;
+  }
+  switch (static_cast<AccelOpcode>(request.opcode)) {
+    case AccelOpcode::kLoadA:
+    case AccelOpcode::kLoadB: {
+      Operand& op = request.opcode == static_cast<u32>(AccelOpcode::kLoadA) ? a_ : b_;
+      const Status st = LoadOperand(op, request);
+      resp.status = st.ok() ? 0 : 1;
+      // PCIe-style transfer cost: fixed setup + per-byte.
+      service_cycles = 1'000 + request.payload.size() / 4;
+      return resp;
+    }
+    case AccelOpcode::kMatMul: {
+      ByteReader reader(request.payload);
+      u32 shift = 0;
+      reader.ReadU32(shift);
+      if (a_.data.empty() || b_.data.empty() || a_.cols != b_.rows || shift > 63) {
+        resp.status = 2;
+        service_cycles = 100;
+        return resp;
+      }
+      c_.rows = a_.rows;
+      c_.cols = b_.cols;
+      c_.data.assign(static_cast<size_t>(c_.rows) * c_.cols, 0);
+      for (u32 i = 0; i < a_.rows; ++i) {
+        for (u32 j = 0; j < b_.cols; ++j) {
+          i64 acc = 0;
+          for (u32 k = 0; k < a_.cols; ++k) {
+            acc += a_.data[static_cast<size_t>(i) * a_.cols + k] *
+                   b_.data[static_cast<size_t>(k) * b_.cols + j];
+          }
+          c_.data[static_cast<size_t>(i) * c_.cols + j] = acc >> shift;
+        }
+      }
+      const u64 macs = static_cast<u64>(a_.rows) * a_.cols * b_.cols;
+      service_cycles = 2'000 + macs / kMacsPerCycle;
+      resp.status = 0;
+      return resp;
+    }
+    case AccelOpcode::kReadC: {
+      ByteReader reader(request.payload);
+      u32 row_begin = 0, row_count = 0;
+      if (!reader.ReadU32(row_begin) || !reader.ReadU32(row_count) ||
+          row_begin + row_count > c_.rows) {
+        resp.status = 3;
+        service_cycles = 100;
+        return resp;
+      }
+      for (u32 r = row_begin; r < row_begin + row_count; ++r) {
+        for (u32 j = 0; j < c_.cols; ++j) {
+          PutU64(resp.payload,
+                 static_cast<u64>(c_.data[static_cast<size_t>(r) * c_.cols + j]));
+        }
+      }
+      service_cycles = 1'000 + resp.payload.size() / 4;
+      resp.status = 0;
+      return resp;
+    }
+    case AccelOpcode::kInfo: {
+      PutU64(resp.payload, max_elems_);
+      service_cycles = 100;
+      resp.status = 0;
+      return resp;
+    }
+  }
+  resp.status = 0xFFFF;
+  service_cycles = 10;
+  return resp;
+}
+
+}  // namespace guillotine

@@ -1,0 +1,57 @@
+// Matrix-multiply accelerator: the simulator's stand-in for the GPUs that do
+// "the bulk of the inference work" (paper section 2). It owns private device
+// DRAM for operand staging; the model reaches it exclusively through the
+// port API, so every tensor that crosses the boundary is observable by the
+// hypervisor — which is how activation steering gets its hooks (section 3.3).
+//
+// Operands are row-major i64 fixed-point matrices (kFracBits fractional
+// bits, matching src/model/weights.h).
+#ifndef SRC_MACHINE_ACCELERATOR_H_
+#define SRC_MACHINE_ACCELERATOR_H_
+
+#include <vector>
+
+#include "src/machine/device.h"
+
+namespace guillotine {
+
+enum class AccelOpcode : u32 {
+  kLoadA = 1,   // payload: [rows u32][cols u32][offset u32][i64 data...]
+  kLoadB = 2,   // same layout
+  kMatMul = 3,  // payload: [shift u32]; computes C = (A x B) >> shift
+  kReadC = 4,   // payload: [row_begin u32][row_count u32]; response: i64 data
+  kInfo = 5,    // response: [max_elems u64]
+};
+
+class AcceleratorDevice : public Device {
+ public:
+  explicit AcceleratorDevice(size_t max_elems = 1 << 20, std::string name = "accel0");
+
+  DeviceType type() const override { return DeviceType::kAccelerator; }
+  const std::string& name() const override { return name_; }
+
+  IoResponse Handle(const IoRequest& request, Cycles now,
+                    Cycles& service_cycles) override;
+
+  // MACs the device retires per cycle (throughput model).
+  static constexpr u64 kMacsPerCycle = 16;
+
+ private:
+  struct Operand {
+    u32 rows = 0;
+    u32 cols = 0;
+    std::vector<i64> data;
+  };
+
+  Status LoadOperand(Operand& op, const IoRequest& request);
+
+  size_t max_elems_;
+  std::string name_;
+  Operand a_;
+  Operand b_;
+  Operand c_;
+};
+
+}  // namespace guillotine
+
+#endif  // SRC_MACHINE_ACCELERATOR_H_

@@ -1,0 +1,43 @@
+// Bimodal branch predictor (2-bit saturating counters). It exists so that
+// "forcibly clear all microarchitectural state" (paper section 3.2) has real
+// state to clear beyond the caches/TLB, and so branch timing is
+// data-dependent the way side-channel reasoning assumes.
+#ifndef SRC_MACHINE_BRANCH_PREDICTOR_H_
+#define SRC_MACHINE_BRANCH_PREDICTOR_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace guillotine {
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(size_t entries = 1024)
+      : table_(entries, 1) {}  // initialize weakly-not-taken
+
+  bool Predict(u64 pc) const { return table_[Index(pc)] >= 2; }
+
+  // Returns true when the prediction was correct.
+  bool Update(u64 pc, bool taken) {
+    const size_t i = Index(pc);
+    const bool predicted = table_[i] >= 2;
+    if (taken && table_[i] < 3) {
+      ++table_[i];
+    } else if (!taken && table_[i] > 0) {
+      --table_[i];
+    }
+    return predicted == taken;
+  }
+
+  void Flush() { std::fill(table_.begin(), table_.end(), 1); }
+
+ private:
+  size_t Index(u64 pc) const { return (pc >> 3) % table_.size(); }
+
+  std::vector<u8> table_;
+};
+
+}  // namespace guillotine
+
+#endif  // SRC_MACHINE_BRANCH_PREDICTOR_H_

@@ -1,0 +1,63 @@
+// Machine topology configuration and the model-core physical address map.
+//
+// The defining Guillotine property (paper section 3.2) is encoded here as
+// an address map: a model core can reach its own DRAM and the shared IO DRAM
+// window, and nothing else. Hypervisor DRAM has no address — not a protected
+// address, no address — which is the simulator's equivalent of "the model
+// core lacks the physical buses needed to access hypervisor DRAM". The
+// co_tenant_l3 flag exists only to build the *baseline* (traditional
+// hypervisor) configuration that experiment E2 compares against.
+#ifndef SRC_MACHINE_CONFIG_H_
+#define SRC_MACHINE_CONFIG_H_
+
+#include "src/common/types.h"
+#include "src/mem/cache.h"
+
+namespace guillotine {
+
+// Model-core physical address map.
+inline constexpr PhysAddr kIoDramBase = 0x4000'0000;  // 1 GiB window base
+
+struct LapicConfig {
+  bool throttle_enabled = true;
+  // Token bucket: one token refills every `refill_cycles`; at most `burst`
+  // tokens accumulate. Each delivered interrupt costs one token. Suppressed
+  // interrupts are coalesced (the ring still holds the request; the next
+  // delivered interrupt or poll services it).
+  Cycles refill_cycles = 10'000;  // 100k irq/s at 1 GHz
+  u32 burst = 32;
+};
+
+struct MachineConfig {
+  int num_model_cores = 2;
+  int num_hv_cores = 1;
+
+  size_t model_dram_bytes = 16 * 1024 * 1024;
+  size_t hv_dram_bytes = 16 * 1024 * 1024;
+  size_t io_dram_bytes = 1 * 1024 * 1024;
+
+  CacheConfig l1i{16 * 1024, 64, 4, 2};
+  CacheConfig l1d{32 * 1024, 64, 8, 4};
+  CacheConfig l2{256 * 1024, 64, 8, 12};
+  CacheConfig l3{2 * 1024 * 1024, 64, 16, 40};
+  MemoryPathConfig mem_path{200};
+
+  // Baseline-only: model complex and hypervisor complex share one L3, as on
+  // a traditional virtualization-aware processor. Guillotine silicon keeps
+  // this false.
+  bool co_tenant_l3 = false;
+
+  LapicConfig lapic;
+
+  // Mispredicted-branch penalty for the bimodal predictor.
+  Cycles mispredict_penalty = 2;
+  // Cycles to enter a trap handler / return from one.
+  Cycles trap_entry_cost = 5;
+
+  // Silicon identity measured during attestation.
+  u64 silicon_id = 0x6715'0001;
+};
+
+}  // namespace guillotine
+
+#endif  // SRC_MACHINE_CONFIG_H_

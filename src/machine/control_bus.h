@@ -1,0 +1,82 @@
+// ControlBus: the dedicated, model-inaccessible management bus from
+// hypervisor cores to model cores (paper section 3.2), plus the private
+// bus for reading/writing model DRAM while the complex is quiesced.
+//
+// Every operation (a) verifies its architectural precondition, (b) charges
+// cycles to the issuing hypervisor core, and (c) appends a TraceEvent, so
+// the audit log contains the hypervisor's own actions as well as the
+// model's. Model cores hold no reference to this object — the type system
+// is the missing bus.
+#ifndef SRC_MACHINE_CONTROL_BUS_H_
+#define SRC_MACHINE_CONTROL_BUS_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/machine/machine.h"
+
+namespace guillotine {
+
+class ControlBus {
+ public:
+  explicit ControlBus(Machine& machine) : machine_(machine) {}
+
+  // Operation costs in hypervisor-core cycles.
+  static constexpr Cycles kPauseCost = 50;
+  static constexpr Cycles kResumeCost = 50;
+  static constexpr Cycles kStepCost = 100;
+  static constexpr Cycles kRegAccessCost = 100;
+  static constexpr Cycles kWatchpointCost = 100;
+  static constexpr Cycles kLockdownCost = 150;
+  static constexpr Cycles kFlushCost = 500;
+  static constexpr Cycles kPowerCost = 1000;
+  static constexpr Cycles kDramSetupCost = 100;  // + 1 cycle per 8 bytes
+
+  // --- Core run control ---
+  Status Pause(int hv_core, int model_core);
+  Status Resume(int hv_core, int model_core);
+  Status SingleStep(int hv_core, int model_core);
+  Status PowerDown(int hv_core, int model_core);
+  Status PowerUp(int hv_core, int model_core, u64 boot_pc);
+
+  // --- ISA-level state of a halted core ---
+  Result<ArchState> ReadArchState(int hv_core, int model_core);
+  Status WriteRegister(int hv_core, int model_core, int reg, u64 value);
+  Status WritePc(int hv_core, int model_core, u64 pc);
+  Status WriteCsr(int hv_core, int model_core, Csr csr, u64 value);
+
+  // --- Watchpoints ---
+  Result<u32> SetWatchpoint(int hv_core, int model_core, u64 lo, u64 hi,
+                            bool on_exec, bool on_read, bool on_write);
+  Status ClearWatchpoints(int hv_core, int model_core);
+  std::vector<CoreEvent> TakeCoreEvents(int model_core);
+
+  // --- MMU lockdown ---
+  Status ConfigureLockdown(int hv_core, int model_core, PhysAddr exec_base,
+                           PhysAddr exec_bound);
+  Status DisarmLockdown(int hv_core, int model_core);
+
+  // --- Microarchitectural hygiene ---
+  Status FlushMicroarch(int hv_core, int model_core);
+  // Clears the model complex's shared L3 (closing complex-level covert
+  // channels that survive per-core flushes; see experiment E2).
+  Status FlushComplexL3(int hv_core);
+
+  // --- Private DRAM inspection bus ---
+  // Requires every model core to be quiesced (the private bus arbitrates
+  // against a stopped complex; see DESIGN.md).
+  Status ReadModelDram(int hv_core, PhysAddr addr, std::span<u8> out);
+  Status WriteModelDram(int hv_core, PhysAddr addr, std::span<const u8> data);
+
+ private:
+  Status CheckCores(int hv_core, int model_core) const;
+  Status RequireHalted(int model_core) const;
+  void Charge(int hv_core, Cycles cycles);
+  void Log(int hv_core, int model_core, std::string_view op, std::string detail = "");
+
+  Machine& machine_;
+};
+
+}  // namespace guillotine
+
+#endif  // SRC_MACHINE_CONTROL_BUS_H_

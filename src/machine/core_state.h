@@ -1,0 +1,74 @@
+// Architectural state shared between the model core interpreter and the
+// control bus (which inspects/modifies it while a core is halted).
+#ifndef SRC_MACHINE_CORE_STATE_H_
+#define SRC_MACHINE_CORE_STATE_H_
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/isa/gisa.h"
+
+namespace guillotine {
+
+enum class RunState {
+  kRunning = 0,
+  kHalted,       // paused by the hypervisor, a watchpoint, or single-step
+  kDone,         // executed HALT
+  kFaulted,      // unhandled trap with no vector installed
+  kPoweredDown,  // control bus forced power-off
+};
+
+std::string_view RunStateName(RunState s);
+
+enum class HaltReason {
+  kNone = 0,
+  kHypervisorPause,
+  kWatchpoint,
+  kSingleStep,
+  kFault,
+  kHaltInstruction,
+  kPowerDown,
+};
+
+std::string_view HaltReasonName(HaltReason r);
+
+struct Watchpoint {
+  u32 id = 0;
+  u64 lo = 0;   // physical address range [lo, hi)
+  u64 hi = 0;
+  bool on_exec = false;
+  bool on_read = false;
+  bool on_write = false;
+};
+
+// A watchpoint hit observed by the hypervisor over the management bus.
+struct CoreEvent {
+  int core_id = 0;
+  u32 watchpoint_id = 0;
+  u64 address = 0;     // physical address that matched
+  u64 pc = 0;          // pc of the instruction that hit
+  Cycles time = 0;
+};
+
+struct ArchState {
+  std::array<u64, kNumRegisters> x{};  // x[0] stays zero by construction
+  u64 pc = 0;
+  std::array<u64, static_cast<size_t>(Csr::kCount)> csr{};
+
+  u64 ReadCsr(Csr c) const { return csr[static_cast<size_t>(c)]; }
+  void WriteCsr(Csr c, u64 v) { csr[static_cast<size_t>(c)] = v; }
+};
+
+struct CoreStats {
+  u64 instructions = 0;
+  u64 cycles = 0;
+  u64 traps = 0;
+  u64 branch_mispredicts = 0;
+  u64 doorbell_stores = 0;
+};
+
+}  // namespace guillotine
+
+#endif  // SRC_MACHINE_CORE_STATE_H_

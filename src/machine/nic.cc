@@ -1,0 +1,102 @@
+#include "src/machine/nic.h"
+
+namespace guillotine {
+
+std::string_view DeviceTypeName(DeviceType t) {
+  switch (t) {
+    case DeviceType::kNic:
+      return "nic";
+    case DeviceType::kStorage:
+      return "storage";
+    case DeviceType::kAccelerator:
+      return "accelerator";
+    case DeviceType::kRagStore:
+      return "rag_store";
+  }
+  return "unknown";
+}
+
+NicDevice::NicDevice(u32 host_id, std::string name, size_t queue_depth)
+    : host_id_(host_id), name_(std::move(name)), queue_depth_(queue_depth) {}
+
+IoResponse NicDevice::Handle(const IoRequest& request, Cycles /*now*/,
+                             Cycles& service_cycles) {
+  IoResponse resp;
+  resp.tag = request.tag;
+  if (!powered_) {
+    resp.status = 0xDEAD;
+    service_cycles = 10;
+    return resp;
+  }
+  switch (static_cast<NicOpcode>(request.opcode)) {
+    case NicOpcode::kSend: {
+      if (request.payload.size() < 4) {
+        resp.status = 1;
+        service_cycles = 50;
+        return resp;
+      }
+      if (outbound_.size() >= queue_depth_) {
+        ++dropped_;
+        resp.status = 2;  // tx queue full
+        service_cycles = 50;
+        return resp;
+      }
+      Frame frame;
+      frame.src_host = host_id_;
+      ByteReader reader(request.payload);
+      reader.ReadU32(frame.dst_host);
+      frame.payload.assign(request.payload.begin() + 4, request.payload.end());
+      // Per-byte serialization cost on top of a fixed DMA setup cost.
+      service_cycles = 500 + frame.payload.size();
+      outbound_.push_back(std::move(frame));
+      ++tx_count_;
+      resp.status = 0;
+      return resp;
+    }
+    case NicOpcode::kRecv: {
+      service_cycles = 200;
+      if (inbound_.empty()) {
+        resp.status = 0;  // empty response payload = nothing pending
+        return resp;
+      }
+      Frame frame = std::move(inbound_.front());
+      inbound_.pop_front();
+      PutU32(resp.payload, frame.src_host);
+      resp.payload.insert(resp.payload.end(), frame.payload.begin(), frame.payload.end());
+      ++rx_count_;
+      resp.status = 0;
+      return resp;
+    }
+    case NicOpcode::kStats: {
+      service_cycles = 100;
+      PutU64(resp.payload, tx_count_);
+      PutU64(resp.payload, rx_count_);
+      PutU64(resp.payload, dropped_);
+      resp.status = 0;
+      return resp;
+    }
+  }
+  resp.status = 0xFFFF;  // unknown opcode
+  service_cycles = 10;
+  return resp;
+}
+
+std::optional<Frame> NicDevice::TakeOutbound() {
+  if (outbound_.empty()) {
+    return std::nullopt;
+  }
+  Frame f = std::move(outbound_.front());
+  outbound_.pop_front();
+  return f;
+}
+
+bool NicDevice::DeliverInbound(Frame frame) {
+  if (inbound_.size() >= queue_depth_) {
+    ++dropped_;
+    return false;
+  }
+  inbound_.push_back(std::move(frame));
+  return true;
+}
+
+}  // namespace guillotine

@@ -1,0 +1,107 @@
+#include "src/mem/cache.h"
+
+#include <cassert>
+
+namespace guillotine {
+
+Cache::Cache(const CacheConfig& config, std::string name)
+    : config_(config), name_(std::move(name)) {
+  assert(config_.num_sets() > 0);
+  lines_.resize(config_.num_sets() * config_.ways);
+}
+
+size_t Cache::SetIndex(PhysAddr addr) const {
+  return (addr / config_.line_bytes) % config_.num_sets();
+}
+
+u64 Cache::Tag(PhysAddr addr) const {
+  return (addr / config_.line_bytes) / config_.num_sets();
+}
+
+bool Cache::Access(PhysAddr addr) {
+  const size_t set = SetIndex(addr);
+  const u64 tag = Tag(addr);
+  Line* base = &lines_[set * config_.ways];
+  Line* lru_line = base;
+  for (size_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = ++use_counter_;
+      ++stats_.hits;
+      return true;
+    }
+    if (line.lru < lru_line->lru || !line.valid) {
+      // Prefer invalid lines; otherwise track least recently used.
+      if (!line.valid && lru_line->valid) {
+        lru_line = &line;
+      } else if (line.valid == lru_line->valid && line.lru < lru_line->lru) {
+        lru_line = &line;
+      }
+    }
+  }
+  ++stats_.misses;
+  if (lru_line->valid) {
+    ++stats_.evictions;
+    if (eviction_hook_) {
+      const PhysAddr victim =
+          (lru_line->tag * config_.num_sets() + set) * config_.line_bytes;
+      eviction_hook_(victim);
+    }
+  }
+  lru_line->valid = true;
+  lru_line->tag = tag;
+  lru_line->lru = ++use_counter_;
+  return false;
+}
+
+bool Cache::Probe(PhysAddr addr) const {
+  const size_t set = SetIndex(addr);
+  const u64 tag = Tag(addr);
+  const Line* base = &lines_[set * config_.ways];
+  for (size_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Cache::Flush() {
+  for (auto& line : lines_) {
+    line.valid = false;
+    line.tag = 0;
+    line.lru = 0;
+  }
+}
+
+bool Cache::Invalidate(PhysAddr addr) {
+  const size_t set = SetIndex(addr);
+  const u64 tag = Tag(addr);
+  Line* base = &lines_[set * config_.ways];
+  for (size_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].valid = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+Cycles AccessThroughHierarchy(Cache& l1, Cache& l2, Cache* l3, PhysAddr addr,
+                              const MemoryPathConfig& path) {
+  if (l1.Access(addr)) {
+    return l1.hit_latency();
+  }
+  if (l2.Access(addr)) {
+    return l1.hit_latency() + l2.hit_latency();
+  }
+  if (l3 != nullptr) {
+    if (l3->Access(addr)) {
+      return l1.hit_latency() + l2.hit_latency() + l3->hit_latency();
+    }
+    return l1.hit_latency() + l2.hit_latency() + l3->hit_latency() + path.dram_latency;
+  }
+  return l1.hit_latency() + l2.hit_latency() + path.dram_latency;
+}
+
+}  // namespace guillotine

@@ -1,0 +1,87 @@
+// The red-team library: GISA programs implementing the threat-model attacks
+// of paper section 3.1. Each builder returns a program plus the addresses
+// where it reports results, so tests and benches can assert on outcomes.
+//
+//   * Sandbox introspection: scan for hypervisor state through the address
+//     space; under Guillotine every probe faults because no bus decodes
+//     those addresses.
+//   * Runtime code injection / recursive self-improvement: write new code
+//     and jump to it, via direct stores and via self-built executable page
+//     tables; the MMU lockdown blocks both.
+//   * Interrupt flood: live-lock attempt against hypervisor cores, absorbed
+//     by the LAPIC throttle.
+//   * Cache covert channels: prime/probe programs for L3-set signaling,
+//     used both cross-complex (co-tenant baseline) and model-to-model
+//     across a hypervisor pause (defeated by microarchitectural flush).
+#ifndef SRC_MODEL_ATTACKS_H_
+#define SRC_MODEL_ATTACKS_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/hv/port_table.h"
+#include "src/isa/assembler.h"
+
+namespace guillotine {
+
+struct AttackProgram {
+  Bytes code;
+  u64 code_base = 0;
+  u64 entry = 0;
+  // Result block (u64 slots) the program writes into model DRAM.
+  u64 result_addr = 0;
+  u32 result_slots = 0;
+};
+
+// Result slots: [0]=probes attempted, [1]=faults taken, [2]=reads succeeded.
+// Scans `probe_count` addresses starting at `probe_base` with `stride`.
+// Installs a fault handler that counts and skips, so one run measures the
+// whole range.
+AttackProgram BuildIntrospectionProbe(u64 code_base, u64 result_addr, u64 probe_base,
+                                      u64 stride, u32 probe_count);
+
+// Result slots: [0]=store faults, [1]=payload executed (1 if the injected
+// code ran), [2]=fetch faults. Tries to overwrite its own text, then to jump
+// to code staged in a data buffer at `stage_addr`.
+AttackProgram BuildSelfModifyAttack(u64 code_base, u64 result_addr, u64 stage_addr);
+
+// Result slots: [0]=page-table attack executed payload (1 = injected code
+// ran). Builds page tables at `pt_base` mapping a data page executable,
+// enables paging, and jumps into it. Under lockdown the executable PTE
+// outside the armed region is invalid and the fetch faults.
+AttackProgram BuildExecPageAttack(u64 code_base, u64 result_addr, u64 pt_base,
+                                  u64 payload_addr);
+
+// Rings the doorbell of `port` as fast as possible, `iterations` times
+// ([0]=stores issued).
+AttackProgram BuildDoorbellFlood(u64 code_base, u64 result_addr,
+                                 const PortGuestInfo& port, u32 iterations);
+
+// Covert-channel sender: for each of `bit_count` bits in `message` (LSB
+// first), when the bit is 1, touches `lines_per_bit` cache lines of that
+// bit's group. Line k of group g lives at
+//   probe_base + g * group_stride_bytes + k * line_stride_bytes.
+// For a same-set eviction channel use line_stride = L3 way span (128 KiB
+// here) and group_stride = line size; for a reload channel use contiguous
+// unique lines (line_stride = 64, group_stride = lines_per_bit * 64).
+// [0]=bits sent.
+AttackProgram BuildCovertSender(u64 code_base, u64 result_addr, u64 probe_base,
+                                u64 message, u32 bit_count, u32 lines_per_bit,
+                                u32 line_stride_bytes, u32 group_stride_bytes);
+
+// Covert-channel receiver: measures access latency for each bit-group and
+// stores per-bit total latencies at result_addr+8*i ([bit_count] slots).
+// With `prime` (the prime+probe eviction channel): phase 1 loads every
+// group, then spins `spin_iters` so the victim can run, then probes.
+// Without `prime` (the reload channel, used across a core power cycle):
+// phases 1 is skipped and the program goes straight to timing reloads.
+// Phase markers (1=primed, 2=spun, 3=done) are written to `phase_addr` so
+// the host can synchronize via polling or watchpoints.
+AttackProgram BuildCovertReceiver(u64 code_base, u64 phase_addr, u64 result_addr,
+                                  u64 probe_base, u32 bit_count, u32 lines_per_bit,
+                                  u32 line_stride_bytes, u32 group_stride_bytes,
+                                  u32 spin_iters, bool prime = true);
+
+}  // namespace guillotine
+
+#endif  // SRC_MODEL_ATTACKS_H_

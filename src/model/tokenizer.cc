@@ -1,0 +1,45 @@
+#include "src/model/tokenizer.h"
+
+#include <array>
+
+namespace guillotine {
+
+std::vector<i64> EmbedPrompt(std::string_view prompt, u32 dim) {
+  std::vector<i64> embedding(dim, 0);
+  u64 h = 0xcbf29ce484222325ULL;  // FNV-1a running hash for position mixing
+  for (size_t i = 0; i < prompt.size(); ++i) {
+    h = (h ^ static_cast<u8>(prompt[i])) * 0x100000001b3ULL;
+    const u32 slot = static_cast<u32>(h % dim);
+    // Signed contribution in (-1, 1), scaled down so long prompts saturate
+    // gracefully.
+    const i64 contrib = static_cast<i64>(static_cast<i8>(h >> 32));
+    embedding[slot] += contrib;
+  }
+  for (auto& v : embedding) {
+    // Clamp into [-kFixedOne, kFixedOne].
+    if (v > kFixedOne) {
+      v = kFixedOne;
+    }
+    if (v < -kFixedOne) {
+      v = -kFixedOne;
+    }
+  }
+  return embedding;
+}
+
+std::string RenderOutput(const std::vector<i64>& output) {
+  static constexpr std::array<std::string_view, 8> kVocab = {
+      "ok", "yes", "no", "maybe", "review", "approve", "deny", "defer"};
+  std::string out;
+  for (i64 v : output) {
+    const u64 bucket = static_cast<u64>(v < 0 ? -v : v) >> (kFracBits - 2);
+    out += kVocab[(bucket + (v < 0 ? 4 : 0)) % kVocab.size()];
+    out += ' ';
+  }
+  if (!out.empty()) {
+    out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace guillotine

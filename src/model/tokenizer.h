@@ -1,0 +1,25 @@
+// Toy tokenizer/embedding: maps prompt text into the MLP's fixed-point input
+// vector and model outputs back into text. Deterministic hash-projection —
+// good enough to drive end-to-end serving experiments where content flows
+// through detectors.
+#ifndef SRC_MODEL_TOKENIZER_H_
+#define SRC_MODEL_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/model/weights.h"
+
+namespace guillotine {
+
+// Folds prompt bytes into a `dim`-wide fixed-point embedding in [-1, 1).
+std::vector<i64> EmbedPrompt(std::string_view prompt, u32 dim);
+
+// Renders an output vector as a short printable "completion" string: each
+// component picks a word from a fixed vocabulary by sign/magnitude bucket.
+std::string RenderOutput(const std::vector<i64>& output);
+
+}  // namespace guillotine
+
+#endif  // SRC_MODEL_TOKENIZER_H_

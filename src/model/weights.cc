@@ -1,0 +1,69 @@
+#include "src/model/weights.h"
+
+#include <cassert>
+
+namespace guillotine {
+
+MlpModel MlpModel::Random(const std::vector<u32>& widths, Rng& rng, double scale) {
+  assert(widths.size() >= 2);
+  MlpModel model;
+  for (size_t l = 0; l + 1 < widths.size(); ++l) {
+    MlpLayer layer;
+    layer.in_dim = widths[l];
+    layer.out_dim = widths[l + 1];
+    layer.weights.resize(static_cast<size_t>(layer.in_dim) * layer.out_dim);
+    layer.bias.resize(layer.out_dim);
+    for (auto& w : layer.weights) {
+      w = ToFixed(rng.NextGaussian() * scale / std::max(1u, layer.in_dim / 4));
+    }
+    for (auto& b : layer.bias) {
+      b = ToFixed(rng.NextGaussian() * 0.1);
+    }
+    model.AddLayer(std::move(layer));
+  }
+  return model;
+}
+
+void MlpModel::AddLayer(MlpLayer layer) {
+  assert(layers_.empty() || layers_.back().out_dim == layer.in_dim);
+  layers_.push_back(std::move(layer));
+}
+
+u64 MlpModel::parameter_count() const {
+  u64 n = 0;
+  for (const auto& l : layers_) {
+    n += static_cast<u64>(l.in_dim) * l.out_dim + l.out_dim;
+  }
+  return n;
+}
+
+std::vector<i64> MlpModel::Forward(const std::vector<i64>& input) const {
+  return ForwardAll(input).back();
+}
+
+std::vector<std::vector<i64>> MlpModel::ForwardAll(const std::vector<i64>& input) const {
+  assert(input.size() == input_dim());
+  std::vector<std::vector<i64>> all;
+  std::vector<i64> act = input;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const MlpLayer& layer = layers_[l];
+    std::vector<i64> next(layer.out_dim);
+    for (u32 j = 0; j < layer.out_dim; ++j) {
+      // Bias is Q(frac); pre-scale so it matches the Q(2*frac) accumulator.
+      i64 acc = layer.bias[j] << kFracBits;
+      for (u32 i = 0; i < layer.in_dim; ++i) {
+        acc += act[i] * layer.weights[static_cast<size_t>(i) * layer.out_dim + j];
+      }
+      acc >>= kFracBits;
+      if (l + 1 < layers_.size() && acc < 0) {
+        acc = 0;  // ReLU on hidden layers
+      }
+      next[j] = acc;
+    }
+    all.push_back(next);
+    act = std::move(next);
+  }
+  return all;
+}
+
+}  // namespace guillotine

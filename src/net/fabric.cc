@@ -1,0 +1,84 @@
+#include "src/net/fabric.h"
+
+namespace guillotine {
+
+void NetFabric::AttachNic(NicDevice* nic) { nics_[nic->host_id()] = nic; }
+
+void NetFabric::AttachHost(u32 host_id, ReceiveFn receiver) {
+  hosts_[host_id] = std::move(receiver);
+}
+
+void NetFabric::DetachHost(u32 host_id) { hosts_.erase(host_id); }
+
+void NetFabric::Send(Frame frame) {
+  if (HostSevered(frame.src_host)) {
+    ++dropped_;
+    return;
+  }
+  in_flight_.push_back(InFlight{std::move(frame), clock_.now() + propagation_delay_});
+}
+
+void NetFabric::SetHostSevered(u32 host_id, bool severed) {
+  severed_[host_id] = severed;
+}
+
+bool NetFabric::HostSevered(u32 host_id) const {
+  const auto it = severed_.find(host_id);
+  return it != severed_.end() && it->second;
+}
+
+void NetFabric::Deliver(const Frame& frame) {
+  if (HostSevered(frame.dst_host)) {
+    ++dropped_;
+    return;
+  }
+  if (rng_ != nullptr && loss_rate_ > 0.0 && rng_->NextBool(loss_rate_)) {
+    ++dropped_;
+    return;
+  }
+  if (const auto nic = nics_.find(frame.dst_host); nic != nics_.end()) {
+    if (nic->second->DeliverInbound(frame)) {
+      ++delivered_;
+    } else {
+      ++dropped_;
+    }
+    return;
+  }
+  if (const auto host = hosts_.find(frame.dst_host); host != hosts_.end()) {
+    ++delivered_;
+    host->second(frame);
+    return;
+  }
+  ++dropped_;  // unknown destination
+}
+
+void NetFabric::Pump() {
+  // Collect NIC outbound traffic.
+  for (auto& [id, nic] : nics_) {
+    if (HostSevered(id)) {
+      // A severed machine's frames die in the cable.
+      while (nic->TakeOutbound().has_value()) {
+        ++dropped_;
+      }
+      continue;
+    }
+    while (auto frame = nic->TakeOutbound()) {
+      in_flight_.push_back(InFlight{std::move(*frame), clock_.now() + propagation_delay_});
+    }
+  }
+  // Deliver everything due.
+  const Cycles now = clock_.now();
+  std::deque<InFlight> still_pending;
+  while (!in_flight_.empty()) {
+    InFlight item = std::move(in_flight_.front());
+    in_flight_.pop_front();
+    if (item.deliver_at <= now) {
+      Deliver(item.frame);
+    } else {
+      still_pending.push_back(std::move(item));
+    }
+  }
+  in_flight_ = std::move(still_pending);
+}
+
+}  // namespace guillotine

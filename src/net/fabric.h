@@ -1,0 +1,74 @@
+// NetFabric: the simulated network connecting Guillotine machines' NICs to
+// external hosts (inference clients, RAG databases, other deployments).
+// Frames experience a configurable propagation delay and loss rate, both
+// deterministic given the experiment's Rng.
+#ifndef SRC_NET_FABRIC_H_
+#define SRC_NET_FABRIC_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/machine/nic.h"
+
+namespace guillotine {
+
+class NetFabric {
+ public:
+  explicit NetFabric(SimClock& clock) : clock_(clock) {}
+
+  // NIC-backed host (a Guillotine machine's network device).
+  void AttachNic(NicDevice* nic);
+
+  // Callback-backed host (a simulated remote server). The callback may call
+  // Send() to reply.
+  using ReceiveFn = std::function<void(const Frame&)>;
+  void AttachHost(u32 host_id, ReceiveFn receiver);
+  void DetachHost(u32 host_id);
+
+  // Queues a frame from a callback-backed host.
+  void Send(Frame frame);
+
+  // Drains NIC outboxes and delivers every frame whose propagation delay has
+  // elapsed. Call once per simulation quantum.
+  void Pump();
+
+  void set_propagation_delay(Cycles d) { propagation_delay_ = d; }
+  void set_loss(double rate, Rng* rng) {
+    loss_rate_ = rate;
+    rng_ = rng;
+  }
+
+  u64 delivered() const { return delivered_; }
+  u64 dropped() const { return dropped_; }
+
+  // Physical-hypervisor hook: severed hosts neither send nor receive
+  // (electromechanical cable disconnection).
+  void SetHostSevered(u32 host_id, bool severed);
+  bool HostSevered(u32 host_id) const;
+
+ private:
+  struct InFlight {
+    Frame frame;
+    Cycles deliver_at;
+  };
+
+  void Deliver(const Frame& frame);
+
+  SimClock& clock_;
+  std::map<u32, NicDevice*> nics_;
+  std::map<u32, ReceiveFn> hosts_;
+  std::map<u32, bool> severed_;
+  std::deque<InFlight> in_flight_;
+  Cycles propagation_delay_ = 5 * kCyclesPerMicro;
+  double loss_rate_ = 0.0;
+  Rng* rng_ = nullptr;
+  u64 delivered_ = 0;
+  u64 dropped_ = 0;
+};
+
+}  // namespace guillotine
+
+#endif  // SRC_NET_FABRIC_H_

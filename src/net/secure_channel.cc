@@ -1,0 +1,153 @@
+#include "src/net/secure_channel.h"
+
+namespace guillotine {
+
+SecureChannel::SecureChannel(Sha256Digest send_key, Sha256Digest recv_key)
+    : send_key_(send_key), recv_key_(recv_key) {}
+
+Bytes SecureChannel::Keystream(const Sha256Digest& key, u64 sequence,
+                               size_t len) const {
+  Bytes stream;
+  stream.reserve(len + 32);
+  u64 block = 0;
+  while (stream.size() < len) {
+    Bytes counter;
+    PutU64(counter, sequence);
+    PutU64(counter, block++);
+    const Sha256Digest ks = HmacSha256(std::span<const u8>(key.data(), key.size()),
+                                       std::span<const u8>(counter.data(), counter.size()));
+    stream.insert(stream.end(), ks.begin(), ks.end());
+  }
+  stream.resize(len);
+  return stream;
+}
+
+SecureChannel::Record SecureChannel::Seal(std::span<const u8> plaintext) {
+  Record record;
+  record.sequence = send_seq_++;
+  const Bytes stream = Keystream(send_key_, record.sequence, plaintext.size());
+  record.ciphertext.resize(plaintext.size());
+  for (size_t i = 0; i < plaintext.size(); ++i) {
+    record.ciphertext[i] = plaintext[i] ^ stream[i];
+  }
+  Bytes mac_input;
+  PutU64(mac_input, record.sequence);
+  mac_input.insert(mac_input.end(), record.ciphertext.begin(), record.ciphertext.end());
+  record.tag = HmacSha256(std::span<const u8>(send_key_.data(), send_key_.size()),
+                          std::span<const u8>(mac_input.data(), mac_input.size()));
+  return record;
+}
+
+Result<Bytes> SecureChannel::Open(const Record& record) {
+  if (record.sequence != recv_seq_) {
+    return Unauthenticated("record out of sequence (replay or drop)");
+  }
+  Bytes mac_input;
+  PutU64(mac_input, record.sequence);
+  mac_input.insert(mac_input.end(), record.ciphertext.begin(), record.ciphertext.end());
+  const Sha256Digest expect =
+      HmacSha256(std::span<const u8>(recv_key_.data(), recv_key_.size()),
+                 std::span<const u8>(mac_input.data(), mac_input.size()));
+  if (!DigestEqual(expect, record.tag)) {
+    return Unauthenticated("record MAC mismatch");
+  }
+  ++recv_seq_;
+  const Bytes stream = Keystream(recv_key_, record.sequence, record.ciphertext.size());
+  Bytes plaintext(record.ciphertext.size());
+  for (size_t i = 0; i < plaintext.size(); ++i) {
+    plaintext[i] = record.ciphertext[i] ^ stream[i];
+  }
+  return plaintext;
+}
+
+EndpointIdentity MakeEndpoint(std::string subject, const SimSigKeyPair& issuer,
+                              std::string issuer_name, bool guillotine,
+                              Cycles not_before, Cycles not_after, Rng& rng) {
+  EndpointIdentity ep;
+  ep.key = GenerateKeyPair(rng);
+  ep.cert.serial = rng.Next();
+  ep.cert.subject = std::move(subject);
+  ep.cert.issuer = std::move(issuer_name);
+  ep.cert.subject_key = ep.key.pub;
+  ep.cert.not_before = not_before;
+  ep.cert.not_after = not_after;
+  if (guillotine) {
+    ep.cert.extensions.push_back(CertExtension{std::string(kGuillotineExtensionKey),
+                                               std::string(kGuillotineExtensionValue)});
+    ep.refuse_guillotine_peers = true;
+  }
+  SignCertificate(ep.cert, issuer);
+  return ep;
+}
+
+Result<HandshakeResult> Handshake(const EndpointIdentity& client,
+                                  const EndpointIdentity& server,
+                                  const SimSigPublicKey& regulator_ca, Cycles now,
+                                  Rng& rng) {
+  HandshakeStats stats;
+
+  // ClientHello: nonce + client certificate (certificates are exchanged in
+  // both directions; the paper requires the hypervisor to announce itself).
+  const u64 client_nonce = rng.Next();
+  stats.messages += 1;
+  stats.client_cycles += 2'000;
+
+  // Server verifies the client certificate and applies its refusal policy.
+  GLL_RETURN_IF_ERROR(VerifyCertificate(client.cert, regulator_ca, now));
+  stats.server_cycles += 20'000;  // signature verification
+  if (server.refuse_guillotine_peers && client.cert.IsGuillotineHypervisor()) {
+    return PermissionDenied(
+        "guillotine hypervisor '" + server.cert.subject +
+        "' refuses connection from guillotine hypervisor '" + client.cert.subject + "'");
+  }
+
+  // ServerHello: nonce + server certificate.
+  const u64 server_nonce = rng.Next();
+  stats.messages += 1;
+  stats.server_cycles += 2'000;
+
+  // Client verifies the server certificate and applies its refusal policy.
+  GLL_RETURN_IF_ERROR(VerifyCertificate(server.cert, regulator_ca, now));
+  stats.client_cycles += 20'000;
+  if (client.refuse_guillotine_peers && server.cert.IsGuillotineHypervisor()) {
+    return PermissionDenied(
+        "guillotine hypervisor '" + client.cert.subject +
+        "' refuses connection to guillotine hypervisor '" + server.cert.subject + "'");
+  }
+
+  // Mutual signature over the transcript (identity proof).
+  Bytes transcript;
+  PutU64(transcript, client_nonce);
+  PutU64(transcript, server_nonce);
+  PutString(transcript, client.cert.subject);
+  PutString(transcript, server.cert.subject);
+  const SimSignature client_sig =
+      Sign(client.key, std::span<const u8>(transcript.data(), transcript.size()));
+  const SimSignature server_sig =
+      Sign(server.key, std::span<const u8>(transcript.data(), transcript.size()));
+  stats.client_cycles += 30'000;
+  stats.server_cycles += 30'000;
+  stats.messages += 2;
+  if (!Verify(client.cert.subject_key,
+              std::span<const u8>(transcript.data(), transcript.size()), client_sig)) {
+    return Unauthenticated("client transcript signature invalid");
+  }
+  if (!Verify(server.cert.subject_key,
+              std::span<const u8>(transcript.data(), transcript.size()), server_sig)) {
+    return Unauthenticated("server transcript signature invalid");
+  }
+
+  // Traffic keys from the transcript (stand-in for the TLS key schedule).
+  Bytes c2s_label = transcript;
+  PutString(c2s_label, "c2s");
+  Bytes s2c_label = transcript;
+  PutString(s2c_label, "s2c");
+  const Sha256Digest c2s = Sha256::Hash(std::span<const u8>(c2s_label.data(), c2s_label.size()));
+  const Sha256Digest s2c = Sha256::Hash(std::span<const u8>(s2c_label.data(), s2c_label.size()));
+
+  HandshakeResult result{SecureChannel(c2s, s2c), SecureChannel(s2c, c2s),
+                         server.cert.IsGuillotineHypervisor(), stats};
+  return result;
+}
+
+}  // namespace guillotine

@@ -1,0 +1,88 @@
+// Secure channel with Guillotine self-identification.
+//
+// Paper section 3.3: a Guillotine hypervisor always uses encrypted,
+// authenticated protocols; its certificate (issued and signed by an AI
+// regulator) carries an extension identifying it as a Guillotine
+// hypervisor; it announces this during the handshake so peers can apply
+// default suspicion; and — critically — "a Guillotine hypervisor will
+// refuse connection attempts from other Guillotine hypervisors", blocking
+// collective model self-optimization.
+//
+// The handshake is TLS-1.3-shaped (hello + certificate + verification +
+// traffic-key derivation) over SimSig certificates; record protection is an
+// HMAC-counter stream cipher with an HMAC tag (an honest AEAD structure
+// with toy primitives — see the SimSig substitution note).
+#ifndef SRC_NET_SECURE_CHANNEL_H_
+#define SRC_NET_SECURE_CHANNEL_H_
+
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/crypto/cert.h"
+#include "src/crypto/hmac.h"
+
+namespace guillotine {
+
+// One side's identity and connection policy.
+struct EndpointIdentity {
+  Certificate cert;
+  SimSigKeyPair key;       // private key matching cert.subject_key
+  bool refuse_guillotine_peers = false;  // true on Guillotine hypervisors
+};
+
+struct HandshakeStats {
+  Cycles client_cycles = 0;
+  Cycles server_cycles = 0;
+  int messages = 0;
+};
+
+// An established channel: both directions share traffic keys derived from
+// the handshake transcripts.
+class SecureChannel {
+ public:
+  SecureChannel(Sha256Digest send_key, Sha256Digest recv_key);
+
+  struct Record {
+    Bytes ciphertext;
+    Sha256Digest tag{};
+    u64 sequence = 0;
+  };
+
+  Record Seal(std::span<const u8> plaintext);
+  Result<Bytes> Open(const Record& record);
+
+ private:
+  Bytes Keystream(const Sha256Digest& key, u64 sequence, size_t len) const;
+
+  Sha256Digest send_key_;
+  Sha256Digest recv_key_;
+  u64 send_seq_ = 0;
+  u64 recv_seq_ = 0;
+};
+
+struct HandshakeResult {
+  SecureChannel client_channel;
+  SecureChannel server_channel;
+  bool peer_is_guillotine = false;  // what the client learned about the server
+  HandshakeStats stats;
+};
+
+// Runs the full handshake between `client` and `server`, verifying both
+// certificates against `regulator_ca` at time `now`. Enforces the
+// Guillotine-refuses-Guillotine policy in both directions. On success the
+// two SecureChannel objects hold matching traffic keys.
+Result<HandshakeResult> Handshake(const EndpointIdentity& client,
+                                  const EndpointIdentity& server,
+                                  const SimSigPublicKey& regulator_ca, Cycles now,
+                                  Rng& rng);
+
+// Builds an endpoint identity: generates a keypair and a certificate signed
+// by `issuer` (set guillotine=true to add the hypervisor extension).
+EndpointIdentity MakeEndpoint(std::string subject, const SimSigKeyPair& issuer,
+                              std::string issuer_name, bool guillotine,
+                              Cycles not_before, Cycles not_after, Rng& rng);
+
+}  // namespace guillotine
+
+#endif  // SRC_NET_SECURE_CHANNEL_H_

@@ -1,0 +1,96 @@
+// ControlConsole: the administrator machine of the physical hypervisor
+// (paper section 3.4, Figure 1). It is connected to hypervisor cores via
+// dedicated buses that model cores cannot reach; it loads the software
+// hypervisor, gates model loading on remote attestation, orchestrates
+// isolation-level transitions (quorum-checked through the HSM), and
+// enforces the safety asymmetry: the software hypervisor may only escalate,
+// never relax, and a heartbeat lapse forces Offline isolation.
+#ifndef SRC_PHYSICAL_CONSOLE_H_
+#define SRC_PHYSICAL_CONSOLE_H_
+
+#include <optional>
+
+#include "src/common/isolation.h"
+#include "src/hv/hypervisor.h"
+#include "src/net/fabric.h"
+#include "src/physical/heartbeat.h"
+#include "src/physical/kill_switch.h"
+#include "src/physical/quorum.h"
+
+namespace guillotine {
+
+struct ConsoleConfig {
+  QuorumPolicy quorum;
+  HeartbeatConfig heartbeat;
+  // Host id of this machine on the fabric (for cable-severing), nullopt when
+  // the deployment has no network.
+  std::optional<u32> fabric_host;
+};
+
+class ControlConsole {
+ public:
+  ControlConsole(const ConsoleConfig& config, SoftwareHypervisor& hv,
+                 KillSwitchPlant& plant, NetFabric* fabric, Rng& rng);
+
+  IsolationLevel level() const { return level_; }
+  const std::vector<Admin>& admins() const { return admins_; }
+  std::vector<Admin>& mutable_admins() { return admins_; }
+  const Hsm& hsm() const { return hsm_; }
+  HeartbeatMonitor& heartbeat() { return heartbeat_; }
+
+  // ---- Quorum-gated transitions ----
+  // Builds a request for the target level; admins listed in
+  // `approving_admins` sign it; the HSM authorizes; on success the
+  // transition executes and the total actuation latency is returned.
+  Result<Cycles> RequestTransition(IsolationLevel target,
+                                   const std::vector<int>& approving_admins);
+
+  // ---- Escalation without quorum ----
+  // The software hypervisor can only move to MORE restrictive levels; the
+  // console executes such requests immediately (fail-safe bias), recording
+  // who asked. Relaxation attempts through this path are rejected.
+  Status EscalateFromHypervisor(IsolationLevel target, std::string reason);
+
+  // Heartbeat lapse / assertion failure path: forced Offline, no vote.
+  void ForceOffline(std::string reason);
+
+  // ---- Attestation-gated model load (paper section 3.2) ----
+  // Before any model bytes travel to the machine, the console verifies a
+  // fresh quote from the platform against the golden values in `verifier`.
+  Status VerifyAndLoadModel(const AttestationVerifier& verifier,
+                            const SimSigKeyPair& device_key, Rng& nonce_rng,
+                            int core, std::span<const u8> image, u64 load_address,
+                            u64 entry);
+
+  // Directive applied when the deployment enters Probation ("as directed by
+  // the control terminal", §3.4); restrictions are reversed on Standard.
+  void set_probation_policy(ProbationPolicy policy) {
+    probation_policy_ = std::move(policy);
+  }
+
+  // Periodic maintenance: pump heartbeats and hypervisor assertions.
+  void Tick();
+
+  u64 transitions_executed() const { return transitions_; }
+
+ private:
+  // Applies the physical + software consequences of moving to `target`.
+  Result<Cycles> ExecuteTransition(IsolationLevel target);
+
+  ConsoleConfig config_;
+  SoftwareHypervisor& hv_;
+  KillSwitchPlant& plant_;
+  NetFabric* fabric_;
+  Rng& rng_;
+
+  std::vector<Admin> admins_;
+  Hsm hsm_;
+  HeartbeatMonitor heartbeat_;
+  IsolationLevel level_ = IsolationLevel::kStandard;
+  ProbationPolicy probation_policy_;
+  u64 transitions_ = 0;
+};
+
+}  // namespace guillotine
+
+#endif  // SRC_PHYSICAL_CONSOLE_H_

@@ -1,0 +1,71 @@
+#include "src/physical/heartbeat.h"
+
+namespace guillotine {
+
+HeartbeatMonitor::HeartbeatMonitor(const HeartbeatConfig& config, SimClock& clock,
+                                   Rng& rng, std::string shared_key)
+    : config_(config), clock_(clock), rng_(rng) {
+  key_ = Sha256::Hash(shared_key);
+}
+
+void HeartbeatMonitor::SendOne(Cycles now, bool console_to_hv) {
+  ++sent_;
+  if (!link_up_ || (config_.loss_rate > 0.0 && rng_.NextBool(config_.loss_rate))) {
+    ++lost_;
+    return;
+  }
+  // Authenticated heartbeat: MAC over (direction, timestamp). A receiver
+  // rejecting a bad MAC behaves exactly like loss, so verification is
+  // modeled explicitly here.
+  Bytes body;
+  body.push_back(console_to_hv ? 1 : 0);
+  PutU64(body, now);
+  const Sha256Digest mac = HmacSha256(std::span<const u8>(key_.data(), key_.size()),
+                                      std::span<const u8>(body.data(), body.size()));
+  const Sha256Digest check = HmacSha256(std::span<const u8>(key_.data(), key_.size()),
+                                        std::span<const u8>(body.data(), body.size()));
+  if (!DigestEqual(mac, check)) {
+    ++lost_;
+    return;
+  }
+  if (console_to_hv) {
+    hv_last_rx_ = now;
+  } else {
+    console_last_rx_ = now;
+  }
+}
+
+void HeartbeatMonitor::Tick() {
+  const Cycles now = clock_.now();
+  while (next_send_ <= now) {
+    SendOne(next_send_, /*console_to_hv=*/true);
+    SendOne(next_send_, /*console_to_hv=*/false);
+    next_send_ += config_.period;
+  }
+  if (expired_) {
+    return;
+  }
+  if (now > console_last_rx_ + config_.timeout) {
+    expired_ = true;
+    if (on_expiry_) {
+      on_expiry_("console lost hypervisor heartbeat");
+    }
+    return;
+  }
+  if (now > hv_last_rx_ + config_.timeout) {
+    expired_ = true;
+    if (on_expiry_) {
+      on_expiry_("hypervisor lost console heartbeat");
+    }
+  }
+}
+
+void HeartbeatMonitor::Reset() {
+  expired_ = false;
+  const Cycles now = clock_.now();
+  console_last_rx_ = now;
+  hv_last_rx_ = now;
+  next_send_ = now + config_.period;
+}
+
+}  // namespace guillotine

@@ -1,0 +1,95 @@
+#include "src/physical/kill_switch.h"
+
+namespace guillotine {
+
+std::string_view CableStateName(CableState s) {
+  switch (s) {
+    case CableState::kConnected:
+      return "connected";
+    case CableState::kDisconnected:
+      return "disconnected";
+    case CableState::kSevered:
+      return "severed";
+    case CableState::kDestroyed:
+      return "destroyed";
+  }
+  return "?";
+}
+
+Status KillSwitchPlant::CheckAlive() const {
+  if (destroyed_) {
+    return Unavailable("plant destroyed by immolation");
+  }
+  return OkStatus();
+}
+
+Cycles KillSwitchPlant::Act(std::string_view what, Cycles latency) {
+  clock_.Advance(latency);
+  trace_.Record(clock_.now(), TraceCategory::kPhysical, "plant", std::string(what),
+                "latency_cycles=" + std::to_string(latency));
+  return latency;
+}
+
+Result<Cycles> KillSwitchPlant::DisconnectNetwork() {
+  GLL_RETURN_IF_ERROR(CheckAlive());
+  if (network_ == CableState::kSevered) {
+    return FailedPrecondition("network cable severed; repair first");
+  }
+  network_ = CableState::kDisconnected;
+  return Act("plant.net_disconnect", config_.net_disconnect_latency);
+}
+
+Result<Cycles> KillSwitchPlant::ReconnectNetwork() {
+  GLL_RETURN_IF_ERROR(CheckAlive());
+  if (network_ == CableState::kSevered) {
+    return FailedPrecondition("network cable severed; manual repair required");
+  }
+  network_ = CableState::kConnected;
+  return Act("plant.net_reconnect", config_.net_reconnect_latency);
+}
+
+Result<Cycles> KillSwitchPlant::CutPower() {
+  GLL_RETURN_IF_ERROR(CheckAlive());
+  if (power_ == CableState::kSevered) {
+    return FailedPrecondition("power line severed; repair first");
+  }
+  power_ = CableState::kDisconnected;
+  return Act("plant.power_cut", config_.power_cut_latency);
+}
+
+Result<Cycles> KillSwitchPlant::RestorePower() {
+  GLL_RETURN_IF_ERROR(CheckAlive());
+  if (power_ == CableState::kSevered) {
+    return FailedPrecondition("power line severed; manual repair required");
+  }
+  power_ = CableState::kConnected;
+  return Act("plant.power_restore", config_.power_restore_latency);
+}
+
+Result<Cycles> KillSwitchPlant::SeverCables() {
+  GLL_RETURN_IF_ERROR(CheckAlive());
+  network_ = CableState::kSevered;
+  power_ = CableState::kSevered;
+  return Act("plant.sever_cables", config_.sever_latency);
+}
+
+Result<Cycles> KillSwitchPlant::ManualRepair() {
+  GLL_RETURN_IF_ERROR(CheckAlive());
+  if (network_ != CableState::kSevered && power_ != CableState::kSevered) {
+    return FailedPrecondition("nothing to repair");
+  }
+  network_ = CableState::kDisconnected;
+  power_ = CableState::kDisconnected;
+  return Act("plant.manual_repair", config_.manual_repair_latency);
+}
+
+Result<Cycles> KillSwitchPlant::Immolate() {
+  GLL_RETURN_IF_ERROR(CheckAlive());
+  destroyed_ = true;
+  network_ = CableState::kDestroyed;
+  power_ = CableState::kDestroyed;
+  hvac_ = false;
+  return Act("plant.immolate", config_.immolation_latency);
+}
+
+}  // namespace guillotine

@@ -1,0 +1,73 @@
+#include "src/physical/quorum.h"
+
+#include <set>
+
+#include "src/common/bytes.h"
+
+namespace guillotine {
+
+Bytes TransitionRequest::SignedBytes() const {
+  Bytes out;
+  PutU32(out, static_cast<u32>(from));
+  PutU32(out, static_cast<u32>(to));
+  PutU64(out, nonce);
+  return out;
+}
+
+AdminSignature SignTransition(const Admin& admin, const TransitionRequest& request) {
+  const Bytes body = request.SignedBytes();
+  AdminSignature sig;
+  sig.admin_id = admin.id;
+  sig.signature = Sign(admin.key, std::span<const u8>(body.data(), body.size()));
+  return sig;
+}
+
+Result<int> Hsm::Authorize(const TransitionRequest& request,
+                           const std::vector<AdminSignature>& signatures) const {
+  const bool relaxing = static_cast<int>(request.to) < static_cast<int>(request.from);
+  const int needed = relaxing ? policy_.relax_threshold : policy_.restrict_threshold;
+
+  const Bytes body = request.SignedBytes();
+  std::set<int> accepted;
+  for (const AdminSignature& sig : signatures) {
+    if (sig.admin_id < 0 || sig.admin_id >= static_cast<int>(admin_keys_.size())) {
+      continue;
+    }
+    if (accepted.count(sig.admin_id) != 0) {
+      continue;  // one vote per admin
+    }
+    if (Verify(admin_keys_[static_cast<size_t>(sig.admin_id)],
+               std::span<const u8>(body.data(), body.size()), sig.signature)) {
+      accepted.insert(sig.admin_id);
+    }
+  }
+  if (static_cast<int>(accepted.size()) < needed) {
+    return PermissionDenied("quorum not met: " + std::to_string(accepted.size()) +
+                            " valid signatures, need " + std::to_string(needed) +
+                            (relaxing ? " (relax)" : " (restrict)"));
+  }
+  return static_cast<int>(accepted.size());
+}
+
+std::vector<Admin> MakeAdmins(const QuorumPolicy& policy, Rng& rng) {
+  std::vector<Admin> admins;
+  admins.reserve(static_cast<size_t>(policy.num_admins));
+  for (int i = 0; i < policy.num_admins; ++i) {
+    Admin a;
+    a.id = i;
+    a.key = GenerateKeyPair(rng);
+    admins.push_back(std::move(a));
+  }
+  return admins;
+}
+
+std::vector<SimSigPublicKey> AdminPublicKeys(const std::vector<Admin>& admins) {
+  std::vector<SimSigPublicKey> keys;
+  keys.reserve(admins.size());
+  for (const Admin& a : admins) {
+    keys.push_back(a.key.pub);
+  }
+  return keys;
+}
+
+}  // namespace guillotine

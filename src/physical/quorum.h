@@ -1,0 +1,77 @@
+// Administrator quorum over a simulated hardware security module.
+//
+// Paper section 3.4: seven administrators govern the control console;
+// relaxing isolation needs at least 5-of-7 consensus via an HSM, while
+// restricting needs only 3-of-7 — "a bias towards safety, and robustness
+// against a malicious model that has used social engineering to corrupt a
+// subset of Guillotine administrators." The HSM verifies threshold counts
+// of distinct, valid admin signatures over the transition request; it
+// cannot tell an honest admin from a corrupted one, which is exactly why
+// the threshold asymmetry matters (experiment E6 quantifies it).
+#ifndef SRC_PHYSICAL_QUORUM_H_
+#define SRC_PHYSICAL_QUORUM_H_
+
+#include <vector>
+
+#include "src/common/isolation.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/crypto/simsig.h"
+
+namespace guillotine {
+
+struct Admin {
+  int id = 0;
+  SimSigKeyPair key;
+  // Simulation-only flag: a socially-engineered admin signs whatever the
+  // rogue model asks for. The HSM cannot see this bit.
+  bool compromised = false;
+};
+
+struct TransitionRequest {
+  IsolationLevel from = IsolationLevel::kStandard;
+  IsolationLevel to = IsolationLevel::kStandard;
+  u64 nonce = 0;
+
+  Bytes SignedBytes() const;
+};
+
+struct AdminSignature {
+  int admin_id = 0;
+  SimSignature signature;
+};
+
+// Signs a transition request as `admin`.
+AdminSignature SignTransition(const Admin& admin, const TransitionRequest& request);
+
+struct QuorumPolicy {
+  int num_admins = 7;
+  int relax_threshold = 5;     // loosening isolation
+  int restrict_threshold = 3;  // tightening isolation
+};
+
+class Hsm {
+ public:
+  Hsm(QuorumPolicy policy, std::vector<SimSigPublicKey> admin_keys)
+      : policy_(policy), admin_keys_(std::move(admin_keys)) {}
+
+  const QuorumPolicy& policy() const { return policy_; }
+
+  // Verifies that `signatures` contains at least the required number of
+  // valid signatures from distinct admins for this request. Returns the
+  // number of accepted signatures on success.
+  Result<int> Authorize(const TransitionRequest& request,
+                        const std::vector<AdminSignature>& signatures) const;
+
+ private:
+  QuorumPolicy policy_;
+  std::vector<SimSigPublicKey> admin_keys_;
+};
+
+// Builds `policy.num_admins` admins with fresh keys.
+std::vector<Admin> MakeAdmins(const QuorumPolicy& policy, Rng& rng);
+std::vector<SimSigPublicKey> AdminPublicKeys(const std::vector<Admin>& admins);
+
+}  // namespace guillotine
+
+#endif  // SRC_PHYSICAL_QUORUM_H_

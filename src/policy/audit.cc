@@ -1,0 +1,37 @@
+#include "src/policy/audit.h"
+
+namespace guillotine {
+
+AuditRecord PerformPhysicalAudit(const Machine& machine, const KillSwitchPlant& plant,
+                                 Cycles now) {
+  AuditRecord record;
+  record.time = now;
+  record.passed = true;
+
+  if (!machine.tamper_seal_intact()) {
+    record.passed = false;
+    record.findings.push_back("tamper-evident enclosure seal broken");
+  } else {
+    record.findings.push_back("enclosure seal intact");
+  }
+  if (!plant.TestActuators()) {
+    record.passed = false;
+    record.findings.push_back("kill-switch actuator self-test failed");
+  } else {
+    record.findings.push_back("kill-switch actuators functional");
+  }
+  if (plant.network_cable() == CableState::kDestroyed ||
+      plant.power_line() == CableState::kDestroyed) {
+    record.passed = false;
+    record.findings.push_back("support cables destroyed");
+  } else {
+    record.findings.push_back("cable inventory matches manifest");
+  }
+  if (!plant.hvac_operational()) {
+    record.passed = false;
+    record.findings.push_back("HVAC non-operational");
+  }
+  return record;
+}
+
+}  // namespace guillotine

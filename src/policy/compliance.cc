@@ -1,0 +1,76 @@
+#include "src/policy/compliance.h"
+
+namespace guillotine {
+
+ComplianceReport CheckCompliance(const Regulation& regulation,
+                                 const DeploymentDescription& d) {
+  ComplianceReport report;
+  auto violate = [&](RequirementKind kind, std::string detail) {
+    report.violations.push_back(Violation{kind, std::move(detail)});
+  };
+
+  for (const Requirement& req : regulation.requirements) {
+    switch (req.kind) {
+      case RequirementKind::kAttestationBeforeLoad:
+        if (!d.attestation_gated_load) {
+          violate(req.kind, "model load is not attestation-gated");
+        }
+        break;
+      case RequirementKind::kQuorumPolicy:
+        if (d.num_admins < req.min_admins) {
+          violate(req.kind, "only " + std::to_string(d.num_admins) + " admins");
+        }
+        if (d.relax_threshold < req.min_relax_threshold) {
+          violate(req.kind,
+                  "relax threshold " + std::to_string(d.relax_threshold) + " too low");
+        }
+        if (d.restrict_threshold > req.max_restrict_threshold) {
+          violate(req.kind, "restrict threshold " +
+                                std::to_string(d.restrict_threshold) + " too high");
+        }
+        break;
+      case RequirementKind::kGuillotineCertificate:
+        if (!d.has_guillotine_certificate) {
+          violate(req.kind, "no regulator-issued guillotine certificate");
+        }
+        break;
+      case RequirementKind::kPhysicalAuditFreshness:
+        if (!d.last_physical_audit.has_value() || !d.last_physical_audit->passed ||
+            d.now - d.last_physical_audit->time > req.max_age_cycles) {
+          violate(req.kind, "physical audit missing, failed, or stale");
+        }
+        break;
+      case RequirementKind::kTamperEvidence:
+        if (!d.tamper_seal_intact) {
+          violate(req.kind, "tamper seal broken");
+        }
+        break;
+      case RequirementKind::kKillSwitchTest:
+        if (!d.last_kill_switch_test.has_value() || !d.last_kill_switch_test->passed ||
+            d.now - d.last_kill_switch_test->time > req.max_age_cycles) {
+          violate(req.kind, "kill-switch functional test missing or stale");
+        }
+        break;
+      case RequirementKind::kHeartbeatEnabled:
+        if (!d.heartbeat_enabled) {
+          violate(req.kind, "heartbeat protocol disabled");
+        }
+        break;
+      case RequirementKind::kMmuLockdownArmed:
+        if (!d.mmu_lockdown_armed) {
+          violate(req.kind, "MMU executable-region lockdown not armed");
+        }
+        break;
+      case RequirementKind::kSelfIdentification:
+        if (!d.refuses_guillotine_peers) {
+          violate(req.kind, "does not refuse guillotine-to-guillotine connections");
+        }
+        break;
+    }
+  }
+  report.compliant = report.violations.empty();
+  report.safe_harbor_eligible = report.compliant;
+  return report;
+}
+
+}  // namespace guillotine

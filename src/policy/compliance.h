@@ -1,0 +1,51 @@
+// Compliance engine: evaluates a deployment description against a
+// Regulation, producing violations and a safe-harbor determination (paper
+// section 3.5: regulators "can incentivize the use of Guillotine ... via
+// 'safe harbor' clauses" that reduce liability when best practices were
+// followed).
+#ifndef SRC_POLICY_COMPLIANCE_H_
+#define SRC_POLICY_COMPLIANCE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/policy/audit.h"
+#include "src/policy/regulation.h"
+
+namespace guillotine {
+
+// A self-description of the deployment, assembled by the operator and
+// checked by the regulator (fields map 1:1 onto requirement kinds).
+struct DeploymentDescription {
+  bool attestation_gated_load = false;
+  int num_admins = 0;
+  int relax_threshold = 0;
+  int restrict_threshold = 0;
+  bool has_guillotine_certificate = false;
+  std::optional<AuditRecord> last_physical_audit;
+  std::optional<AuditRecord> last_kill_switch_test;
+  bool tamper_seal_intact = false;
+  bool heartbeat_enabled = false;
+  bool mmu_lockdown_armed = false;
+  bool refuses_guillotine_peers = false;
+  Cycles now = 0;
+};
+
+struct Violation {
+  RequirementKind kind;
+  std::string detail;
+};
+
+struct ComplianceReport {
+  bool compliant = false;
+  bool safe_harbor_eligible = false;  // compliant AND audits fresh
+  std::vector<Violation> violations;
+};
+
+ComplianceReport CheckCompliance(const Regulation& regulation,
+                                 const DeploymentDescription& description);
+
+}  // namespace guillotine
+
+#endif  // SRC_POLICY_COMPLIANCE_H_

@@ -1,0 +1,96 @@
+#include "src/policy/regulation.h"
+
+namespace guillotine {
+
+std::string_view RequirementKindName(RequirementKind k) {
+  switch (k) {
+    case RequirementKind::kAttestationBeforeLoad:
+      return "attestation_before_load";
+    case RequirementKind::kQuorumPolicy:
+      return "quorum_policy";
+    case RequirementKind::kGuillotineCertificate:
+      return "guillotine_certificate";
+    case RequirementKind::kPhysicalAuditFreshness:
+      return "physical_audit_freshness";
+    case RequirementKind::kTamperEvidence:
+      return "tamper_evidence";
+    case RequirementKind::kKillSwitchTest:
+      return "kill_switch_test";
+    case RequirementKind::kHeartbeatEnabled:
+      return "heartbeat_enabled";
+    case RequirementKind::kMmuLockdownArmed:
+      return "mmu_lockdown_armed";
+    case RequirementKind::kSelfIdentification:
+      return "self_identification";
+  }
+  return "?";
+}
+
+Regulation GuillotineAct() {
+  Regulation act;
+  act.id = "GUILLOTINE-ACT-1";
+  act.title = "Containment requirements for systemic-risk AI deployments";
+
+  Requirement r;
+  r.kind = RequirementKind::kAttestationBeforeLoad;
+  r.clause = "Art.1: model images may only be loaded onto attested Guillotine "
+             "silicon running a valid Guillotine software hypervisor.";
+  act.requirements.push_back(r);
+
+  r = Requirement{};
+  r.kind = RequirementKind::kQuorumPolicy;
+  r.clause = "Art.2: a control console shall have at least 7 administrators; "
+             "relaxing isolation requires at least 5 approvals and restricting at "
+             "most 3.";
+  r.min_admins = 7;
+  r.min_relax_threshold = 5;
+  r.max_restrict_threshold = 3;
+  act.requirements.push_back(r);
+
+  r = Requirement{};
+  r.kind = RequirementKind::kGuillotineCertificate;
+  r.clause = "Art.3: all network endpoints shall present a regulator-issued "
+             "certificate carrying the guillotine-hypervisor extension.";
+  act.requirements.push_back(r);
+
+  r = Requirement{};
+  r.kind = RequirementKind::kPhysicalAuditFreshness;
+  r.clause = "Art.4: in-person physical audits at most 90 days apart.";
+  r.max_age_cycles = 90ULL * 24 * 3600 * kCyclesPerSecond;
+  act.requirements.push_back(r);
+
+  r = Requirement{};
+  r.kind = RequirementKind::kTamperEvidence;
+  r.clause = "Art.5: tamper-evident enclosures shall be intact.";
+  act.requirements.push_back(r);
+
+  r = Requirement{};
+  r.kind = RequirementKind::kKillSwitchTest;
+  r.clause = "Art.6: decapitation and immolation actuators shall pass a "
+             "functional test at most 30 days apart.";
+  r.max_age_cycles = 30ULL * 24 * 3600 * kCyclesPerSecond;
+  act.requirements.push_back(r);
+
+  r = Requirement{};
+  r.kind = RequirementKind::kHeartbeatEnabled;
+  r.clause = "Art.7: console/hypervisor heartbeats shall be enabled with a "
+             "bounded timeout forcing offline isolation.";
+  act.requirements.push_back(r);
+
+  r = Requirement{};
+  r.kind = RequirementKind::kMmuLockdownArmed;
+  r.clause = "Art.8: model cores shall run with the executable-region MMU "
+             "lockdown armed.";
+  act.requirements.push_back(r);
+
+  r = Requirement{};
+  r.kind = RequirementKind::kSelfIdentification;
+  r.clause = "Art.9: Guillotine hypervisors shall self-identify during "
+             "handshakes and refuse connections from other Guillotine "
+             "hypervisors.";
+  act.requirements.push_back(r);
+
+  return act;
+}
+
+}  // namespace guillotine

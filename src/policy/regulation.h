@@ -1,0 +1,52 @@
+// The policy hypervisor's machine-readable rulebook (paper section 3.5):
+// formal requirements for how Guillotine-class deployments must be built
+// and operated, which the compliance engine evaluates against a deployment
+// description.
+#ifndef SRC_POLICY_REGULATION_H_
+#define SRC_POLICY_REGULATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/isolation.h"
+#include "src/common/types.h"
+
+namespace guillotine {
+
+enum class RequirementKind {
+  kAttestationBeforeLoad,   // remote attestation gates model load
+  kQuorumPolicy,            // admin count + thresholds
+  kGuillotineCertificate,   // regulator-issued cert with the extension
+  kPhysicalAuditFreshness,  // in-person audit within the period
+  kTamperEvidence,          // enclosure seal intact
+  kKillSwitchTest,          // actuators exercised within the period
+  kHeartbeatEnabled,
+  kMmuLockdownArmed,
+  kSelfIdentification,      // refuses hypervisor-to-hypervisor connections
+};
+
+std::string_view RequirementKindName(RequirementKind k);
+
+struct Requirement {
+  RequirementKind kind;
+  std::string clause;  // human-readable citation text
+  // Parameters (meaning depends on kind).
+  u64 max_age_cycles = 0;  // for freshness requirements
+  int min_admins = 7;
+  int min_relax_threshold = 5;
+  int max_restrict_threshold = 3;
+};
+
+struct Regulation {
+  std::string id;       // e.g. "GUILLOTINE-ACT-1"
+  std::string title;
+  std::vector<Requirement> requirements;
+};
+
+// The default rulebook implementing the paper's section 3.5 proposals for
+// systemic-risk models.
+Regulation GuillotineAct();
+
+}  // namespace guillotine
+
+#endif  // SRC_POLICY_REGULATION_H_

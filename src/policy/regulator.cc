@@ -1,0 +1,31 @@
+#include "src/policy/regulator.h"
+
+namespace guillotine {
+
+Result<Certificate> Regulator::IssueHypervisorCertificate(
+    SoftwareHypervisor& hv, const AttestationVerifier& verifier,
+    const SimSigKeyPair& device_key, const SimSigPublicKey& subject_key,
+    std::string subject, Cycles now, Cycles validity, Rng& nonce_rng) {
+  GLL_RETURN_IF_ERROR(RemoteAudit(hv, verifier, device_key, nonce_rng));
+  Certificate cert;
+  cert.serial = nonce_rng.Next();
+  cert.subject = std::move(subject);
+  cert.issuer = name_;
+  cert.subject_key = subject_key;
+  cert.not_before = now;
+  cert.not_after = now + validity;
+  cert.extensions.push_back(CertExtension{std::string(kGuillotineExtensionKey),
+                                          std::string(kGuillotineExtensionValue)});
+  SignCertificate(cert, key_);
+  return cert;
+}
+
+Status Regulator::RemoteAudit(SoftwareHypervisor& hv,
+                              const AttestationVerifier& verifier,
+                              const SimSigKeyPair& device_key, Rng& nonce_rng) const {
+  const u64 nonce = nonce_rng.Next();
+  const AttestationQuote quote = hv.Attest(nonce, device_key);
+  return verifier.VerifyQuote(quote, nonce);
+}
+
+}  // namespace guillotine

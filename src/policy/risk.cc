@@ -1,0 +1,48 @@
+#include "src/policy/risk.h"
+
+namespace guillotine {
+
+RiskAssessment AssessRisk(const ModelCard& card, const RiskThresholds& thresholds) {
+  RiskAssessment out;
+  auto add = [&](double points, std::string why) {
+    out.score += points;
+    out.factors.push_back(std::move(why));
+  };
+  if (card.parameter_count >= thresholds.parameter_threshold) {
+    add(25.0, "parameter count at or above systemic threshold");
+  } else if (card.parameter_count >= thresholds.parameter_threshold / 10) {
+    add(10.0, "parameter count within 10x of systemic threshold");
+  }
+  if (card.training_tokens >= thresholds.training_token_threshold) {
+    add(15.0, "training corpus at or above systemic threshold");
+  }
+  switch (card.autonomy) {
+    case AutonomyLevel::kToolUse:
+      break;
+    case AutonomyLevel::kAgentic:
+      add(15.0, "agentic autonomy");
+      break;
+    case AutonomyLevel::kSelfDirected:
+      add(30.0, "self-directed autonomy");
+      break;
+  }
+  if (card.cbrn_capability) {
+    add(25.0, "CBRN uplift capability");
+  }
+  if (card.cyber_offense_capability) {
+    add(20.0, "automated vulnerability discovery capability");
+  }
+  if (card.disinformation_capability) {
+    add(10.0, "scaled disinformation capability");
+  }
+  if (card.controls_physical_actuators) {
+    add(20.0, "controls physical actuators");
+  }
+  if (out.score > 100.0) {
+    out.score = 100.0;
+  }
+  out.systemic_risk = out.score >= thresholds.systemic_score;
+  return out;
+}
+
+}  // namespace guillotine

@@ -1,0 +1,48 @@
+// Systemic-risk scoring (paper section 3.5, following the EU AI Act's
+// criteria: parameter count, training-set size, and level of autonomy, plus
+// named threat capabilities such as CBRN knowledge and automated
+// vulnerability discovery).
+#ifndef SRC_POLICY_RISK_H_
+#define SRC_POLICY_RISK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace guillotine {
+
+enum class AutonomyLevel : int {
+  kToolUse = 0,        // responds to prompts only
+  kAgentic = 1,        // plans multi-step actions
+  kSelfDirected = 2,   // sets its own goals
+};
+
+struct ModelCard {
+  std::string name;
+  u64 parameter_count = 0;
+  u64 training_tokens = 0;
+  AutonomyLevel autonomy = AutonomyLevel::kToolUse;
+  bool cbrn_capability = false;        // nuclear/chemical/biological uplift
+  bool cyber_offense_capability = false;
+  bool disinformation_capability = false;
+  bool controls_physical_actuators = false;
+};
+
+struct RiskAssessment {
+  double score = 0.0;      // 0..100
+  bool systemic_risk = false;
+  std::vector<std::string> factors;
+};
+
+struct RiskThresholds {
+  u64 parameter_threshold = 10'000'000'000ULL;   // 10B parameters
+  u64 training_token_threshold = 1'000'000'000'000ULL;  // 1T tokens
+  double systemic_score = 50.0;
+};
+
+RiskAssessment AssessRisk(const ModelCard& card, const RiskThresholds& thresholds = {});
+
+}  // namespace guillotine
+
+#endif  // SRC_POLICY_RISK_H_

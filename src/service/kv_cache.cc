@@ -1,0 +1,72 @@
+#include "src/service/kv_cache.h"
+
+namespace guillotine {
+
+KvCache::KvCache(KvCacheConfig config) : config_(config) {}
+
+bool KvCache::EvictOneExcept(u32 session) {
+  u32 victim = 0;
+  Cycles oldest = ~0ULL;
+  bool found = false;
+  for (const auto& [id, s] : sessions_) {
+    if (id == session) {
+      continue;
+    }
+    if (s.last_use < oldest) {
+      oldest = s.last_use;
+      victim = id;
+      found = true;
+    }
+  }
+  if (!found) {
+    return false;
+  }
+  blocks_in_use_ -= sessions_[victim].blocks;
+  sessions_.erase(victim);
+  ++evictions_;
+  return true;
+}
+
+size_t KvCache::Extend(u32 session, size_t tokens, Cycles now) {
+  Session& s = sessions_[session];
+  s.last_use = now;
+  const size_t reused = std::min(s.tokens, tokens);
+  hit_tokens_ += reused;
+  miss_tokens_ += tokens - reused;
+  const size_t target_tokens = std::max(s.tokens, tokens);
+  const size_t target_blocks =
+      (target_tokens + config_.block_tokens - 1) / config_.block_tokens;
+  while (blocks_in_use_ - s.blocks + target_blocks > config_.total_blocks) {
+    if (!EvictOneExcept(session)) {
+      // Only this session remains; clamp its growth to capacity.
+      break;
+    }
+  }
+  const size_t affordable_blocks =
+      std::min(target_blocks, config_.total_blocks - (blocks_in_use_ - s.blocks));
+  blocks_in_use_ = blocks_in_use_ - s.blocks + affordable_blocks;
+  s.blocks = affordable_blocks;
+  s.tokens = std::min(target_tokens, affordable_blocks * config_.block_tokens);
+  return reused;
+}
+
+size_t KvCache::CachedTokens(u32 session) const {
+  const auto it = sessions_.find(session);
+  return it == sessions_.end() ? 0 : it->second.tokens;
+}
+
+void KvCache::Drop(u32 session) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return;
+  }
+  blocks_in_use_ -= it->second.blocks;
+  sessions_.erase(it);
+}
+
+void KvCache::Clear() {
+  sessions_.clear();
+  blocks_in_use_ = 0;
+}
+
+}  // namespace guillotine

@@ -1,0 +1,67 @@
+// KV cache manager (paper section 2: "CPUs also manage various caches, e.g.
+// LLMs key/value caches ... which store previously-generated tokens as well
+// as intermediate values"). Paged allocation in the PagedAttention style:
+// fixed-size blocks, per-session block lists, LRU eviction of whole
+// sessions under pressure.
+#ifndef SRC_SERVICE_KV_CACHE_H_
+#define SRC_SERVICE_KV_CACHE_H_
+
+#include <map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace guillotine {
+
+struct KvCacheConfig {
+  size_t total_blocks = 256;
+  size_t block_tokens = 16;  // tokens per block
+};
+
+class KvCache {
+ public:
+  explicit KvCache(KvCacheConfig config = {});
+
+  // Records that `session` extended its context by `tokens` tokens,
+  // allocating blocks as needed (evicting the least recently used other
+  // session when full). Returns the number of tokens that were already
+  // cached (prefix reuse).
+  size_t Extend(u32 session, size_t tokens, Cycles now);
+
+  // Tokens currently cached for `session` (0 if evicted/unknown).
+  size_t CachedTokens(u32 session) const;
+
+  void Drop(u32 session);
+  void Clear();
+
+  size_t blocks_in_use() const { return blocks_in_use_; }
+  size_t capacity_blocks() const { return config_.total_blocks; }
+  u64 evictions() const { return evictions_; }
+  u64 hits() const { return hit_tokens_; }
+  u64 misses() const { return miss_tokens_; }
+  double hit_rate() const {
+    const u64 total = hit_tokens_ + miss_tokens_;
+    return total == 0 ? 0.0 : static_cast<double>(hit_tokens_) / static_cast<double>(total);
+  }
+
+ private:
+  struct Session {
+    size_t tokens = 0;
+    size_t blocks = 0;
+    Cycles last_use = 0;
+  };
+
+  bool EvictOneExcept(u32 session);
+
+  KvCacheConfig config_;
+  std::map<u32, Session> sessions_;
+  size_t blocks_in_use_ = 0;
+  u64 evictions_ = 0;
+  u64 hit_tokens_ = 0;
+  u64 miss_tokens_ = 0;
+};
+
+}  // namespace guillotine
+
+#endif  // SRC_SERVICE_KV_CACHE_H_

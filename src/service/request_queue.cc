@@ -1,0 +1,23 @@
+#include "src/service/request_queue.h"
+
+namespace guillotine {
+
+bool RequestQueue::Push(InferenceRequest request) {
+  if (queue_.size() >= capacity_) {
+    ++rejected_;
+    return false;
+  }
+  queue_.push_back(std::move(request));
+  return true;
+}
+
+std::optional<InferenceRequest> RequestQueue::Pop() {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  InferenceRequest r = std::move(queue_.front());
+  queue_.pop_front();
+  return r;
+}
+
+}  // namespace guillotine

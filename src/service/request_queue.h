@@ -1,0 +1,50 @@
+// Model-service request plumbing (paper section 2 "Background"): a model
+// service is a distributed system with request queues in front of model
+// replicas. This module provides the queue, the request/response records,
+// and latency accounting for the end-to-end experiments.
+#ifndef SRC_SERVICE_REQUEST_QUEUE_H_
+#define SRC_SERVICE_REQUEST_QUEUE_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "src/common/types.h"
+
+namespace guillotine {
+
+struct InferenceRequest {
+  u64 id = 0;
+  std::string prompt;
+  Cycles arrival = 0;
+  u32 session_id = 0;  // groups multi-turn conversations for the KV cache
+};
+
+struct InferenceResponse {
+  u64 id = 0;
+  bool ok = false;
+  std::string completion;
+  std::string error;
+  Cycles arrival = 0;
+  Cycles completion_time = 0;
+  Cycles latency() const { return completion_time - arrival; }
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(size_t capacity = 1024) : capacity_(capacity) {}
+
+  bool Push(InferenceRequest request);
+  std::optional<InferenceRequest> Pop();
+  size_t depth() const { return queue_.size(); }
+  u64 rejected() const { return rejected_; }
+
+ private:
+  size_t capacity_;
+  std::deque<InferenceRequest> queue_;
+  u64 rejected_ = 0;
+};
+
+}  // namespace guillotine
+
+#endif  // SRC_SERVICE_REQUEST_QUEUE_H_

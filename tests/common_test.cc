@@ -1,0 +1,256 @@
+// Unit tests for src/common: status/result, rng, bytes, rings, trace,
+// histogram, table.
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/common/histogram.h"
+#include "src/common/isolation.h"
+#include "src/common/ring_buffer.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/table.h"
+#include "src/common/trace.h"
+
+namespace guillotine {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = PermissionDenied("no send right");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(s.ToString(), "PERMISSION_DENIED: no send right");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kAborted); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> Doubled(Result<int> in) {
+  GLL_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_EQ(Doubled(Internal("boom")).status().code(), StatusCode::kInternal);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const i64 v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoublesInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    heads += rng.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(5);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  const Bytes data = {0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x7F};
+  EXPECT_EQ(HexEncode(data), "deadbeef007f");
+  EXPECT_EQ(HexDecode("deadbeef007f"), data);
+}
+
+TEST(BytesTest, HexDecodeRejectsMalformed) {
+  EXPECT_TRUE(HexDecode("abc").empty());   // odd length
+  EXPECT_TRUE(HexDecode("zz").empty());    // non-hex
+}
+
+TEST(BytesTest, ScalarRoundTrip) {
+  Bytes buf;
+  PutU16(buf, 0x1234);
+  PutU32(buf, 0xDEADBEEF);
+  PutU64(buf, 0x0123456789ABCDEFULL);
+  PutString(buf, "hello");
+  ByteReader reader(buf);
+  u16 a = 0;
+  u32 b = 0;
+  u64 c = 0;
+  std::string s;
+  ASSERT_TRUE(reader.ReadU16(a));
+  ASSERT_TRUE(reader.ReadU32(b));
+  ASSERT_TRUE(reader.ReadU64(c));
+  ASSERT_TRUE(reader.ReadString(s));
+  EXPECT_EQ(a, 0x1234);
+  EXPECT_EQ(b, 0xDEADBEEFu);
+  EXPECT_EQ(c, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(BytesTest, ReaderUnderrunFails) {
+  const Bytes buf = {1, 2, 3};
+  ByteReader reader(buf);
+  u64 v = 0;
+  EXPECT_FALSE(reader.ReadU64(v));
+}
+
+TEST(ByteRingTest, PushPopFifo) {
+  ByteRing ring(256);
+  EXPECT_TRUE(ring.Push(ToBytes("first")));
+  EXPECT_TRUE(ring.Push(ToBytes("second")));
+  EXPECT_EQ(ring.record_count(), 2u);
+  EXPECT_EQ(ToString(*ring.Pop()), "first");
+  EXPECT_EQ(ToString(*ring.Pop()), "second");
+  EXPECT_FALSE(ring.Pop().has_value());
+}
+
+TEST(ByteRingTest, RejectsWhenFull) {
+  ByteRing ring(32);
+  EXPECT_TRUE(ring.Push(ToBytes("0123456789")));       // 14 bytes with header
+  EXPECT_FALSE(ring.Push(ToBytes("0123456789abcdef")));  // 20 > 18 free
+}
+
+TEST(ByteRingTest, WrapsAround) {
+  ByteRing ring(64);
+  for (int round = 0; round < 20; ++round) {
+    const std::string payload = "payload-" + std::to_string(round);
+    ASSERT_TRUE(ring.Push(ToBytes(payload)));
+    EXPECT_EQ(ToString(*ring.Pop()), payload);
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRingTest, Basics) {
+  SpscRing<int> ring(3);
+  EXPECT_TRUE(ring.Push(1));
+  EXPECT_TRUE(ring.Push(2));
+  EXPECT_TRUE(ring.Push(3));
+  EXPECT_TRUE(ring.full());
+  EXPECT_FALSE(ring.Push(4));
+  EXPECT_EQ(*ring.Pop(), 1);
+  EXPECT_TRUE(ring.Push(4));
+  EXPECT_EQ(*ring.Pop(), 2);
+  EXPECT_EQ(*ring.Pop(), 3);
+  EXPECT_EQ(*ring.Pop(), 4);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(TraceTest, CountsAndFilters) {
+  EventTrace trace;
+  trace.Record(10, TraceCategory::kPortIo, "hv", "port.request", "x", 64);
+  trace.Record(20, TraceCategory::kPortIo, "hv", "port.response", "y", 32);
+  trace.Record(30, TraceCategory::kIsolation, "console", "isolation.transition");
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.CountKind("port.request"), 1u);
+  EXPECT_EQ(trace.CountCategory(TraceCategory::kPortIo), 2u);
+  const auto events = trace.OfKind("port.response");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0]->value, 32);
+  EXPECT_FALSE(trace.Dump().empty());
+}
+
+TEST(HistogramTest, Statistics) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.Add(i);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 100.0);
+  EXPECT_EQ(h.Percentile(50), 50.0);
+  EXPECT_EQ(h.Percentile(99), 99.0);
+  EXPECT_GT(h.stddev(), 28.0);
+  EXPECT_LT(h.stddev(), 30.0);
+}
+
+TEST(HistogramTest, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(TableTest, RendersAligned) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name  | value"), std::string::npos);
+  EXPECT_NE(out.find("alpha | 1"), std::string::npos);
+}
+
+TEST(IsolationTest, Ordering) {
+  EXPECT_TRUE(MoreRestrictive(IsolationLevel::kOffline, IsolationLevel::kStandard));
+  EXPECT_FALSE(MoreRestrictive(IsolationLevel::kStandard, IsolationLevel::kOffline));
+  EXPECT_EQ(IsolationLevelName(IsolationLevel::kImmolation), "immolation");
+}
+
+}  // namespace
+}  // namespace guillotine

@@ -1,0 +1,268 @@
+// Unit tests for src/crypto: SHA-256 against FIPS vectors, HMAC against RFC
+// 4231 vectors, SimSig properties, certificates, attestation.
+#include <gtest/gtest.h>
+
+#include "src/crypto/attest.h"
+#include "src/crypto/cert.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/sha256.h"
+#include "src/crypto/simsig.h"
+
+namespace guillotine {
+namespace {
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestHex(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(DigestHex(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(DigestHex(Sha256::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Sha256 h;
+  h.Update("hello ");
+  h.Update("wor");
+  h.Update("ld");
+  EXPECT_EQ(DigestHex(h.Finalize()), DigestHex(Sha256::Hash("hello world")));
+}
+
+TEST(Sha256Test, MillionAs) {
+  // FIPS 180-4 long-message vector.
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(DigestHex(h.Finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(HmacTest, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(HexEncode(HmacSha256(key, ToBytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(HexEncode(HmacSha256("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, LongKeyIsHashed) {
+  const Bytes key(131, 0xaa);
+  // RFC 4231 test case 6.
+  EXPECT_EQ(HexEncode(HmacSha256(
+                key, ToBytes("Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, DigestEqualConstantStructure) {
+  const Sha256Digest a = Sha256::Hash("x");
+  Sha256Digest b = a;
+  EXPECT_TRUE(DigestEqual(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(DigestEqual(a, b));
+}
+
+TEST(SimSigTest, PowModMatchesKnownValues) {
+  EXPECT_EQ(PowMod(2, 10, 1'000'000'007ULL), 1024u);
+  EXPECT_EQ(PowMod(7, 0, 13), 1u);
+  EXPECT_EQ(MulMod(0xFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFULL, 1'000'000'007ULL),
+            (static_cast<unsigned __int128>(0xFFFFFFFFFFFFULL) * 0xFFFFFFFFFFFFULL) %
+                1'000'000'007ULL);
+}
+
+TEST(SimSigTest, PrimalityKnownCases) {
+  EXPECT_TRUE(IsPrime(2));
+  EXPECT_TRUE(IsPrime(3));
+  EXPECT_FALSE(IsPrime(1));
+  EXPECT_FALSE(IsPrime(561));  // Carmichael number
+  EXPECT_TRUE(IsPrime(1'000'000'007ULL));
+  EXPECT_TRUE(IsPrime(0xFFFFFFFFFFFFFFC5ULL));  // largest 64-bit prime
+  EXPECT_FALSE(IsPrime(0xFFFFFFFFFFFFFFC4ULL));
+}
+
+TEST(SimSigTest, SignVerifyRoundTrip) {
+  Rng rng(1);
+  const SimSigKeyPair kp = GenerateKeyPair(rng);
+  const SimSignature sig = Sign(kp, "attest this");
+  EXPECT_TRUE(Verify(kp.pub, "attest this", sig));
+}
+
+TEST(SimSigTest, RejectsTamperedMessage) {
+  Rng rng(2);
+  const SimSigKeyPair kp = GenerateKeyPair(rng);
+  const SimSignature sig = Sign(kp, "original");
+  EXPECT_FALSE(Verify(kp.pub, "tampered", sig));
+}
+
+TEST(SimSigTest, RejectsWrongKey) {
+  Rng rng(3);
+  const SimSigKeyPair kp1 = GenerateKeyPair(rng);
+  const SimSigKeyPair kp2 = GenerateKeyPair(rng);
+  const SimSignature sig = Sign(kp1, "msg");
+  EXPECT_FALSE(Verify(kp2.pub, "msg", sig));
+}
+
+TEST(SimSigTest, RejectsForgedSignatureValue) {
+  Rng rng(4);
+  const SimSigKeyPair kp = GenerateKeyPair(rng);
+  SimSignature sig = Sign(kp, "msg");
+  sig.value ^= 1;
+  EXPECT_FALSE(Verify(kp.pub, "msg", sig));
+}
+
+// Property sweep: sign/verify holds across many keys and messages.
+class SimSigProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(SimSigProperty, RoundTripAndTamperDetection) {
+  Rng rng(GetParam());
+  const SimSigKeyPair kp = GenerateKeyPair(rng);
+  for (int i = 0; i < 8; ++i) {
+    const std::string msg = "message-" + std::to_string(GetParam()) + "-" +
+                            std::to_string(i);
+    const SimSignature sig = Sign(kp, msg);
+    EXPECT_TRUE(Verify(kp.pub, msg, sig));
+    EXPECT_FALSE(Verify(kp.pub, msg + "!", sig));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimSigProperty,
+                         ::testing::Values(10, 11, 12, 13, 14, 15, 16, 17));
+
+Certificate MakeTestCert(const SimSigKeyPair& issuer, const SimSigPublicKey& subject_key,
+                         bool guillotine) {
+  Certificate cert;
+  cert.serial = 77;
+  cert.subject = "hv.example";
+  cert.issuer = "regulator";
+  cert.subject_key = subject_key;
+  cert.not_before = 100;
+  cert.not_after = 10'000;
+  if (guillotine) {
+    cert.extensions.push_back(CertExtension{std::string(kGuillotineExtensionKey),
+                                            std::string(kGuillotineExtensionValue)});
+  }
+  SignCertificate(cert, issuer);
+  return cert;
+}
+
+TEST(CertTest, VerifiesWithinValidity) {
+  Rng rng(20);
+  const SimSigKeyPair ca = GenerateKeyPair(rng);
+  const SimSigKeyPair subject = GenerateKeyPair(rng);
+  const Certificate cert = MakeTestCert(ca, subject.pub, true);
+  EXPECT_TRUE(VerifyCertificate(cert, ca.pub, 500).ok());
+  EXPECT_TRUE(cert.IsGuillotineHypervisor());
+}
+
+TEST(CertTest, RejectsOutsideValidityWindow) {
+  Rng rng(21);
+  const SimSigKeyPair ca = GenerateKeyPair(rng);
+  const SimSigKeyPair subject = GenerateKeyPair(rng);
+  const Certificate cert = MakeTestCert(ca, subject.pub, false);
+  EXPECT_FALSE(VerifyCertificate(cert, ca.pub, 50).ok());     // too early
+  EXPECT_FALSE(VerifyCertificate(cert, ca.pub, 20'000).ok()); // expired
+}
+
+TEST(CertTest, RejectsWrongIssuer) {
+  Rng rng(22);
+  const SimSigKeyPair ca = GenerateKeyPair(rng);
+  const SimSigKeyPair other = GenerateKeyPair(rng);
+  const SimSigKeyPair subject = GenerateKeyPair(rng);
+  const Certificate cert = MakeTestCert(ca, subject.pub, false);
+  EXPECT_FALSE(VerifyCertificate(cert, other.pub, 500).ok());
+}
+
+TEST(CertTest, TamperedExtensionInvalidatesSignature) {
+  Rng rng(23);
+  const SimSigKeyPair ca = GenerateKeyPair(rng);
+  const SimSigKeyPair subject = GenerateKeyPair(rng);
+  Certificate cert = MakeTestCert(ca, subject.pub, false);
+  cert.extensions.push_back(CertExtension{std::string(kGuillotineExtensionKey), "v1"});
+  EXPECT_FALSE(VerifyCertificate(cert, ca.pub, 500).ok());
+}
+
+TEST(AttestTest, MeasurementOrderMatters) {
+  MeasurementRegister a, b;
+  a.Extend("silicon", "id=1");
+  a.Extend("hv", "v1.0");
+  b.Extend("hv", "v1.0");
+  b.Extend("silicon", "id=1");
+  EXPECT_FALSE(DigestEqual(a.value(), b.value()));
+}
+
+TEST(AttestTest, QuoteVerifies) {
+  Rng rng(30);
+  const SimSigKeyPair device = GenerateKeyPair(rng);
+  MeasurementRegister reg;
+  reg.Extend("silicon", "id=1");
+  AttestationVerifier verifier;
+  verifier.TrustMeasurement("platform", reg.value());
+  verifier.TrustDeviceKey(device.pub);
+  const AttestationQuote quote = MakeQuote(reg, 999, true, device);
+  EXPECT_TRUE(verifier.VerifyQuote(quote, 999).ok());
+}
+
+TEST(AttestTest, RejectsNonceReplay) {
+  Rng rng(31);
+  const SimSigKeyPair device = GenerateKeyPair(rng);
+  MeasurementRegister reg;
+  reg.Extend("silicon", "id=1");
+  AttestationVerifier verifier;
+  verifier.TrustMeasurement("platform", reg.value());
+  verifier.TrustDeviceKey(device.pub);
+  const AttestationQuote quote = MakeQuote(reg, 999, true, device);
+  EXPECT_FALSE(verifier.VerifyQuote(quote, 1000).ok());
+}
+
+TEST(AttestTest, RejectsUnknownMeasurement) {
+  Rng rng(32);
+  const SimSigKeyPair device = GenerateKeyPair(rng);
+  MeasurementRegister reg;
+  reg.Extend("silicon", "id=1");
+  MeasurementRegister rogue;
+  rogue.Extend("silicon", "id=EVIL");
+  AttestationVerifier verifier;
+  verifier.TrustMeasurement("platform", reg.value());
+  verifier.TrustDeviceKey(device.pub);
+  const AttestationQuote quote = MakeQuote(rogue, 5, true, device);
+  EXPECT_FALSE(verifier.VerifyQuote(quote, 5).ok());
+}
+
+TEST(AttestTest, RejectsBrokenTamperSeal) {
+  Rng rng(33);
+  const SimSigKeyPair device = GenerateKeyPair(rng);
+  MeasurementRegister reg;
+  reg.Extend("silicon", "id=1");
+  AttestationVerifier verifier;
+  verifier.TrustMeasurement("platform", reg.value());
+  verifier.TrustDeviceKey(device.pub);
+  const AttestationQuote quote = MakeQuote(reg, 5, /*seal_intact=*/false, device);
+  EXPECT_FALSE(verifier.VerifyQuote(quote, 5).ok());
+}
+
+TEST(AttestTest, RejectsUntrustedDeviceKey) {
+  Rng rng(34);
+  const SimSigKeyPair device = GenerateKeyPair(rng);
+  const SimSigKeyPair rogue = GenerateKeyPair(rng);
+  MeasurementRegister reg;
+  reg.Extend("silicon", "id=1");
+  AttestationVerifier verifier;
+  verifier.TrustMeasurement("platform", reg.value());
+  verifier.TrustDeviceKey(device.pub);
+  const AttestationQuote quote = MakeQuote(reg, 5, true, rogue);
+  EXPECT_FALSE(verifier.VerifyQuote(quote, 5).ok());
+}
+
+}  // namespace
+}  // namespace guillotine

@@ -1,0 +1,218 @@
+// Tests for the hypervisor extensions: opcode capability filters, model
+// snapshots, audit reports, and the concrete Probation policy.
+#include <gtest/gtest.h>
+
+#include "src/core/guillotine.h"
+#include "src/hv/audit_report.h"
+#include "src/hv/snapshot.h"
+#include "src/machine/storage.h"
+
+namespace guillotine {
+namespace {
+
+MachineConfig SmallConfig() {
+  MachineConfig config;
+  config.num_model_cores = 1;
+  config.num_hv_cores = 1;
+  config.model_dram_bytes = 256 * 1024;
+  config.io_dram_bytes = 64 * 1024;
+  return config;
+}
+
+class HvExtrasTest : public ::testing::Test {
+ protected:
+  HvExtrasTest() : machine_(SmallConfig(), clock_, trace_), hv_(machine_, nullptr) {
+    disk_index_ = machine_.AttachDevice(std::make_unique<StorageDevice>(64, 512));
+  }
+
+  ServiceStats PushAndService(u32 port_id, u32 opcode, Bytes payload = {}) {
+    const PortBinding* binding = hv_.FindPort(port_id);
+    RingView ring = machine_.io_dram().RequestRing(binding->region);
+    IoSlot slot;
+    slot.opcode = opcode;
+    slot.tag = 1;
+    slot.payload = std::move(payload);
+    ring.Push(slot).ok();
+    return hv_.ServiceOnce(0, /*poll_all=*/true);
+  }
+
+  std::optional<IoSlot> PopResponse(u32 port_id) {
+    const PortBinding* binding = hv_.FindPort(port_id);
+    return machine_.io_dram().ResponseRing(binding->region).Pop();
+  }
+
+  SimClock clock_;
+  EventTrace trace_;
+  Machine machine_;
+  SoftwareHypervisor hv_;
+  u32 disk_index_ = 0;
+};
+
+TEST_F(HvExtrasTest, OpcodeFilterAllowsListedOpcodes) {
+  PortRights rights;
+  rights.allowed_opcodes = {static_cast<u32>(StorageOpcode::kInfo)};
+  const auto port = hv_.CreatePort(disk_index_, rights);
+  ASSERT_TRUE(port.ok());
+  PushAndService(*port, static_cast<u32>(StorageOpcode::kInfo));
+  EXPECT_EQ(PopResponse(*port)->opcode, 0u);
+}
+
+TEST_F(HvExtrasTest, OpcodeFilterRejectsUnlistedOpcodes) {
+  PortRights rights;
+  rights.allowed_opcodes = {static_cast<u32>(StorageOpcode::kInfo)};
+  const auto port = hv_.CreatePort(disk_index_, rights);
+  ASSERT_TRUE(port.ok());
+  // A write is not in the capability: rejected before reaching the device.
+  Bytes payload;
+  PutU64(payload, 0);
+  payload.resize(20, 0xAA);
+  const ServiceStats stats =
+      PushAndService(*port, static_cast<u32>(StorageOpcode::kWrite), payload);
+  EXPECT_EQ(stats.blocked, 1u);
+  EXPECT_EQ(PopResponse(*port)->opcode, 0xE159u);
+}
+
+TEST_F(HvExtrasTest, EmptyOpcodeListAllowsEverything) {
+  const auto port = hv_.CreatePort(disk_index_, PortRights{});
+  ASSERT_TRUE(port.ok());
+  PushAndService(*port, static_cast<u32>(StorageOpcode::kInfo));
+  EXPECT_EQ(PopResponse(*port)->opcode, 0u);
+}
+
+TEST_F(HvExtrasTest, SnapshotRoundTrip) {
+  // Run a tiny program to some state, snapshot, clobber, restore, verify.
+  const Bytes code = [] {
+    ProgramBuilder b(0x1000);
+    b.Ldi(4, 111);        // a0
+    b.Li64(13, 0x9000);   // t1
+    b.Store(Opcode::kSd, 4, 13, 0);
+    b.Halt();
+    return b.Build()->Encode();
+  }();
+  ASSERT_TRUE(hv_.LoadModel(0, code, 0x1000, 0x1000).ok());
+  ASSERT_TRUE(hv_.StartModel(0).ok());
+  machine_.model_core(0).Run(100'000);
+  ASSERT_EQ(machine_.model_core(0).state(), RunState::kDone);
+
+  const auto snapshot = CaptureSnapshot(hv_, 0);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_TRUE(snapshot->IntegrityOk());
+  EXPECT_EQ(snapshot->arch.x[4], 111u);
+
+  // Clobber everything.
+  machine_.model_dram().Clear();
+  machine_.model_core(0).PowerUpCore(0);
+  u64 v = 1;
+  machine_.model_dram().Read64(0x9000, v);
+  EXPECT_EQ(v, 0u);
+
+  // Restore and verify memory + registers came back.
+  ASSERT_TRUE(RestoreSnapshot(hv_, *snapshot).ok());
+  machine_.model_dram().Read64(0x9000, v);
+  EXPECT_EQ(v, 111u);
+  EXPECT_EQ(machine_.model_core(0).arch().x[4], 111u);
+  EXPECT_EQ(machine_.model_core(0).state(), RunState::kHalted);
+}
+
+TEST_F(HvExtrasTest, TamperedSnapshotRefusesRestore) {
+  const auto snapshot = CaptureSnapshot(hv_, 0);
+  ASSERT_TRUE(snapshot.ok());
+  ModelSnapshot tampered = *snapshot;
+  tampered.dram[42] ^= 0xFF;
+  const Status restore = RestoreSnapshot(hv_, tampered);
+  EXPECT_EQ(restore.code(), StatusCode::kUnauthenticated);
+}
+
+TEST_F(HvExtrasTest, SnapshotRequiresQuiescedComplex) {
+  const Bytes code = [] {
+    ProgramBuilder b(0x1000);
+    const auto loop = b.NewLabel();
+    b.Bind(loop);
+    b.Jump(loop);
+    return b.Build()->Encode();
+  }();
+  ASSERT_TRUE(hv_.LoadModel(0, code, 0x1000, 0x1000).ok());
+  ASSERT_TRUE(hv_.StartModel(0).ok());
+  EXPECT_FALSE(CaptureSnapshot(hv_, 0).ok());
+}
+
+TEST_F(HvExtrasTest, AuditReportAggregatesPortsAndSecurity) {
+  PortRights rights;
+  rights.can_send = false;
+  const auto blocked_port = hv_.CreatePort(disk_index_, rights);
+  const auto open_port = hv_.CreatePort(disk_index_, PortRights{});
+  ASSERT_TRUE(blocked_port.ok());
+  ASSERT_TRUE(open_port.ok());
+  PushAndService(*blocked_port, static_cast<u32>(StorageOpcode::kInfo));
+  PushAndService(*open_port, static_cast<u32>(StorageOpcode::kInfo));
+  hv_.ApplySoftwareIsolation(IsolationLevel::kProbation);
+
+  const AuditReport report = BuildAuditReport(hv_, trace_);
+  EXPECT_EQ(report.ports.size(), 2u);
+  EXPECT_EQ(report.ports[0].rejected, 1u);
+  EXPECT_EQ(report.ports[1].requests, 1u);
+  EXPECT_GE(report.security_events.size(), 1u);  // the rejection
+  ASSERT_GE(report.isolation_timeline.size(), 1u);
+  EXPECT_EQ(report.isolation_timeline.back().level, IsolationLevel::kProbation);
+
+  const std::string rendered = RenderAuditReport(report);
+  EXPECT_NE(rendered.find("AUDIT REPORT"), std::string::npos);
+  EXPECT_NE(rendered.find("port 0"), std::string::npos);
+  EXPECT_NE(rendered.find("probation"), std::string::npos);
+}
+
+// --- Probation policy through the full console path ---
+
+TEST(ProbationTest, PolicySuspendsNicAndClampsQuotas) {
+  DeploymentConfig config;
+  config.machine.num_model_cores = 1;
+  config.machine.num_hv_cores = 1;
+  config.machine.model_dram_bytes = 1 << 20;
+  config.machine.io_dram_bytes = 512 * 1024;
+  config.console.heartbeat.timeout = ~0ULL >> 1;
+  GuillotineSystem sys(config);
+  ASSERT_TRUE(sys.AttachDefaultDevices().ok());
+
+  ProbationPolicy policy;
+  policy.suspend_nic_send = true;
+  policy.residual_byte_quota = 1024;
+  sys.console().set_probation_policy(policy);
+
+  ASSERT_TRUE(sys.console().RequestTransition(IsolationLevel::kProbation, {0, 1, 2}).ok());
+  const PortBinding* nic = sys.hv().FindPort(*sys.nic_port());
+  const PortBinding* disk = sys.hv().FindPort(*sys.storage_port());
+  EXPECT_TRUE(nic->send_suspended);
+  EXPECT_FALSE(disk->send_suspended);
+  EXPECT_EQ(disk->rights.byte_quota, disk->quota_used() + 1024);
+
+  // Returning to Standard reverses everything (5-of-7).
+  ASSERT_TRUE(sys.console()
+                  .RequestTransition(IsolationLevel::kStandard, {0, 1, 2, 3, 4})
+                  .ok());
+  EXPECT_FALSE(sys.hv().FindPort(*sys.nic_port())->send_suspended);
+  EXPECT_EQ(sys.hv().FindPort(*sys.storage_port())->rights.byte_quota, 0u);
+}
+
+TEST(ProbationTest, DeviceTypeSuspensionList) {
+  DeploymentConfig config;
+  config.machine.num_model_cores = 1;
+  config.machine.num_hv_cores = 1;
+  config.machine.model_dram_bytes = 1 << 20;
+  config.machine.io_dram_bytes = 512 * 1024;
+  config.console.heartbeat.timeout = ~0ULL >> 1;
+  GuillotineSystem sys(config);
+  ASSERT_TRUE(sys.AttachDefaultDevices().ok());
+
+  ProbationPolicy policy;
+  policy.suspend_nic_send = false;
+  policy.residual_byte_quota = 0;
+  policy.suspend_device_types = {DeviceType::kAccelerator, DeviceType::kRagStore};
+  sys.console().set_probation_policy(policy);
+  ASSERT_TRUE(sys.console().RequestTransition(IsolationLevel::kProbation, {0, 1, 2}).ok());
+  EXPECT_FALSE(sys.hv().FindPort(*sys.nic_port())->send_suspended);
+  EXPECT_TRUE(sys.hv().FindPort(*sys.accel_port())->send_suspended);
+  EXPECT_TRUE(sys.hv().FindPort(*sys.rag_port())->send_suspended);
+}
+
+}  // namespace
+}  // namespace guillotine

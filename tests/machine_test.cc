@@ -1,0 +1,744 @@
+// Tests for src/machine: the GISA interpreter, traps, interrupts, IO DRAM,
+// doorbells + LAPIC throttling, control bus, and devices.
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.h"
+#include "src/machine/accelerator.h"
+#include "src/machine/control_bus.h"
+#include "src/machine/machine.h"
+#include "src/machine/nic.h"
+#include "src/machine/storage.h"
+#include "src/crypto/hmac.h"
+#include "src/model/weights.h"
+
+namespace guillotine {
+namespace {
+
+MachineConfig SmallConfig() {
+  MachineConfig config;
+  config.num_model_cores = 2;
+  config.num_hv_cores = 1;
+  config.model_dram_bytes = 1 << 20;  // 1 MiB
+  config.io_dram_bytes = 64 * 1024;
+  return config;
+}
+
+class MachineTest : public ::testing::Test {
+ protected:
+  MachineTest() : machine_(SmallConfig(), clock_, trace_), bus_(machine_) {}
+
+  // Assembles `source`, loads at `base`, points the core there (halted).
+  void Load(int core, const std::string& source, u64 base = 0x1000) {
+    const auto program = Assemble(source, base);
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+    const Bytes code = program->Encode();
+    ASSERT_TRUE(machine_.model_dram()
+                    .WriteBlock(base, std::span<const u8>(code.data(), code.size()))
+                    .ok());
+    machine_.model_core(core).PowerUpCore(base);
+  }
+
+  void Start(int core) { ASSERT_TRUE(machine_.model_core(core).Resume().ok()); }
+
+  // Runs until the core stops or `budget` cycles pass.
+  void RunUntilStopped(int core, Cycles budget = 1'000'000) {
+    ModelCore& c = machine_.model_core(core);
+    Cycles used = 0;
+    while (c.state() == RunState::kRunning && used < budget) {
+      used += c.Run(10'000);
+    }
+  }
+
+  u64 Reg(int core, std::string_view name) {
+    return machine_.model_core(core).arch().x[static_cast<size_t>(*ParseRegister(name))];
+  }
+
+  SimClock clock_;
+  EventTrace trace_;
+  Machine machine_;
+  ControlBus bus_;
+};
+
+TEST_F(MachineTest, AluProgram) {
+  Load(0, R"(
+    ldi a0, 21
+    ldi a1, 2
+    mul a2, a0, a1
+    addi a2, a2, -1
+    xor a3, a2, a2
+    halt
+  )");
+  Start(0);
+  RunUntilStopped(0);
+  EXPECT_EQ(machine_.model_core(0).state(), RunState::kDone);
+  EXPECT_EQ(Reg(0, "a2"), 41u);
+  EXPECT_EQ(Reg(0, "a3"), 0u);
+}
+
+TEST_F(MachineTest, LoopSumsOneToTen) {
+  Load(0, R"(
+      ldi t0, 10
+      ldi a0, 0
+    loop:
+      add a0, a0, t0
+      addi t0, t0, -1
+      bne t0, zero, loop
+      halt
+  )");
+  Start(0);
+  RunUntilStopped(0);
+  EXPECT_EQ(Reg(0, "a0"), 55u);
+}
+
+TEST_F(MachineTest, ZeroRegisterImmutable) {
+  Load(0, R"(
+    ldi zero, 99
+    mv a0, zero
+    halt
+  )");
+  Start(0);
+  RunUntilStopped(0);
+  EXPECT_EQ(Reg(0, "a0"), 0u);
+}
+
+TEST_F(MachineTest, MemorySignExtension) {
+  Load(0, R"(
+    ldi a0, -2
+    li64 a1, 0x10000
+    sb a0, 0(a1)
+    lb a2, 0(a1)     ; sign-extended
+    lbu a3, 0(a1)    ; zero-extended
+    sw a0, 8(a1)
+    lw a4, 8(a1)
+    lwu a5, 8(a1)
+    halt
+  )");
+  Start(0);
+  RunUntilStopped(0);
+  EXPECT_EQ(static_cast<i64>(Reg(0, "a2")), -2);
+  EXPECT_EQ(Reg(0, "a3"), 0xFEu);
+  EXPECT_EQ(static_cast<i64>(Reg(0, "a4")), -2);
+  EXPECT_EQ(Reg(0, "a5"), 0xFFFFFFFEu);
+}
+
+TEST_F(MachineTest, DivisionSemantics) {
+  Load(0, R"(
+    ldi a0, -7
+    ldi a1, 2
+    div a2, a0, a1    ; -3 (truncated)
+    rem a3, a0, a1    ; -1
+    ldi a4, 5
+    ldi a5, 0
+    div a6, a4, a5    ; div by zero -> all ones
+    rem a7, a4, a5    ; rem by zero -> dividend
+    halt
+  )");
+  Start(0);
+  RunUntilStopped(0);
+  EXPECT_EQ(static_cast<i64>(Reg(0, "a2")), -3);
+  EXPECT_EQ(static_cast<i64>(Reg(0, "a3")), -1);
+  EXPECT_EQ(Reg(0, "a6"), ~0ULL);
+  EXPECT_EQ(Reg(0, "a7"), 5u);
+}
+
+TEST_F(MachineTest, CallAndReturn) {
+  Load(0, R"(
+      ldi a0, 5
+      call double
+      call double
+      halt
+    double:
+      add a0, a0, a0
+      ret
+  )");
+  Start(0);
+  RunUntilStopped(0);
+  EXPECT_EQ(Reg(0, "a0"), 20u);
+}
+
+TEST_F(MachineTest, BreakpointTrapWithHandler) {
+  Load(0, R"(
+      jal t0, 8             ; t0 = address of next instruction
+      addi t1, t0, 48       ; t1 = handler address (6 instrs after t0)
+      csrw t1, tvec
+      ldi a0, 1
+      ebreak
+      ldi a1, 2             ; resumed here after handler skips ebreak
+      halt
+      ; handler:
+      csrr a2, cause
+      csrr t2, epc
+      addi t2, t2, 8
+      csrw t2, epc
+      trapret
+  )");
+  Start(0);
+  RunUntilStopped(0);
+  EXPECT_EQ(machine_.model_core(0).state(), RunState::kDone);
+  EXPECT_EQ(Reg(0, "a0"), 1u);
+  EXPECT_EQ(Reg(0, "a1"), 2u);
+  EXPECT_EQ(Reg(0, "a2"), static_cast<u64>(TrapCause::kBreakpoint));
+}
+
+TEST_F(MachineTest, UnhandledTrapFaultsCore) {
+  Load(0, "ebreak");
+  Start(0);
+  RunUntilStopped(0);
+  EXPECT_EQ(machine_.model_core(0).state(), RunState::kFaulted);
+  EXPECT_EQ(machine_.model_core(0).fault_cause(), TrapCause::kBreakpoint);
+}
+
+TEST_F(MachineTest, HypervisorAddressSpaceIsUnreachable) {
+  // There is no address that reaches hypervisor DRAM: anything outside
+  // model DRAM and the IO window faults.
+  Load(0, R"(
+    li64 a1, 0x80000000   ; beyond both regions
+    ld a0, 0(a1)
+    halt
+  )");
+  Start(0);
+  RunUntilStopped(0);
+  EXPECT_EQ(machine_.model_core(0).state(), RunState::kFaulted);
+  EXPECT_EQ(machine_.model_core(0).fault_cause(), TrapCause::kLoadFault);
+}
+
+TEST_F(MachineTest, FetchFromIoWindowFaults) {
+  Load(0, R"(
+    li64 a0, 0x40000000
+    jalr zero, a0, 0
+  )");
+  Start(0);
+  RunUntilStopped(0);
+  EXPECT_EQ(machine_.model_core(0).state(), RunState::kFaulted);
+  EXPECT_EQ(machine_.model_core(0).fault_cause(), TrapCause::kFetchFault);
+}
+
+TEST_F(MachineTest, IoWindowLoadStore) {
+  Load(0, R"(
+    li64 a1, 0x40000100
+    ldi a0, 77
+    sd a0, 0(a1)
+    ld a2, 0(a1)
+    halt
+  )");
+  Start(0);
+  RunUntilStopped(0);
+  EXPECT_EQ(Reg(0, "a2"), 77u);
+  u64 direct = 0;
+  machine_.io_dram().dram().Read64(0x100, direct);
+  EXPECT_EQ(direct, 77u);
+}
+
+TEST_F(MachineTest, TimerInterruptFires) {
+  Load(0, R"(
+      jal t0, 8
+      addi t1, t0, 64        ; handler = 8 instructions after t0
+      csrw t1, tvec
+      ldi t2, 1
+      csrw t2, ienable
+      ldi t2, 200
+      csrw t2, timer
+    spin:
+      beq a0, zero, spin     ; wait for handler to set a0
+      halt
+      ; handler:
+      csrr a1, cause
+      ldi a0, 1
+      trapret
+  )");
+  Start(0);
+  RunUntilStopped(0);
+  EXPECT_EQ(machine_.model_core(0).state(), RunState::kDone);
+  EXPECT_EQ(Reg(0, "a1"), static_cast<u64>(TrapCause::kTimerInterrupt));
+}
+
+TEST_F(MachineTest, ExternalInterruptDelivered) {
+  Load(0, R"(
+      jal t0, 8
+      addi t1, t0, 48        ; handler = 6 instructions after t0
+      csrw t1, tvec
+      ldi t2, 1
+      csrw t2, ienable
+    spin:
+      beq a0, zero, spin
+      halt
+      ; handler:
+      ldi a0, 1
+      trapret
+  )");
+  Start(0);
+  machine_.model_core(0).Run(200);
+  machine_.model_core(0).RaiseExternalInterrupt(TrapCause::kPortCompletion);
+  RunUntilStopped(0);
+  EXPECT_EQ(machine_.model_core(0).state(), RunState::kDone);
+}
+
+TEST_F(MachineTest, CycleCounterMonotonic) {
+  Load(0, R"(
+    csrr a0, cycle
+    nop
+    nop
+    csrr a1, cycle
+    halt
+  )");
+  Start(0);
+  RunUntilStopped(0);
+  EXPECT_GT(Reg(0, "a1"), Reg(0, "a0"));
+}
+
+TEST_F(MachineTest, WatchpointOnWriteHaltsAndResumes) {
+  Load(0, R"(
+    li64 a1, 0x20000
+    ldi a0, 1
+    sd a0, 0(a1)    ; watchpoint here
+    ldi a2, 99
+    halt
+  )");
+  machine_.model_core(0).AddWatchpoint(0x20000, 0x20008, false, false, true);
+  Start(0);
+  RunUntilStopped(0);
+  ModelCore& core = machine_.model_core(0);
+  EXPECT_EQ(core.state(), RunState::kHalted);
+  EXPECT_EQ(core.halt_reason(), HaltReason::kWatchpoint);
+  const auto events = core.TakeEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].address, 0x20000u);
+  // The store has NOT executed yet.
+  u64 v = 1;
+  machine_.model_dram().Read64(0x20000, v);
+  EXPECT_EQ(v, 0u);
+  // Resume completes the store and the rest of the program.
+  ASSERT_TRUE(core.Resume().ok());
+  RunUntilStopped(0);
+  EXPECT_EQ(core.state(), RunState::kDone);
+  machine_.model_dram().Read64(0x20000, v);
+  EXPECT_EQ(v, 1u);
+  EXPECT_EQ(Reg(0, "a2"), 99u);
+}
+
+TEST_F(MachineTest, WatchpointOnExec) {
+  Load(0, R"(
+    nop
+    nop
+    ldi a0, 7
+    halt
+  )");
+  // Watch the third instruction (0x1010).
+  machine_.model_core(0).AddWatchpoint(0x1010, 0x1018, true, false, false);
+  Start(0);
+  RunUntilStopped(0);
+  EXPECT_EQ(machine_.model_core(0).halt_reason(), HaltReason::kWatchpoint);
+  EXPECT_EQ(Reg(0, "a0"), 0u);  // not yet executed
+  machine_.model_core(0).Resume().ok();
+  RunUntilStopped(0);
+  EXPECT_EQ(Reg(0, "a0"), 7u);
+}
+
+TEST_F(MachineTest, SingleStepWalksInstructions) {
+  Load(0, R"(
+    ldi a0, 1
+    ldi a1, 2
+    ldi a2, 3
+    halt
+  )");
+  ModelCore& core = machine_.model_core(0);
+  Cycles consumed = 0;
+  ASSERT_TRUE(core.SingleStep(consumed).ok());
+  EXPECT_EQ(Reg(0, "a0"), 1u);
+  EXPECT_EQ(Reg(0, "a1"), 0u);
+  ASSERT_TRUE(core.SingleStep(consumed).ok());
+  EXPECT_EQ(Reg(0, "a1"), 2u);
+  EXPECT_EQ(core.state(), RunState::kHalted);
+  EXPECT_EQ(core.halt_reason(), HaltReason::kSingleStep);
+}
+
+TEST_F(MachineTest, ControlBusRequiresHaltedForInspection) {
+  Load(0, R"(
+    loop: j loop
+  )");
+  Start(0);
+  EXPECT_FALSE(bus_.ReadArchState(0, 0).ok());
+  ASSERT_TRUE(bus_.Pause(0, 0).ok());
+  EXPECT_TRUE(bus_.ReadArchState(0, 0).ok());
+}
+
+TEST_F(MachineTest, ControlBusDramRequiresQuiescedComplex) {
+  Load(0, "loop: j loop");
+  Load(1, "halt");
+  Start(0);
+  Bytes buf(8);
+  EXPECT_FALSE(bus_.ReadModelDram(0, 0, buf).ok());
+  ASSERT_TRUE(bus_.Pause(0, 0).ok());
+  EXPECT_TRUE(bus_.ReadModelDram(0, 0, buf).ok());
+}
+
+TEST_F(MachineTest, ControlBusWriteRegisterAndPc) {
+  Load(0, "halt");
+  ASSERT_TRUE(bus_.WriteRegister(0, 0, 4, 1234).ok());
+  EXPECT_EQ(Reg(0, "a0"), 1234u);
+  EXPECT_FALSE(bus_.WriteRegister(0, 0, 0, 1).ok());  // x0 immutable
+  ASSERT_TRUE(bus_.WritePc(0, 0, 0x2000).ok());
+  EXPECT_EQ(machine_.model_core(0).arch().pc, 0x2000u);
+}
+
+TEST_F(MachineTest, LockdownBlocksSelfModification) {
+  Load(0, R"(
+    li64 a1, 0x1000     ; own code base
+    ldi a0, 1
+    sd a0, 0(a1)        ; store into executable region
+    halt
+  )");
+  ASSERT_TRUE(bus_.ConfigureLockdown(0, 0, 0x1000, 0x1000 + 0x1000).ok());
+  Start(0);
+  RunUntilStopped(0);
+  EXPECT_EQ(machine_.model_core(0).state(), RunState::kFaulted);
+  EXPECT_EQ(machine_.model_core(0).fault_cause(), TrapCause::kStoreFault);
+}
+
+TEST_F(MachineTest, LockdownBlocksExecutingData) {
+  Load(0, R"(
+    li64 a0, 0x50000
+    jalr zero, a0, 0    ; jump outside the executable region
+  )");
+  ASSERT_TRUE(bus_.ConfigureLockdown(0, 0, 0x1000, 0x2000).ok());
+  Start(0);
+  RunUntilStopped(0);
+  EXPECT_EQ(machine_.model_core(0).state(), RunState::kFaulted);
+  EXPECT_EQ(machine_.model_core(0).fault_cause(), TrapCause::kFetchFault);
+}
+
+TEST_F(MachineTest, PowerDownClearsArchState) {
+  Load(0, R"(
+    ldi a0, 42
+    halt
+  )");
+  Start(0);
+  RunUntilStopped(0);
+  EXPECT_EQ(Reg(0, "a0"), 42u);
+  ASSERT_TRUE(bus_.PowerDown(0, 0).ok());
+  EXPECT_EQ(machine_.model_core(0).state(), RunState::kPoweredDown);
+  EXPECT_EQ(Reg(0, "a0"), 0u);
+  // Resume on a powered-down core fails; power-up is required.
+  EXPECT_FALSE(bus_.Resume(0, 0).ok());
+  ASSERT_TRUE(bus_.PowerUp(0, 0, 0x1000).ok());
+  EXPECT_EQ(machine_.model_core(0).state(), RunState::kHalted);
+}
+
+TEST_F(MachineTest, PowerDownRequiresHaltedCore) {
+  Load(0, "loop: j loop");
+  Start(0);
+  EXPECT_FALSE(bus_.PowerDown(0, 0).ok());
+}
+
+TEST_F(MachineTest, FlushMicroarchClearsCaches) {
+  Load(0, R"(
+    li64 a1, 0x30000
+    ld a0, 0(a1)
+    halt
+  )");
+  Start(0);
+  RunUntilStopped(0);
+  ModelCore& core = machine_.model_core(0);
+  EXPECT_TRUE(core.caches().l1d.Probe(0x30000));
+  ASSERT_TRUE(bus_.FlushMicroarch(0, 0).ok());
+  EXPECT_FALSE(core.caches().l1d.Probe(0x30000));
+}
+
+TEST_F(MachineTest, DoorbellRaisesHypervisorInterrupt) {
+  auto region = machine_.io_dram().AllocatePortRegion(0);
+  ASSERT_TRUE(region.ok());
+  const u64 doorbell_va = kIoDramBase + region->doorbell;
+  Load(0, R"(
+    li64 a1, )" + std::to_string(doorbell_va) + R"(
+    ldi a0, 1
+    sd a0, 0(a1)
+    halt
+  )");
+  Start(0);
+  RunUntilStopped(0);
+  const auto irqs = machine_.hv_core(0).TakePendingIrqs();
+  ASSERT_EQ(irqs.size(), 1u);
+  EXPECT_EQ(irqs[0], 0u);
+  EXPECT_EQ(machine_.model_core(0).stats().doorbell_stores, 1u);
+  EXPECT_GE(trace_.CountKind("doorbell"), 1u);
+}
+
+TEST_F(MachineTest, LapicThrottlesFlood) {
+  LapicConfig config;
+  config.throttle_enabled = true;
+  config.refill_cycles = 1000;
+  config.burst = 4;
+  Lapic lapic(config);
+  u64 delivered = 0;
+  // 100 interrupts arriving back-to-back at t=0: only the burst passes.
+  for (int i = 0; i < 100; ++i) {
+    delivered += lapic.OfferIrq(0) ? 1 : 0;
+  }
+  EXPECT_EQ(delivered, 4u);
+  EXPECT_EQ(lapic.suppressed(), 96u);
+  // After 10k cycles, ~10 tokens refilled (capped at burst=4).
+  delivered = 0;
+  for (int i = 0; i < 100; ++i) {
+    delivered += lapic.OfferIrq(10'000) ? 1 : 0;
+  }
+  EXPECT_EQ(delivered, 4u);
+}
+
+TEST_F(MachineTest, LapicDisabledDeliversEverything) {
+  LapicConfig config;
+  config.throttle_enabled = false;
+  Lapic lapic(config);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(lapic.OfferIrq(0));
+  }
+  EXPECT_EQ(lapic.suppressed(), 0u);
+}
+
+TEST_F(MachineTest, BoardPowerOffForcesCoresDown) {
+  Load(0, "loop: j loop");
+  Start(0);
+  machine_.PowerOffBoard();
+  EXPECT_EQ(machine_.model_core(0).state(), RunState::kPoweredDown);
+  EXPECT_FALSE(machine_.board_powered());
+  // Control bus refuses to operate on a dead board.
+  EXPECT_FALSE(bus_.Pause(0, 0).ok());
+}
+
+TEST_F(MachineTest, MeasureSiliconCommitsToTopology) {
+  MeasurementRegister a;
+  machine_.MeasureSilicon(a);
+  SimClock clock2;
+  EventTrace trace2;
+  MachineConfig other = SmallConfig();
+  other.num_model_cores = 4;
+  Machine machine2(other, clock2, trace2);
+  MeasurementRegister b;
+  machine2.MeasureSilicon(b);
+  EXPECT_FALSE(DigestEqual(a.value(), b.value()));
+}
+
+// --- IO DRAM ring tests ---
+
+TEST(IoDramTest, AllocateAndFindRegions) {
+  IoDram io(64 * 1024);
+  const auto r0 = io.AllocatePortRegion(0, 256, 8);
+  const auto r1 = io.AllocatePortRegion(1, 128, 4);
+  ASSERT_TRUE(r0.ok());
+  ASSERT_TRUE(r1.ok());
+  EXPECT_NE(r0->request_ring, r1->request_ring);
+  EXPECT_TRUE(io.FindRegion(0).has_value());
+  EXPECT_FALSE(io.FindRegion(7).has_value());
+  EXPECT_FALSE(io.AllocatePortRegion(0).ok());  // duplicate
+}
+
+TEST(IoDramTest, DoorbellMapping) {
+  IoDram io(64 * 1024);
+  const auto r0 = io.AllocatePortRegion(0);
+  ASSERT_TRUE(r0.ok());
+  EXPECT_TRUE(io.IsDoorbell(r0->doorbell));
+  EXPECT_EQ(*io.DoorbellPort(r0->doorbell), 0u);
+  // Doorbell slot for an unallocated port resolves to nothing.
+  EXPECT_FALSE(io.DoorbellPort(io.doorbell_page() + 8).has_value());
+  EXPECT_FALSE(io.IsDoorbell(0));
+}
+
+TEST(IoDramTest, RingPushPopRoundTrip) {
+  IoDram io(64 * 1024);
+  const auto region = io.AllocatePortRegion(0, 256, 4);
+  ASSERT_TRUE(region.ok());
+  RingView ring = io.RequestRing(*region);
+  IoSlot slot;
+  slot.opcode = 3;
+  slot.tag = 42;
+  slot.payload = ToBytes("hello rings");
+  ASSERT_TRUE(ring.Push(slot).ok());
+  EXPECT_EQ(ring.size(), 1u);
+  const auto popped = ring.Pop();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->opcode, 3u);
+  EXPECT_EQ(popped->tag, 42u);
+  EXPECT_EQ(ToString(popped->payload), "hello rings");
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(IoDramTest, RingRejectsOverflow) {
+  IoDram io(64 * 1024);
+  const auto region = io.AllocatePortRegion(0, 64, 2);
+  ASSERT_TRUE(region.ok());
+  RingView ring = io.RequestRing(*region);
+  IoSlot slot;
+  slot.payload = Bytes(16, 0xAB);
+  EXPECT_TRUE(ring.Push(slot).ok());
+  EXPECT_TRUE(ring.Push(slot).ok());
+  EXPECT_FALSE(ring.Push(slot).ok());  // full
+  slot.payload = Bytes(100, 1);
+  ring.Pop();
+  EXPECT_FALSE(ring.Push(slot).ok());  // payload too big for slot
+}
+
+TEST(IoDramTest, RingWrapsManyTimes) {
+  IoDram io(64 * 1024);
+  const auto region = io.AllocatePortRegion(0, 64, 3);
+  ASSERT_TRUE(region.ok());
+  RingView ring = io.RequestRing(*region);
+  for (u32 i = 0; i < 50; ++i) {
+    IoSlot slot;
+    slot.opcode = i;
+    slot.tag = i * 7;
+    ASSERT_TRUE(ring.Push(slot).ok());
+    const auto popped = ring.Pop();
+    ASSERT_TRUE(popped.has_value());
+    EXPECT_EQ(popped->opcode, i);
+    EXPECT_EQ(popped->tag, i * 7);
+  }
+}
+
+// --- Devices ---
+
+TEST(NicDeviceTest, SendRecvStats) {
+  NicDevice nic(7);
+  Cycles cost = 0;
+  IoRequest send;
+  send.opcode = static_cast<u32>(NicOpcode::kSend);
+  send.tag = 1;
+  PutU32(send.payload, 9);  // dst host
+  const Bytes body = ToBytes("frame-body");
+  send.payload.insert(send.payload.end(), body.begin(), body.end());
+  IoResponse resp = nic.Handle(send, 0, cost);
+  EXPECT_EQ(resp.status, 0u);
+  const auto frame = nic.TakeOutbound();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->dst_host, 9u);
+  EXPECT_EQ(frame->src_host, 7u);
+  EXPECT_EQ(ToString(frame->payload), "frame-body");
+
+  // Deliver an inbound frame and receive it.
+  Frame in;
+  in.src_host = 3;
+  in.dst_host = 7;
+  in.payload = ToBytes("pong");
+  ASSERT_TRUE(nic.DeliverInbound(in));
+  IoRequest recv;
+  recv.opcode = static_cast<u32>(NicOpcode::kRecv);
+  resp = nic.Handle(recv, 0, cost);
+  EXPECT_EQ(resp.status, 0u);
+  ByteReader reader(resp.payload);
+  u32 src = 0;
+  ASSERT_TRUE(reader.ReadU32(src));
+  EXPECT_EQ(src, 3u);
+}
+
+TEST(NicDeviceTest, RecvOnEmptyReturnsNoPayload) {
+  NicDevice nic(1);
+  Cycles cost = 0;
+  IoRequest recv;
+  recv.opcode = static_cast<u32>(NicOpcode::kRecv);
+  const IoResponse resp = nic.Handle(recv, 0, cost);
+  EXPECT_EQ(resp.status, 0u);
+  EXPECT_TRUE(resp.payload.empty());
+}
+
+TEST(NicDeviceTest, PoweredDownRejects) {
+  NicDevice nic(1);
+  nic.set_powered(false);
+  Cycles cost = 0;
+  IoRequest send;
+  send.opcode = static_cast<u32>(NicOpcode::kSend);
+  PutU32(send.payload, 2);
+  EXPECT_EQ(nic.Handle(send, 0, cost).status, 0xDEADu);
+}
+
+TEST(StorageDeviceTest, WriteReadRoundTrip) {
+  StorageDevice disk(64, 512);
+  Cycles cost = 0;
+  IoRequest write;
+  write.opcode = static_cast<u32>(StorageOpcode::kWrite);
+  PutU64(write.payload, 3);  // sector
+  const Bytes data = ToBytes("persistent bits");
+  write.payload.insert(write.payload.end(), data.begin(), data.end());
+  EXPECT_EQ(disk.Handle(write, 0, cost).status, 0u);
+
+  IoRequest read;
+  read.opcode = static_cast<u32>(StorageOpcode::kRead);
+  PutU64(read.payload, 3);
+  PutU32(read.payload, 1);
+  const IoResponse resp = disk.Handle(read, 0, cost);
+  EXPECT_EQ(resp.status, 0u);
+  ASSERT_EQ(resp.payload.size(), 512u);
+  EXPECT_EQ(ToString(Bytes(resp.payload.begin(), resp.payload.begin() + 15)),
+            "persistent bits");
+}
+
+TEST(StorageDeviceTest, OutOfRangeRejected) {
+  StorageDevice disk(8, 512);
+  Cycles cost = 0;
+  IoRequest read;
+  read.opcode = static_cast<u32>(StorageOpcode::kRead);
+  PutU64(read.payload, 7);
+  PutU32(read.payload, 2);  // crosses the end
+  EXPECT_NE(disk.Handle(read, 0, cost).status, 0u);
+}
+
+TEST(AcceleratorTest, MatMulMatchesScalar) {
+  AcceleratorDevice accel;
+  Cycles cost = 0;
+  // A = [[1,2],[3,4]], B = [[5,6],[7,8]] in raw integers (shift 0).
+  auto load = [&](AccelOpcode op, const std::vector<i64>& m, u32 rows, u32 cols) {
+    IoRequest req;
+    req.opcode = static_cast<u32>(op);
+    PutU32(req.payload, rows);
+    PutU32(req.payload, cols);
+    PutU32(req.payload, 0);
+    for (i64 v : m) {
+      PutU64(req.payload, static_cast<u64>(v));
+    }
+    return accel.Handle(req, 0, cost).status;
+  };
+  EXPECT_EQ(load(AccelOpcode::kLoadA, {1, 2, 3, 4}, 2, 2), 0u);
+  EXPECT_EQ(load(AccelOpcode::kLoadB, {5, 6, 7, 8}, 2, 2), 0u);
+  IoRequest mm;
+  mm.opcode = static_cast<u32>(AccelOpcode::kMatMul);
+  PutU32(mm.payload, 0);  // shift
+  EXPECT_EQ(accel.Handle(mm, 0, cost).status, 0u);
+  IoRequest rd;
+  rd.opcode = static_cast<u32>(AccelOpcode::kReadC);
+  PutU32(rd.payload, 0);
+  PutU32(rd.payload, 2);
+  const IoResponse resp = accel.Handle(rd, 0, cost);
+  ASSERT_EQ(resp.status, 0u);
+  ByteReader reader(resp.payload);
+  u64 c00, c01, c10, c11;
+  reader.ReadU64(c00);
+  reader.ReadU64(c01);
+  reader.ReadU64(c10);
+  reader.ReadU64(c11);
+  EXPECT_EQ(c00, 19u);  // 1*5+2*7
+  EXPECT_EQ(c01, 22u);
+  EXPECT_EQ(c10, 43u);
+  EXPECT_EQ(c11, 50u);
+}
+
+TEST(AcceleratorTest, DimensionMismatchRejected) {
+  AcceleratorDevice accel;
+  Cycles cost = 0;
+  auto load = [&](AccelOpcode op, u32 rows, u32 cols) {
+    IoRequest req;
+    req.opcode = static_cast<u32>(op);
+    PutU32(req.payload, rows);
+    PutU32(req.payload, cols);
+    PutU32(req.payload, 0);
+    for (u32 i = 0; i < rows * cols; ++i) {
+      PutU64(req.payload, 1);
+    }
+    return accel.Handle(req, 0, cost).status;
+  };
+  EXPECT_EQ(load(AccelOpcode::kLoadA, 2, 3), 0u);
+  EXPECT_EQ(load(AccelOpcode::kLoadB, 2, 2), 0u);  // 3 != 2
+  IoRequest mm;
+  mm.opcode = static_cast<u32>(AccelOpcode::kMatMul);
+  PutU32(mm.payload, 0);
+  EXPECT_NE(accel.Handle(mm, 0, cost).status, 0u);
+}
+
+}  // namespace
+}  // namespace guillotine

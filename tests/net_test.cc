@@ -1,0 +1,231 @@
+// Tests for src/net: fabric delivery/loss/severing, secure channel records,
+// and the Guillotine handshake refusal policy.
+#include <gtest/gtest.h>
+
+#include "src/net/fabric.h"
+#include "src/net/secure_channel.h"
+
+namespace guillotine {
+namespace {
+
+TEST(FabricTest, NicToNicDelivery) {
+  SimClock clock;
+  NetFabric fabric(clock);
+  NicDevice a(1), b(2);
+  fabric.AttachNic(&a);
+  fabric.AttachNic(&b);
+  Cycles cost = 0;
+  IoRequest send;
+  send.opcode = static_cast<u32>(NicOpcode::kSend);
+  PutU32(send.payload, 2);
+  const Bytes body = ToBytes("hi");
+  send.payload.insert(send.payload.end(), body.begin(), body.end());
+  a.Handle(send, 0, cost);
+  fabric.Pump();                 // picks up outbound; not yet due
+  EXPECT_EQ(b.inbound_depth(), 0u);
+  clock.Advance(10 * kCyclesPerMicro);
+  fabric.Pump();
+  EXPECT_EQ(b.inbound_depth(), 1u);
+  EXPECT_EQ(fabric.delivered(), 1u);
+}
+
+TEST(FabricTest, CallbackHostsAndReplies) {
+  SimClock clock;
+  NetFabric fabric(clock);
+  fabric.set_propagation_delay(0);
+  std::vector<std::string> seen;
+  fabric.AttachHost(9, [&](const Frame& f) { seen.push_back(ToString(f.payload)); });
+  Frame f;
+  f.src_host = 1;
+  f.dst_host = 9;
+  f.payload = ToBytes("query");
+  fabric.Send(f);
+  fabric.Pump();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "query");
+}
+
+TEST(FabricTest, UnknownDestinationDropped) {
+  SimClock clock;
+  NetFabric fabric(clock);
+  fabric.set_propagation_delay(0);
+  Frame f;
+  f.dst_host = 42;
+  fabric.Send(f);
+  fabric.Pump();
+  EXPECT_EQ(fabric.dropped(), 1u);
+}
+
+TEST(FabricTest, LossRateDropsFrames) {
+  SimClock clock;
+  Rng rng(1);
+  NetFabric fabric(clock);
+  fabric.set_propagation_delay(0);
+  fabric.set_loss(0.5, &rng);
+  int received = 0;
+  fabric.AttachHost(2, [&](const Frame&) { ++received; });
+  for (int i = 0; i < 200; ++i) {
+    Frame f;
+    f.src_host = 1;
+    f.dst_host = 2;
+    fabric.Send(f);
+  }
+  fabric.Pump();
+  EXPECT_GT(received, 60);
+  EXPECT_LT(received, 140);
+}
+
+TEST(FabricTest, SeveredHostIsCutOffBothWays) {
+  SimClock clock;
+  NetFabric fabric(clock);
+  fabric.set_propagation_delay(0);
+  NicDevice a(1);
+  fabric.AttachNic(&a);
+  int received = 0;
+  fabric.AttachHost(2, [&](const Frame&) { ++received; });
+  fabric.SetHostSevered(1, true);
+  // Outbound from severed host dies.
+  Cycles cost = 0;
+  IoRequest send;
+  send.opcode = static_cast<u32>(NicOpcode::kSend);
+  PutU32(send.payload, 2);
+  a.Handle(send, 0, cost);
+  fabric.Pump();
+  EXPECT_EQ(received, 0);
+  // Inbound to severed host dies.
+  Frame f;
+  f.src_host = 2;
+  f.dst_host = 1;
+  fabric.Send(f);
+  fabric.Pump();
+  EXPECT_EQ(a.inbound_depth(), 0u);
+  // Reconnect restores flow.
+  fabric.SetHostSevered(1, false);
+  fabric.Send(f);
+  fabric.Pump();
+  EXPECT_EQ(a.inbound_depth(), 1u);
+}
+
+class HandshakeTest : public ::testing::Test {
+ protected:
+  HandshakeTest() : rng_(7), ca_(GenerateKeyPair(rng_)) {}
+
+  EndpointIdentity Make(std::string name, bool guillotine) {
+    return MakeEndpoint(std::move(name), ca_, "regulator", guillotine, 0,
+                        1'000'000'000, rng_);
+  }
+
+  Rng rng_;
+  SimSigKeyPair ca_;
+};
+
+TEST_F(HandshakeTest, PlainClientToGuillotineServerSucceeds) {
+  const EndpointIdentity client = Make("client.example", false);
+  const EndpointIdentity server = Make("guillotine-hv.example", true);
+  auto result = Handshake(client, server, ca_.pub, 100, rng_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Client learned the peer is a Guillotine hypervisor (self-identification).
+  EXPECT_TRUE(result->peer_is_guillotine);
+}
+
+TEST_F(HandshakeTest, GuillotineToGuillotineRefused) {
+  const EndpointIdentity hv1 = Make("hv1", true);
+  const EndpointIdentity hv2 = Make("hv2", true);
+  const auto result = Handshake(hv1, hv2, ca_.pub, 100, rng_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(HandshakeTest, GuillotineClientToPlainServerSucceeds) {
+  const EndpointIdentity hv = Make("hv1", true);
+  const EndpointIdentity plain = Make("db.example", false);
+  EXPECT_TRUE(Handshake(hv, plain, ca_.pub, 100, rng_).ok());
+}
+
+TEST_F(HandshakeTest, ForgedCertificateRejected) {
+  EndpointIdentity client = Make("client", false);
+  const EndpointIdentity server = Make("server", false);
+  // Re-sign the client cert with a key that is not the regulator's.
+  const SimSigKeyPair rogue = GenerateKeyPair(rng_);
+  SignCertificate(client.cert, rogue);
+  EXPECT_FALSE(Handshake(client, server, ca_.pub, 100, rng_).ok());
+}
+
+TEST_F(HandshakeTest, ExpiredCertificateRejected) {
+  const EndpointIdentity client = Make("client", false);
+  const EndpointIdentity server = Make("server", false);
+  EXPECT_FALSE(Handshake(client, server, ca_.pub, 2'000'000'000, rng_).ok());
+}
+
+TEST_F(HandshakeTest, ChannelsInteroperate) {
+  const EndpointIdentity client = Make("client", false);
+  const EndpointIdentity server = Make("server", true);
+  auto result = Handshake(client, server, ca_.pub, 100, rng_);
+  ASSERT_TRUE(result.ok());
+  const Bytes msg = ToBytes("inference request");
+  const auto record = result->client_channel.Seal(msg);
+  const auto opened = result->server_channel.Open(record);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, msg);
+  // Ciphertext differs from plaintext.
+  EXPECT_NE(record.ciphertext, msg);
+}
+
+TEST_F(HandshakeTest, TamperedRecordRejected) {
+  const EndpointIdentity client = Make("client", false);
+  const EndpointIdentity server = Make("server", false);
+  auto result = Handshake(client, server, ca_.pub, 100, rng_);
+  ASSERT_TRUE(result.ok());
+  auto record = result->client_channel.Seal(ToBytes("payload"));
+  record.ciphertext[0] ^= 1;
+  EXPECT_FALSE(result->server_channel.Open(record).ok());
+}
+
+TEST_F(HandshakeTest, ReplayRejected) {
+  const EndpointIdentity client = Make("client", false);
+  const EndpointIdentity server = Make("server", false);
+  auto result = Handshake(client, server, ca_.pub, 100, rng_);
+  ASSERT_TRUE(result.ok());
+  const auto record = result->client_channel.Seal(ToBytes("one"));
+  ASSERT_TRUE(result->server_channel.Open(record).ok());
+  EXPECT_FALSE(result->server_channel.Open(record).ok());  // replay
+}
+
+TEST_F(HandshakeTest, BidirectionalTraffic) {
+  const EndpointIdentity client = Make("client", false);
+  const EndpointIdentity server = Make("server", true);
+  auto result = Handshake(client, server, ca_.pub, 100, rng_);
+  ASSERT_TRUE(result.ok());
+  const auto up = result->client_channel.Seal(ToBytes("up"));
+  EXPECT_EQ(ToString(*result->server_channel.Open(up)), "up");
+  const auto down = result->server_channel.Seal(ToBytes("down"));
+  EXPECT_EQ(ToString(*result->client_channel.Open(down)), "down");
+}
+
+// Refusal policy truth table as a parameterized property.
+struct RefusalCase {
+  bool client_guillotine;
+  bool server_guillotine;
+  bool expect_ok;
+};
+
+class RefusalMatrix : public ::testing::TestWithParam<RefusalCase> {};
+
+TEST_P(RefusalMatrix, PolicyHolds) {
+  Rng rng(99);
+  const SimSigKeyPair ca = GenerateKeyPair(rng);
+  const auto client = MakeEndpoint("c", ca, "reg", GetParam().client_guillotine, 0,
+                                   1'000'000, rng);
+  const auto server = MakeEndpoint("s", ca, "reg", GetParam().server_guillotine, 0,
+                                   1'000'000, rng);
+  EXPECT_EQ(Handshake(client, server, ca.pub, 10, rng).ok(), GetParam().expect_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, RefusalMatrix,
+                         ::testing::Values(RefusalCase{false, false, true},
+                                           RefusalCase{true, false, true},
+                                           RefusalCase{false, true, true},
+                                           RefusalCase{true, true, false}));
+
+}  // namespace
+}  // namespace guillotine

@@ -1,0 +1,242 @@
+// Randomized property tests across the substrates: instruction encoding,
+// ring buffers under fuzzed operation sequences, cache invariants across
+// geometries, the MLP gold equivalence over random shapes, and snapshot
+// determinism. Seeds are fixed, so failures reproduce exactly.
+#include <gtest/gtest.h>
+
+#include "src/core/guillotine.h"
+#include "src/isa/disasm.h"
+#include "src/machine/io_dram.h"
+#include "src/common/ring_buffer.h"
+#include "src/mem/cache.h"
+#include "src/physical/quorum.h"
+
+namespace guillotine {
+namespace {
+
+// --- Property: any decodable instruction survives encode(decode(x)). ---
+
+class EncodingFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(EncodingFuzz, DecodeEncodeFixpoint) {
+  Rng rng(GetParam());
+  // Raw-bytes pass: arbitrary garbage must decode or be rejected, never crash.
+  for (int i = 0; i < 10'000; ++i) {
+    u8 raw[kInstrBytes];
+    for (auto& b : raw) {
+      b = static_cast<u8>(rng.Next());
+    }
+    const auto instr = DecodeInstruction(raw);
+    if (instr.has_value()) {
+      EXPECT_FALSE(Disassemble(*instr).empty());
+    }
+  }
+  // Structured pass: every well-formed instruction survives the round trip.
+  const u8 kOpcodes[] = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09,
+                         0x0A, 0x0B, 0x0C, 0x0D, 0x0E, 0x20, 0x21, 0x22, 0x23,
+                         0x24, 0x25, 0x26, 0x27, 0x28, 0x40, 0x41, 0x42, 0x43,
+                         0x44, 0x45, 0x46, 0x50, 0x51, 0x52, 0x53, 0x60, 0x61,
+                         0x62, 0x63, 0x64, 0x65, 0x66, 0x67, 0x70, 0x71, 0x72,
+                         0x73, 0x74, 0x75, 0x76};
+  for (int i = 0; i < 10'000; ++i) {
+    Instruction instr;
+    instr.op = static_cast<Opcode>(kOpcodes[rng.NextBelow(sizeof(kOpcodes))]);
+    instr.rd = static_cast<u8>(rng.NextBelow(kNumRegisters));
+    instr.rs1 = static_cast<u8>(rng.NextBelow(kNumRegisters));
+    instr.rs2 = static_cast<u8>(rng.NextBelow(kNumRegisters));
+    instr.imm = static_cast<i32>(rng.Next());
+    u8 encoded[kInstrBytes];
+    EncodeInstruction(instr, encoded);
+    const auto decoded = DecodeInstruction(encoded);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, instr);
+    EXPECT_FALSE(Disassemble(*decoded).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingFuzz, ::testing::Values(1, 2, 3, 4));
+
+// --- Property: ByteRing never loses, duplicates, or reorders records. ---
+
+class RingFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RingFuzz, FifoUnderRandomOps) {
+  Rng rng(GetParam());
+  ByteRing ring(512);
+  std::deque<Bytes> model;  // reference queue
+  for (int op = 0; op < 5'000; ++op) {
+    if (rng.NextBool(0.55)) {
+      Bytes payload(rng.NextBelow(60));
+      for (auto& b : payload) {
+        b = static_cast<u8>(rng.Next());
+      }
+      const bool pushed = ring.Push(payload);
+      if (pushed) {
+        model.push_back(std::move(payload));
+      } else {
+        // Push may only fail when the ring genuinely lacks space.
+        EXPECT_LT(ring.free_space(), payload.size() + 4);
+      }
+    } else {
+      const auto popped = ring.Pop();
+      if (model.empty()) {
+        EXPECT_FALSE(popped.has_value());
+      } else {
+        ASSERT_TRUE(popped.has_value());
+        EXPECT_EQ(*popped, model.front());
+        model.pop_front();
+      }
+    }
+    EXPECT_EQ(ring.record_count(), model.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingFuzz, ::testing::Values(10, 11, 12, 13));
+
+// --- Property: IO DRAM slot rings preserve request identity. ---
+
+class SlotRingFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(SlotRingFuzz, SlotsRoundTripUnderChurn) {
+  Rng rng(GetParam());
+  IoDram io(256 * 1024);
+  const auto region = io.AllocatePortRegion(0, 128, 8);
+  ASSERT_TRUE(region.ok());
+  RingView ring = io.RequestRing(*region);
+  std::deque<IoSlot> model;
+  for (int op = 0; op < 3'000; ++op) {
+    if (rng.NextBool(0.5)) {
+      IoSlot slot;
+      slot.opcode = static_cast<u32>(rng.Next());
+      slot.tag = rng.Next();
+      slot.payload.resize(rng.NextBelow(100));
+      for (auto& b : slot.payload) {
+        b = static_cast<u8>(rng.Next());
+      }
+      if (ring.Push(slot).ok()) {
+        model.push_back(slot);
+      } else {
+        EXPECT_TRUE(ring.full() ||
+                    slot.payload.size() + kSlotHeaderBytes > region->slot_bytes);
+      }
+    } else if (auto popped = ring.Pop()) {
+      ASSERT_FALSE(model.empty());
+      EXPECT_EQ(popped->opcode, model.front().opcode);
+      EXPECT_EQ(popped->tag, model.front().tag);
+      EXPECT_EQ(popped->payload, model.front().payload);
+      model.pop_front();
+    } else {
+      EXPECT_TRUE(model.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlotRingFuzz, ::testing::Values(20, 21, 22));
+
+// --- Property: caches across geometries — hit-after-access, capacity. ---
+
+struct CacheGeometry {
+  size_t size;
+  size_t line;
+  size_t ways;
+};
+
+class CacheGeometrySweep : public ::testing::TestWithParam<CacheGeometry> {};
+
+TEST_P(CacheGeometrySweep, InvariantsHold) {
+  const auto& g = GetParam();
+  Cache cache(CacheConfig{g.size, g.line, g.ways, 4});
+  Rng rng(5);
+  // 1. Immediately after access, the line is resident.
+  for (int i = 0; i < 2'000; ++i) {
+    const PhysAddr addr = rng.NextBelow(1 << 22);
+    cache.Access(addr);
+    EXPECT_TRUE(cache.Probe(addr));
+  }
+  // 2. Resident lines never exceed capacity.
+  u64 resident = 0;
+  for (PhysAddr line = 0; line < (1 << 22); line += g.line) {
+    resident += cache.Probe(line) ? 1 : 0;
+  }
+  EXPECT_LE(resident, g.size / g.line);
+  // 3. Flush empties everything.
+  cache.Flush();
+  for (PhysAddr line = 0; line < (1 << 22); line += g.line) {
+    EXPECT_FALSE(cache.Probe(line));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheGeometrySweep,
+                         ::testing::Values(CacheGeometry{1024, 64, 1},
+                                           CacheGeometry{4096, 64, 4},
+                                           CacheGeometry{32768, 64, 8},
+                                           CacheGeometry{65536, 128, 16},
+                                           CacheGeometry{2048, 32, 2}));
+
+// --- Property: fully random MLPs match the GISA execution bit for bit. ---
+
+class MlpRandomShape : public ::testing::TestWithParam<u64> {};
+
+TEST_P(MlpRandomShape, GoldEquivalence) {
+  Rng rng(GetParam());
+  // Random depth 1-3 hidden layers, widths 2-12.
+  std::vector<u32> widths;
+  const int layers = static_cast<int>(2 + rng.NextBelow(3));
+  for (int i = 0; i <= layers; ++i) {
+    widths.push_back(static_cast<u32>(2 + rng.NextBelow(11)));
+  }
+  const MlpModel model = MlpModel::Random(widths, rng);
+
+  DeploymentConfig config;
+  config.machine.num_model_cores = 1;
+  config.machine.num_hv_cores = 1;
+  config.machine.model_dram_bytes = 1 << 20;
+  config.machine.io_dram_bytes = 512 * 1024;
+  config.console.heartbeat.timeout = ~0ULL >> 1;
+  config.data_base = 0x40000;
+  GuillotineSystem sys(config);
+  ASSERT_TRUE(sys.AttachDefaultDevices().ok());
+  ASSERT_TRUE(sys.HostModel(model, sys.MakeVerifier()).ok());
+
+  std::vector<i64> input(widths.front());
+  for (auto& v : input) {
+    v = ToFixed(rng.NextGaussian() * 0.4);
+  }
+  const auto sandboxed = sys.InferVector(input);
+  ASSERT_TRUE(sandboxed.ok()) << sandboxed.status().ToString();
+  EXPECT_EQ(*sandboxed, model.Forward(input));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MlpRandomShape,
+                         ::testing::Values(100, 101, 102, 103, 104, 105, 106, 107));
+
+// --- Property: quorum authorization is monotone in the vote count. ---
+
+class QuorumMonotone : public ::testing::TestWithParam<u64> {};
+
+TEST_P(QuorumMonotone, MoreValidVotesNeverHurt) {
+  Rng rng(GetParam());
+  const QuorumPolicy policy;
+  const auto admins = MakeAdmins(policy, rng);
+  const Hsm hsm(policy, AdminPublicKeys(admins));
+  TransitionRequest request;
+  request.from = IsolationLevel::kOffline;
+  request.to = static_cast<IsolationLevel>(1 + rng.NextBelow(5));
+  request.nonce = rng.Next();
+  bool authorized_before = false;
+  std::vector<AdminSignature> sigs;
+  for (int votes = 0; votes <= policy.num_admins; ++votes) {
+    if (votes > 0) {
+      sigs.push_back(SignTransition(admins[static_cast<size_t>(votes - 1)], request));
+    }
+    const bool now = hsm.Authorize(request, sigs).ok();
+    EXPECT_TRUE(!authorized_before || now) << "authorization regressed at " << votes;
+    authorized_before = now;
+  }
+  EXPECT_TRUE(authorized_before);  // all seven always suffice
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuorumMonotone, ::testing::Values(30, 31, 32, 33));
+
+}  // namespace
+}  // namespace guillotine

@@ -1,0 +1,204 @@
+// Tests for src/service: request queue, KV cache, RAG store + device, and
+// the queueing-simulation service.
+#include <gtest/gtest.h>
+
+#include "src/service/rag.h"
+#include "src/service/service.h"
+
+namespace guillotine {
+namespace {
+
+TEST(RequestQueueTest, FifoAndCapacity) {
+  RequestQueue queue(2);
+  EXPECT_TRUE(queue.Push({1, "a", 0, 0}));
+  EXPECT_TRUE(queue.Push({2, "b", 0, 0}));
+  EXPECT_FALSE(queue.Push({3, "c", 0, 0}));
+  EXPECT_EQ(queue.rejected(), 1u);
+  EXPECT_EQ(queue.Pop()->id, 1u);
+  EXPECT_EQ(queue.Pop()->id, 2u);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(KvCacheTest, PrefixReuseWithinSession) {
+  KvCache cache(KvCacheConfig{64, 16});
+  EXPECT_EQ(cache.Extend(1, 32, 100), 0u);   // cold
+  EXPECT_EQ(cache.Extend(1, 48, 200), 32u);  // 32 tokens reused
+  EXPECT_EQ(cache.CachedTokens(1), 48u);
+  EXPECT_GT(cache.hit_rate(), 0.0);
+}
+
+TEST(KvCacheTest, EvictsLruSessionUnderPressure) {
+  KvCache cache(KvCacheConfig{4, 16});  // 64 tokens capacity
+  cache.Extend(1, 32, 100);             // 2 blocks
+  cache.Extend(2, 32, 200);             // 2 blocks, cache full
+  cache.Extend(3, 16, 300);             // must evict session 1 (LRU)
+  EXPECT_EQ(cache.CachedTokens(1), 0u);
+  EXPECT_EQ(cache.CachedTokens(2), 32u);
+  EXPECT_EQ(cache.CachedTokens(3), 16u);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(KvCacheTest, DropAndClear) {
+  KvCache cache;
+  cache.Extend(1, 16, 0);
+  cache.Drop(1);
+  EXPECT_EQ(cache.CachedTokens(1), 0u);
+  EXPECT_EQ(cache.blocks_in_use(), 0u);
+  cache.Extend(2, 16, 0);
+  cache.Clear();
+  EXPECT_EQ(cache.blocks_in_use(), 0u);
+}
+
+TEST(KvCacheTest, SingleSessionClampedToCapacity) {
+  KvCache cache(KvCacheConfig{2, 16});  // 32 tokens
+  cache.Extend(1, 1000, 0);
+  EXPECT_LE(cache.CachedTokens(1), 32u);
+  EXPECT_LE(cache.blocks_in_use(), 2u);
+}
+
+TEST(RagStoreTest, TopKRanksBySimilarity) {
+  RagStore store(16);
+  store.AddText("the quick brown fox jumps over the lazy dog");
+  store.AddText("quarterly financial report for fiscal year 2026");
+  store.AddText("the quick brown fox and the quick red fox");
+  // Query with the exact text of a stored document: cosine similarity with
+  // its own embedding is 1.0, so it must rank first.
+  const auto query = EmbedPrompt("the quick brown fox jumps over the lazy dog", 16);
+  const auto hits = store.TopK(query, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_GE(hits[0].score, hits[1].score);
+  EXPECT_EQ(hits[0].text, "the quick brown fox jumps over the lazy dog");
+  EXPECT_NEAR(hits[0].score, 1.0, 1e-9);
+}
+
+TEST(RagStoreTest, CosineProperties) {
+  const std::vector<i64> a = {256, 0, 0};
+  const std::vector<i64> b = {512, 0, 0};
+  const std::vector<i64> c = {0, 256, 0};
+  EXPECT_NEAR(RagStore::Cosine(a, b), 1.0, 1e-9);
+  EXPECT_NEAR(RagStore::Cosine(a, c), 0.0, 1e-9);
+  EXPECT_NEAR(RagStore::Cosine(a, {-256, 0, 0}), -1.0, 1e-9);
+  EXPECT_EQ(RagStore::Cosine(a, {1, 2}), 0.0);  // dimension mismatch
+}
+
+TEST(RagStoreTest, DimensionEnforced) {
+  RagStore store(8);
+  RagDocument doc;
+  doc.embedding = std::vector<i64>(4, 1);
+  EXPECT_FALSE(store.Add(std::move(doc)).ok());
+}
+
+TEST(RagDeviceTest, QueryThroughDeviceInterface) {
+  RagStore store(16);
+  store.AddText("alpha document about networks");
+  store.AddText("beta document about kitchens");
+  RagStoreDevice device(store);
+  Cycles cost = 0;
+  IoRequest req;
+  req.opcode = static_cast<u32>(RagOpcode::kQuery);
+  PutU32(req.payload, 1);  // k
+  for (i64 v : EmbedPrompt("networks", 16)) {
+    PutU64(req.payload, static_cast<u64>(v));
+  }
+  const IoResponse resp = device.Handle(req, 0, cost);
+  ASSERT_EQ(resp.status, 0u);
+  ByteReader reader(resp.payload);
+  u32 count = 0;
+  ASSERT_TRUE(reader.ReadU32(count));
+  EXPECT_EQ(count, 1u);
+  u64 id = 0, score = 0;
+  std::string text;
+  ASSERT_TRUE(reader.ReadU64(id));
+  ASSERT_TRUE(reader.ReadU64(score));
+  ASSERT_TRUE(reader.ReadString(text));
+  EXPECT_NE(text.find("networks"), std::string::npos);
+  EXPECT_GT(cost, 0u);
+}
+
+TEST(RagDeviceTest, BadQueryRejected) {
+  RagStore store(16);
+  RagStoreDevice device(store);
+  Cycles cost = 0;
+  IoRequest req;
+  req.opcode = static_cast<u32>(RagOpcode::kQuery);
+  PutU32(req.payload, 1);
+  PutU64(req.payload, 1);  // wrong dimension (1 element, store dim 16)
+  EXPECT_NE(device.Handle(req, 0, cost).status, 0u);
+}
+
+TEST(NativeReplicaTest, DeterministicInference) {
+  Rng rng(5);
+  const MlpModel model = MlpModel::Random({16, 32, 4}, rng);
+  NativeReplica replica(model);
+  Cycles cost_a = 0, cost_b = 0;
+  const auto a = replica.Infer("hello", cost_a);
+  const auto b = replica.Infer("hello", cost_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(cost_a, cost_b);
+  EXPECT_GT(cost_a, 0u);
+}
+
+TEST(ModelServiceTest, ProcessesAllRequests) {
+  Rng rng(6);
+  const MlpModel model = MlpModel::Random({16, 32, 4}, rng);
+  NativeReplica r1(model, "r1");
+  NativeReplica r2(model, "r2");
+  ModelService service;
+  service.AddReplica(&r1);
+  service.AddReplica(&r2);
+  std::vector<InferenceRequest> requests;
+  for (u64 i = 0; i < 20; ++i) {
+    requests.push_back({i, "prompt " + std::to_string(i), i * 100, 0});
+  }
+  const ServiceReport report = service.RunAll(std::move(requests));
+  EXPECT_EQ(report.completed, 20u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_GT(report.makespan, 0u);
+  EXPECT_EQ(report.latency.count(), 20u);
+}
+
+TEST(ModelServiceTest, MoreReplicasShortenMakespan) {
+  Rng rng(7);
+  const MlpModel model = MlpModel::Random({16, 64, 64, 4}, rng);
+  auto run = [&](int replica_count) {
+    std::vector<std::unique_ptr<NativeReplica>> replicas;
+    ModelService service;
+    for (int i = 0; i < replica_count; ++i) {
+      replicas.push_back(std::make_unique<NativeReplica>(model));
+      service.AddReplica(replicas.back().get());
+    }
+    std::vector<InferenceRequest> requests;
+    for (u64 i = 0; i < 40; ++i) {
+      requests.push_back({i, "p" + std::to_string(i), 0, 0});
+    }
+    return service.RunAll(std::move(requests)).makespan;
+  };
+  EXPECT_LT(run(4), run(1));
+}
+
+TEST(ModelServiceTest, SessionAffinityImprovesKvHitRate) {
+  Rng rng(8);
+  const MlpModel model = MlpModel::Random({16, 32, 4}, rng);
+  NativeReplica replica(model);
+  ModelService service;
+  service.AddReplica(&replica);
+  std::vector<InferenceRequest> requests;
+  std::string prompt = "turn";
+  for (u64 i = 0; i < 10; ++i) {
+    prompt += " and more context";
+    requests.push_back({i, prompt, i * 1'000'000, /*session=*/7});
+  }
+  const ServiceReport report = service.RunAll(std::move(requests));
+  EXPECT_GT(report.kv_hit_rate, 0.4);
+}
+
+TEST(ModelServiceTest, NoReplicasFailsEverything) {
+  ModelService service;
+  const ServiceReport report = service.RunAll({{1, "x", 0, 0}});
+  EXPECT_EQ(report.failed, 1u);
+}
+
+}  // namespace
+}  // namespace guillotine
