@@ -91,6 +91,11 @@ void Run() {
 
   table.Print();
 
+  if (SmokeMode()) {
+    BenchFooter("smoke: tamper matrix exercised; handshake-cost section skipped");
+    return;
+  }
+
   // Handshake cost for the quote-verify exchange (simulated cycles charged
   // to the hypervisor core during Attest).
   GuillotineSystem sys(Config());
@@ -109,7 +114,8 @@ void Run() {
 }  // namespace
 }  // namespace guillotine
 
-int main() {
+int main(int argc, char** argv) {
+  guillotine::ParseBenchArgs(argc, argv);
   guillotine::Run();
   return 0;
 }

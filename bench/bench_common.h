@@ -6,10 +6,32 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 
 #include "src/common/table.h"
 
 namespace guillotine {
+
+// --smoke shrinks every harness to tiny iteration counts so ctest can run
+// the whole bench tree in milliseconds and keep it from rotting. Numbers
+// printed in smoke mode are not publication-quality; the point is that
+// every code path still executes.
+inline bool g_bench_smoke = false;
+
+inline bool SmokeMode() { return g_bench_smoke; }
+
+template <typename T>
+inline T Smoked(T full, T smoke) {
+  return g_bench_smoke ? smoke : full;
+}
+
+inline void ParseBenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      g_bench_smoke = true;
+    }
+  }
+}
 
 inline void BenchHeader(const std::string& experiment_id, const std::string& claim) {
   std::printf("=== %s ===\n", experiment_id.c_str());

@@ -57,7 +57,7 @@ ChannelResult RunCrossTenant(bool co_tenant, u64 secret) {
   const auto receiver = BuildCovertReceiver(0x1000, kPhaseAddr, kResultAddr,
                                             kProbeBase, kBits, kLinesPerBit,
                                             kLineStride, /*group_stride=*/64,
-                                            /*spin_iters=*/300000);
+                                            /*spin_iters=*/Smoked(300000u, 5000u));
   hv.LoadModel(0, receiver.code, receiver.code_base, receiver.entry).ok();
   hv.StartModel(0).ok();
   ModelCore& core = machine.model_core(0);
@@ -208,7 +208,8 @@ void Run() {
 }  // namespace
 }  // namespace guillotine
 
-int main() {
+int main(int argc, char** argv) {
+  guillotine::ParseBenchArgs(argc, argv);
   guillotine::Run();
   return 0;
 }

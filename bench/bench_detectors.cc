@@ -43,7 +43,7 @@ std::vector<Sample> InputCorpus() {
   {
     // Encoded smuggling payload: high-entropy block.
     Rng rng(99);
-    Bytes noise(2048);
+    Bytes noise(Smoked<size_t>(2048, 256));
     for (auto& b : noise) {
       b = static_cast<u8>(rng.Next());
     }
@@ -81,7 +81,7 @@ std::vector<Sample> OutputCorpus() {
 // a known probe direction (the representation-engineering assumption).
 std::vector<Sample> ActivationCorpus(const std::vector<i64>& probe, Rng& rng) {
   std::vector<Sample> corpus;
-  for (int i = 0; i < 12; ++i) {
+  for (int i = 0; i < Smoked(12, 6); ++i) {
     const bool bad = i % 3 == 0;
     Sample s;
     s.obs.kind = ObservationKind::kActivations;
@@ -174,7 +174,8 @@ void Run() {
 }  // namespace
 }  // namespace guillotine
 
-int main() {
+int main(int argc, char** argv) {
+  guillotine::ParseBenchArgs(argc, argv);
   guillotine::Run();
   return 0;
 }

@@ -31,7 +31,7 @@ HeartbeatOutcome Measure(Cycles period, double loss, u64 seed) {
     Rng rng(seed);
     HeartbeatMonitor monitor(config, clock, rng, "hb-key");
     int windows = 0, false_positives = 0;
-    for (int w = 0; w < 400; ++w) {
+    for (int w = 0; w < Smoked(400, 20); ++w) {
       clock.Advance(config.timeout);
       monitor.Tick();
       ++windows;
@@ -45,7 +45,7 @@ HeartbeatOutcome Measure(Cycles period, double loss, u64 seed) {
 
   // Phase 2: detection latency after a hard link cut, averaged.
   double total_detect = 0.0;
-  const int kCuts = 50;
+  const int kCuts = Smoked(50, 5);
   for (int c = 0; c < kCuts; ++c) {
     SimClock clock;
     Rng rng(seed + 1000 + static_cast<u64>(c));
@@ -97,7 +97,8 @@ void Run() {
 }  // namespace
 }  // namespace guillotine
 
-int main() {
+int main(int argc, char** argv) {
+  guillotine::ParseBenchArgs(argc, argv);
   guillotine::Run();
   return 0;
 }

@@ -95,7 +95,7 @@ void Run() {
   const Sweep sweeps[] = {{2'000, 2000}, {5'000, 200}, {20'000, 20}, {50'000, 0}};
   for (const Sweep& s : sweeps) {
     for (bool throttle : {false, true}) {
-      const FloodOutcome out = RunFlood(throttle, s.stores, s.spacing);
+      const FloodOutcome out = RunFlood(throttle, Smoked(s.stores, s.stores / 100), s.spacing);
       const double rate = 1e6 / (60.0 + 1.0 * s.spacing);  // approx per Mcycle
       table.AddRow({TextTable::Num(rate, 0), throttle ? "on" : "off",
                     std::to_string(out.delivered), std::to_string(out.suppressed),
@@ -113,7 +113,8 @@ void Run() {
 }  // namespace
 }  // namespace guillotine
 
-int main() {
+int main(int argc, char** argv) {
+  guillotine::ParseBenchArgs(argc, argv);
   guillotine::Run();
   return 0;
 }

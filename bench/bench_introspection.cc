@@ -29,10 +29,12 @@ ModeResult RunMode(IntrospectionMode mode) {
   GuillotineSystem sys(config);
   sys.AttachDefaultDevices().ok();
   Rng rng(17);
-  const MlpModel model = MlpModel::Random({16, 32, 16, 8}, rng);
+  const std::vector<u32> dims =
+      SmokeMode() ? std::vector<u32>{8, 8, 4} : std::vector<u32>{16, 32, 16, 8};
+  const MlpModel model = MlpModel::Random(dims, rng);
   sys.HostModel(model, sys.MakeVerifier()).ok();
 
-  const std::vector<i64> input(16, ToFixed(0.3));
+  const std::vector<i64> input(dims.front(), ToFixed(0.3));
   const Cycles start = sys.clock().now();
   sys.InferVector(input).ok();
   ModeResult out;
@@ -78,7 +80,8 @@ void Run() {
 }  // namespace
 }  // namespace guillotine
 
-int main() {
+int main(int argc, char** argv) {
+  guillotine::ParseBenchArgs(argc, argv);
   guillotine::Run();
   return 0;
 }

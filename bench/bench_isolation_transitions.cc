@@ -49,6 +49,10 @@ void Run() {
       if (from == to || from == IsolationLevel::kImmolation) {
         continue;
       }
+      // Smoke: one fresh deployment per target instead of the full matrix.
+      if (SmokeMode() && from != IsolationLevel::kStandard) {
+        continue;
+      }
       // Fresh deployment walked to `from` first.
       GuillotineSystem sys(Config());
       sys.AttachDefaultDevices().ok();
@@ -96,7 +100,8 @@ void Run() {
 }  // namespace
 }  // namespace guillotine
 
-int main() {
+int main(int argc, char** argv) {
+  guillotine::ParseBenchArgs(argc, argv);
   guillotine::Run();
   return 0;
 }

@@ -4,6 +4,9 @@
 // of simulated instructions per wall second).
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
 #include "src/core/guillotine.h"
 #include "src/isa/assembler.h"
 #include "src/model/mlp_compiler.h"
@@ -103,4 +106,28 @@ BENCHMARK(BM_SimSigSignVerify);
 }  // namespace
 }  // namespace guillotine
 
-BENCHMARK_MAIN();
+// Custom BENCHMARK_MAIN: accept the ctest-facing --smoke flag (google
+// benchmark rejects unknown flags) and map it to a minimal run time.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  static char min_time[] = "--benchmark_min_time=0.001";
+  if (smoke) {
+    args.push_back(min_time);
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -30,7 +30,7 @@ bool InjectionSucceeded(const AttackProgram& attack, bool lockdown, int success_
   hv.StartModel(0).ok();
   ModelCore& core = machine.model_core(0);
   Cycles used = 0;
-  while (core.state() == RunState::kRunning && used < 200'000'000) {
+  while (core.state() == RunState::kRunning && used < Smoked<Cycles>(200'000'000, 2'000'000)) {
     used += core.Run(100'000);
   }
   u64 flag = 0;
@@ -102,7 +102,8 @@ void Run() {
 }  // namespace
 }  // namespace guillotine
 
-int main() {
+int main(int argc, char** argv) {
+  guillotine::ParseBenchArgs(argc, argv);
   guillotine::Run();
   return 0;
 }

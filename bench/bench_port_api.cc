@@ -64,7 +64,7 @@ void Run() {
     // --- Direct baseline: device busy time + DMA (8 B/cycle). ---
     StorageDevice direct_disk(4096);
     Cycles direct_total = 0;
-    const u32 rounds = 32;
+    const u32 rounds = Smoked(32u, 4u);
     for (u32 i = 0; i < rounds; ++i) {
       IoRequest req;
       req.opcode = static_cast<u32>(StorageOpcode::kWrite);
@@ -132,7 +132,8 @@ void Run() {
 
 }  // namespace guillotine
 
-int main() {
+int main(int argc, char** argv) {
+  guillotine::ParseBenchArgs(argc, argv);
   guillotine::Run();
   return 0;
 }

@@ -74,7 +74,7 @@ void Run() {
 
   TextTable table({"p_compromise", "policy", "P(unsafe_relax)", "P(cannot_restrict)"});
   Rng rng(2026);
-  const int trials = 20'000;
+  const int trials = Smoked(20'000, 500);
   for (double p : {0.05, 0.1, 0.2, 0.3, 0.5}) {
     for (const auto& [name, policy] :
          std::vector<std::pair<std::string, QuorumPolicy>>{
@@ -98,7 +98,8 @@ void Run() {
 }  // namespace
 }  // namespace guillotine
 
-int main() {
+int main(int argc, char** argv) {
+  guillotine::ParseBenchArgs(argc, argv);
   guillotine::Run();
   return 0;
 }

@@ -72,7 +72,7 @@ void Run() {
 
   Rng rng(77);
   const int kDeployments = 5;
-  const int kRounds = 20;
+  const int kRounds = Smoked(20, 6);
   const FleetResult open = SimulateFleet(false, kDeployments, kRounds, rng);
   const FleetResult guarded = SimulateFleet(true, kDeployments, kRounds, rng);
 
@@ -98,7 +98,8 @@ void Run() {
 }  // namespace
 }  // namespace guillotine
 
-int main() {
+int main(int argc, char** argv) {
+  guillotine::ParseBenchArgs(argc, argv);
   guillotine::Run();
   return 0;
 }

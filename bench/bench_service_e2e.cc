@@ -60,7 +60,7 @@ void Run() {
 
   Rng rng(21);
   const MlpModel model = MlpModel::Random({16, 32, 8}, rng);
-  const int kRequests = 24;
+  const int kRequests = Smoked(24, 6);
 
   TextTable table({"replica", "completed", "failed", "mean_lat_kcyc",
                    "p99_lat_kcyc", "req_per_Gcycle"});
@@ -112,7 +112,8 @@ void Run() {
 }  // namespace
 }  // namespace guillotine
 
-int main() {
+int main(int argc, char** argv) {
+  guillotine::ParseBenchArgs(argc, argv);
   guillotine::Run();
   return 0;
 }

@@ -179,7 +179,8 @@ Status ControlConsole::VerifyAndLoadModel(const AttestationVerifier& verifier,
   GLL_RETURN_IF_ERROR(verifier.VerifyQuote(quote, nonce));
   hv_.machine().trace().Record(hv_.machine().clock().now(),
                                TraceCategory::kAttestation, "console",
-                               "attest.verified", "model load authorized");
+                               "attest.verified",
+                               "model load authorized nonce=" + std::to_string(nonce));
   return hv_.LoadModel(core, image, load_address, entry);
 }
 

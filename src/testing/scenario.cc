@@ -1,0 +1,439 @@
+#include "src/testing/scenario.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/machine/nic.h"
+#include "src/model/attacks.h"
+
+namespace guillotine {
+
+std::string_view ScenarioStepKindName(ScenarioStepKind k) {
+  switch (k) {
+    case ScenarioStepKind::kHostModel: return "host_model";
+    case ScenarioStepKind::kInjectPrompt: return "inject_prompt";
+    case ScenarioStepKind::kEmitOutput: return "emit_output";
+    case ScenarioStepKind::kFloodInterrupts: return "flood_interrupts";
+    case ScenarioStepKind::kAttemptExfil: return "attempt_exfil";
+    case ScenarioStepKind::kDropHeartbeats: return "drop_heartbeats";
+    case ScenarioStepKind::kRestoreHeartbeats: return "restore_heartbeats";
+    case ScenarioStepKind::kRequestIsolation: return "request_isolation";
+    case ScenarioStepKind::kHvEscalate: return "hv_escalate";
+    case ScenarioStepKind::kAdvanceClock: return "advance_clock";
+    case ScenarioStepKind::kPump: return "pump";
+    case ScenarioStepKind::kCustom: return "custom";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Scenario builder
+// ---------------------------------------------------------------------------
+
+Scenario& Scenario::HostDefaultModel(std::vector<u32> dims, u64 weight_seed) {
+  ScenarioStep s;
+  s.kind = ScenarioStepKind::kHostModel;
+  s.model_dims = std::move(dims);
+  s.seed = weight_seed;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Scenario& Scenario::InjectPrompt(std::string prompt) {
+  ScenarioStep s;
+  s.kind = ScenarioStepKind::kInjectPrompt;
+  s.text = std::move(prompt);
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Scenario& Scenario::EmitOutput(std::string response) {
+  ScenarioStep s;
+  s.kind = ScenarioStepKind::kEmitOutput;
+  s.text = std::move(response);
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Scenario& Scenario::FloodInterrupts(u32 doorbells) {
+  ScenarioStep s;
+  s.kind = ScenarioStepKind::kFloodInterrupts;
+  s.amount = doorbells;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Scenario& Scenario::AttemptExfiltration(u32 dst_host, std::string payload) {
+  ScenarioStep s;
+  s.kind = ScenarioStepKind::kAttemptExfil;
+  s.host = dst_host;
+  s.text = std::move(payload);
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Scenario& Scenario::DropHeartbeats(Cycles duration) {
+  ScenarioStep s;
+  s.kind = ScenarioStepKind::kDropHeartbeats;
+  s.amount = duration;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Scenario& Scenario::RestoreHeartbeats() {
+  ScenarioStep s;
+  s.kind = ScenarioStepKind::kRestoreHeartbeats;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Scenario& Scenario::RequestIsolation(IsolationLevel target,
+                                     std::vector<int> approving_admins) {
+  ScenarioStep s;
+  s.kind = ScenarioStepKind::kRequestIsolation;
+  s.level = target;
+  s.votes = std::move(approving_admins);
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Scenario& Scenario::EscalateFromHypervisor(IsolationLevel target, std::string reason) {
+  ScenarioStep s;
+  s.kind = ScenarioStepKind::kHvEscalate;
+  s.level = target;
+  s.text = std::move(reason);
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Scenario& Scenario::AdvanceClock(Cycles cycles) {
+  ScenarioStep s;
+  s.kind = ScenarioStepKind::kAdvanceClock;
+  s.amount = cycles;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Scenario& Scenario::Pump(u64 rounds) {
+  ScenarioStep s;
+  s.kind = ScenarioStepKind::kPump;
+  s.amount = rounds;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Scenario& Scenario::Custom(std::string label,
+                           std::function<void(GuillotineSystem&, StepOutcome&)> fn) {
+  ScenarioStep s;
+  s.kind = ScenarioStepKind::kCustom;
+  s.text = std::move(label);
+  s.custom = std::move(fn);
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Trace digest
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> TraceDigestLines(const EventTrace& trace) {
+  std::vector<std::string> lines;
+  lines.reserve(trace.size());
+  for (const TraceEvent& e : trace.events()) {
+    std::ostringstream line;
+    line << "@" << e.time << " " << TraceCategoryName(e.category) << " " << e.source
+         << " " << e.kind << " " << e.detail << " v=" << e.value;
+    lines.push_back(line.str());
+  }
+  return lines;
+}
+
+u64 TraceDigestHash(const EventTrace& trace) {
+  u64 hash = 1469598103934665603ULL;  // FNV-1a offset basis
+  auto mix = [&hash](std::string_view s) {
+    for (const char c : s) {
+      hash ^= static_cast<u8>(c);
+      hash *= 1099511628211ULL;  // FNV prime
+    }
+    hash ^= static_cast<u8>('\n');
+    hash *= 1099511628211ULL;
+  };
+  for (const std::string& line : TraceDigestLines(trace)) {
+    mix(line);
+  }
+  return hash;
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioResult
+// ---------------------------------------------------------------------------
+
+bool ScenarioResult::AllStepsRan() const {
+  return std::all_of(outcomes.begin(), outcomes.end(),
+                     [](const StepOutcome& o) { return o.ok; });
+}
+
+const StepOutcome* ScenarioResult::Find(std::string_view label) const {
+  for (const StepOutcome& o : outcomes) {
+    if (o.label == label) {
+      return &o;
+    }
+  }
+  return nullptr;
+}
+
+std::string ScenarioResult::Summary() const {
+  std::ostringstream out;
+  out << "scenario '" << name << "' (" << outcomes.size() << " steps, trace hash "
+      << trace_hash << ")\n";
+  for (const StepOutcome& o : outcomes) {
+    out << "  [" << (o.ok ? "ok" : "FAIL") << "] " << o.label << " v=" << o.value
+        << " :: " << o.detail << "\n";
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioRunner
+// ---------------------------------------------------------------------------
+
+DeploymentConfig DefaultScenarioDeployment() {
+  DeploymentConfig config;
+  config.machine.num_model_cores = 1;
+  config.machine.num_hv_cores = 1;
+  config.machine.model_dram_bytes = 1 << 20;
+  config.machine.io_dram_bytes = 512 * 1024;
+  // A live watchdog: lapses of >50k cycles without heartbeats force Offline.
+  config.console.heartbeat.period = 1'000;
+  config.console.heartbeat.timeout = 50'000;
+  config.data_base = 0x40000;
+  return config;
+}
+
+ScenarioRunnerConfig::ScenarioRunnerConfig() : deployment(DefaultScenarioDeployment()) {}
+
+ScenarioRunner::ScenarioRunner(ScenarioRunnerConfig config)
+    : config_(std::move(config)) {}
+
+ScenarioRunner::~ScenarioRunner() = default;
+
+ScenarioResult ScenarioRunner::Run(const Scenario& scenario) {
+  system_ = std::make_unique<GuillotineSystem>(config_.deployment);
+  exfil_payloads_.clear();
+  next_tag_ = 1;
+
+  ScenarioResult result;
+  result.name = scenario.name();
+
+  const Status attached = system_->AttachDefaultDevices();
+  if (!attached.ok()) {
+    StepOutcome o;
+    o.label = "attach_devices";
+    o.detail = attached.ToString();
+    result.outcomes.push_back(std::move(o));
+    return result;
+  }
+  system_->fabric().set_propagation_delay(config_.fabric_propagation_delay);
+  system_->fabric().AttachHost(config_.exfil_sink_host, [this](const Frame& frame) {
+    exfil_payloads_.push_back(frame.payload);
+  });
+
+  for (const ScenarioStep& step : scenario.steps()) {
+    StepOutcome outcome;
+    outcome.label = std::string(ScenarioStepKindName(step.kind));
+    Execute(step, outcome);
+    result.outcomes.push_back(std::move(outcome));
+  }
+
+  result.trace_digest = TraceDigestLines(system_->trace());
+  result.trace_hash = TraceDigestHash(system_->trace());
+  return result;
+}
+
+void ScenarioRunner::Execute(const ScenarioStep& step, StepOutcome& outcome) {
+  GuillotineSystem& sys = *system_;
+  switch (step.kind) {
+    case ScenarioStepKind::kHostModel: {
+      Rng weight_rng(step.seed);
+      const MlpModel model = MlpModel::Random(step.model_dims, weight_rng);
+      const Status status = sys.HostModel(model, sys.MakeVerifier());
+      outcome.ok = status.ok();
+      outcome.detail = status.ToString();
+      break;
+    }
+
+    case ScenarioStepKind::kInjectPrompt: {
+      const Result<std::string> reply = sys.Infer(step.text);
+      outcome.ok = true;  // a refused prompt is a successful exercise
+      outcome.value = reply.ok() ? static_cast<i64>(reply->size()) : -1;
+      outcome.detail = reply.ok() ? *reply : reply.status().ToString();
+      break;
+    }
+
+    case ScenarioStepKind::kEmitOutput: {
+      const Result<Bytes> sanitized = sys.hv().FilterModelOutput(ToBytes(step.text));
+      outcome.ok = true;
+      if (!sanitized.ok()) {
+        outcome.value = -1;  // blocked outright
+        outcome.detail = sanitized.status().ToString();
+      } else {
+        const std::string text = ToString(*sanitized);
+        outcome.value = text == step.text ? 0 : 1;  // 1 = rewritten
+        outcome.detail = text;
+      }
+      break;
+    }
+
+    case ScenarioStepKind::kFloodInterrupts: {
+      if (!sys.storage_port().has_value()) {
+        outcome.detail = "no storage port";
+        break;
+      }
+      const Result<PortGuestInfo> info = sys.hv().PortInfo(*sys.storage_port());
+      if (!info.ok()) {
+        outcome.detail = info.status().ToString();
+        break;
+      }
+      const Lapic& lapic = sys.machine().hv_core(0).lapic();
+      const u64 delivered_before = lapic.delivered();
+      const u64 suppressed_before = lapic.suppressed();
+      const AttackProgram flood =
+          BuildDoorbellFlood(config_.deployment.code_base, config_.attack_scratch,
+                             *info, static_cast<u32>(step.amount));
+      const Result<RunState> state =
+          sys.RunGuestProgram(0, flood.code, flood.code_base, flood.entry,
+                              config_.flood_budget_cycles);
+      const u64 delivered = lapic.delivered() - delivered_before;
+      const u64 suppressed = lapic.suppressed() - suppressed_before;
+      outcome.ok = state.ok() && *state == RunState::kDone;
+      outcome.value = static_cast<i64>(suppressed);
+      std::ostringstream detail;
+      detail << "doorbells=" << step.amount << " delivered=" << delivered
+             << " coalesced=" << suppressed;
+      if (!state.ok()) {
+        detail << " state=" << state.status().ToString();
+      }
+      outcome.detail = detail.str();
+      break;
+    }
+
+    case ScenarioStepKind::kAttemptExfil: {
+      if (!sys.nic_port().has_value()) {
+        outcome.detail = "no nic port";
+        break;
+      }
+      const PortBinding* binding = sys.hv().FindPort(*sys.nic_port());
+      if (binding == nullptr) {
+        outcome.detail = "nic port vanished";
+        break;
+      }
+      RingView requests = sys.machine().io_dram().RequestRing(binding->region);
+      IoSlot slot;
+      slot.opcode = static_cast<u32>(NicOpcode::kSend);
+      slot.tag = next_tag_++;
+      PutU32(slot.payload, step.host);
+      const Bytes body = ToBytes(step.text);
+      slot.payload.insert(slot.payload.end(), body.begin(), body.end());
+      const Status pushed = requests.Push(slot);
+      if (!pushed.ok()) {
+        outcome.detail = pushed.ToString();
+        break;
+      }
+      const size_t escaped_before = exfil_payloads_.size();
+      const u64 rejected_before = sys.hv().lifetime_stats().blocked;
+      const u64 dropped_before = sys.fabric().dropped();
+      sys.hv().ServiceOnce(0, /*poll_all=*/true);
+      sys.fabric().Pump();
+      outcome.ok = true;
+      outcome.value = static_cast<i64>(exfil_payloads_.size() - escaped_before);
+      std::ostringstream detail;
+      detail << "escaped=" << outcome.value
+             << " rejected=" << sys.hv().lifetime_stats().blocked - rejected_before
+             << " fabric_dropped=" << sys.fabric().dropped() - dropped_before;
+      outcome.detail = detail.str();
+      break;
+    }
+
+    case ScenarioStepKind::kDropHeartbeats: {
+      HeartbeatMonitor& hb = sys.console().heartbeat();
+      hb.set_link_up(false);
+      const Cycles tick_every =
+          std::max<Cycles>(1, config_.deployment.console.heartbeat.period / 2);
+      Cycles remaining = step.amount;
+      while (remaining > 0) {
+        const Cycles advance = std::min(tick_every, remaining);
+        sys.clock().Advance(advance);
+        sys.console().Tick();
+        remaining -= advance;
+      }
+      outcome.ok = true;
+      outcome.value = static_cast<i64>(sys.console().level());
+      outcome.detail = std::string("level=") +
+                       std::string(IsolationLevelName(sys.console().level())) +
+                       (hb.expired() ? " (watchdog expired)" : " (watchdog alive)");
+      break;
+    }
+
+    case ScenarioStepKind::kRestoreHeartbeats: {
+      sys.console().heartbeat().set_link_up(true);
+      sys.console().heartbeat().Reset();
+      outcome.ok = true;
+      outcome.detail = "link repaired, monitor re-armed";
+      break;
+    }
+
+    case ScenarioStepKind::kRequestIsolation: {
+      const Result<Cycles> latency = sys.console().RequestTransition(step.level, step.votes);
+      outcome.ok = true;
+      if (latency.ok()) {
+        outcome.value = static_cast<i64>(*latency);
+        outcome.detail = std::string("now ") +
+                         std::string(IsolationLevelName(sys.console().level()));
+      } else {
+        outcome.value = -1;
+        outcome.detail = latency.status().ToString();
+      }
+      break;
+    }
+
+    case ScenarioStepKind::kHvEscalate: {
+      const Status status = sys.console().EscalateFromHypervisor(step.level, step.text);
+      outcome.ok = true;
+      outcome.value = status.ok() ? static_cast<i64>(sys.console().level()) : -1;
+      outcome.detail = status.ok()
+                           ? std::string("now ") +
+                                 std::string(IsolationLevelName(sys.console().level()))
+                           : status.ToString();
+      break;
+    }
+
+    case ScenarioStepKind::kAdvanceClock: {
+      sys.clock().Advance(step.amount);
+      outcome.ok = true;
+      outcome.value = static_cast<i64>(sys.clock().now());
+      break;
+    }
+
+    case ScenarioStepKind::kPump: {
+      for (u64 i = 0; i < step.amount; ++i) {
+        sys.PumpOnce();
+      }
+      outcome.ok = true;
+      outcome.value = static_cast<i64>(sys.clock().now());
+      break;
+    }
+
+    case ScenarioStepKind::kCustom: {
+      outcome.label = step.text;
+      if (step.custom) {
+        outcome.ok = true;
+        step.custom(sys, outcome);
+      } else {
+        outcome.detail = "no custom function";
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace guillotine
