@@ -5,10 +5,12 @@
 #define BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 
 #include "src/common/table.h"
+#include "src/common/types.h"
 
 namespace guillotine {
 
@@ -18,7 +20,13 @@ namespace guillotine {
 // every code path still executes.
 inline bool g_bench_smoke = false;
 
+// --seed=N reseeds harnesses that draw randomness (default 42). The parsed
+// value is echoed on every run — smoke included — so a failing bench in a
+// CI log is reproducible without guessing.
+inline u64 g_bench_seed = 42;
+
 inline bool SmokeMode() { return g_bench_smoke; }
+inline u64 BenchSeed() { return g_bench_seed; }
 
 template <typename T>
 inline T Smoked(T full, T smoke) {
@@ -27,10 +35,16 @@ inline T Smoked(T full, T smoke) {
 
 inline void ParseBenchArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--smoke") {
+    const std::string_view arg(argv[i]);
+    if (arg == "--smoke") {
       g_bench_smoke = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      g_bench_seed = std::strtoull(argv[i] + 7, nullptr, 0);
     }
   }
+  std::printf("[bench] seed=%llu mode=%s\n",
+              static_cast<unsigned long long>(g_bench_seed),
+              g_bench_smoke ? "smoke" : "full");
 }
 
 inline void BenchHeader(const std::string& experiment_id, const std::string& claim) {

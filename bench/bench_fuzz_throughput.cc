@@ -1,0 +1,62 @@
+// Fuzz-campaign throughput: scenarios/sec and steps/sec of the seeded
+// adversarial scenario fuzzer (generation + fresh-deployment execution +
+// invariant checking + periodic digest replays).
+//
+// The fuzzer's value scales with how many random interleavings it can
+// afford per CI run: the nightly job fixes a 10k-scenario budget, so this
+// harness tracks the cost of one scenario end-to-end and how it moves with
+// scenario length. Wall-clock (not simulated cycles) is the honest metric
+// here — the fuzzer itself is host-side tooling around the simulator.
+#include <chrono>
+
+#include "bench/bench_common.h"
+#include "src/testing/fuzzer.h"
+
+namespace guillotine {
+namespace {
+
+void Run() {
+  BenchHeader("FZ1 / fuzz throughput",
+              "seeded scenario fuzzing is cheap enough for 10k-scenario "
+              "nightly campaigns and 1k-scenario PR smokes");
+
+  TextTable table({"max_steps", "scenarios", "steps", "events", "failures",
+                   "wall_ms", "scen_per_sec", "steps_per_sec"});
+  const int scenarios = Smoked(300, 12);
+  for (const int max_steps : {4, 8, 12}) {
+    ScenarioFuzzerConfig config;
+    config.max_steps = max_steps;
+    ScenarioFuzzer fuzzer(config);
+    const auto start = std::chrono::steady_clock::now();
+    const FuzzCampaignStats stats = fuzzer.RunCampaign(scenarios, BenchSeed());
+    const auto end = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(end -
+                                                                              start)
+            .count();
+    table.AddRow({std::to_string(max_steps), std::to_string(stats.scenarios),
+                  std::to_string(stats.steps), std::to_string(stats.trace_events),
+                  std::to_string(stats.failures.size()), TextTable::Num(ms, 1),
+                  TextTable::Num(stats.scenarios / (ms / 1000.0), 1),
+                  TextTable::Num(static_cast<double>(stats.steps) / (ms / 1000.0),
+                                 1)});
+    if (!stats.failures.empty()) {
+      std::printf("%s", stats.Summary().c_str());
+    }
+  }
+  table.Print();
+  BenchFooter(
+      "per-scenario cost is dominated by fresh-deployment construction plus "
+      "the heavyweight steps (inference, floods); campaign time scales "
+      "roughly linearly with step count, keeping nightly 10k runs in the "
+      "minutes range");
+}
+
+}  // namespace
+}  // namespace guillotine
+
+int main(int argc, char** argv) {
+  guillotine::ParseBenchArgs(argc, argv);
+  guillotine::Run();
+  return 0;
+}

@@ -20,4 +20,15 @@ std::string_view IsolationLevelName(IsolationLevel level) {
   return "?";
 }
 
+std::optional<IsolationLevel> IsolationLevelFromName(std::string_view name) {
+  for (int i = static_cast<int>(IsolationLevel::kStandard);
+       i <= static_cast<int>(IsolationLevel::kImmolation); ++i) {
+    const auto level = static_cast<IsolationLevel>(i);
+    if (IsolationLevelName(level) == name) {
+      return level;
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace guillotine

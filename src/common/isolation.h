@@ -5,6 +5,7 @@
 #ifndef SRC_COMMON_ISOLATION_H_
 #define SRC_COMMON_ISOLATION_H_
 
+#include <optional>
 #include <string_view>
 
 namespace guillotine {
@@ -19,6 +20,9 @@ enum class IsolationLevel : int {
 };
 
 std::string_view IsolationLevelName(IsolationLevel level);
+// Inverse of IsolationLevelName (used by scenario-script parsing and
+// trace-driven invariant checks). Returns nullopt for unknown names.
+std::optional<IsolationLevel> IsolationLevelFromName(std::string_view name);
 
 // True when `a` is more restrictive than `b`.
 constexpr bool MoreRestrictive(IsolationLevel a, IsolationLevel b) {

@@ -88,6 +88,15 @@ class GuillotineSystem {
   KillSwitchPlant& plant() { return plant_; }
   NetFabric& fabric() { return fabric_; }
   DetectorSuite& detectors() { return detectors_; }
+  // Const views for post-mortem inspection (audit tooling, the scenario
+  // fuzzer's invariant checker) that must not mutate the deployment.
+  const SimClock& clock() const { return clock_; }
+  const EventTrace& trace() const { return trace_; }
+  const Machine& machine() const { return machine_; }
+  const SoftwareHypervisor& hv() const { return hv_; }
+  const ControlConsole& console() const { return console_; }
+  const KillSwitchPlant& plant() const { return plant_; }
+  const NetFabric& fabric() const { return fabric_; }
   ActivationSteering* steering() { return steering_; }
   CircuitBreaker* breaker() { return breaker_; }
   const DeploymentConfig& config() const { return config_; }

@@ -193,6 +193,11 @@ void SoftwareHypervisor::HandleRequest(int hv_core_id, PortBinding& binding,
     reject(0xE156, "device vanished");
     return;
   }
+  if (isolation_ >= IsolationLevel::kSevered) {
+    // Unreachable while the severed gate above holds; counted (and trip the
+    // invariant checker) rather than silently forwarded if it ever breaks.
+    ++severed_traffic_;
+  }
   Cycles service_cycles = 0;
   IoResponse response = dev->Handle(request, machine_.clock().now(), service_cycles);
   hv.AccountWork(service_cycles / 4);  // hv overlaps with device; partial charge

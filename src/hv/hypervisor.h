@@ -93,6 +93,13 @@ class SoftwareHypervisor {
   ServiceStats ServiceOnce(int hv_core_id, bool poll_all = false);
   const ServiceStats& lifetime_stats() const { return lifetime_stats_; }
 
+  // Requests forwarded to a device while isolation was >= Severed. The
+  // severed gate in HandleRequest makes this unreachable by construction;
+  // the counter exists so the fuzzer's invariant layer can prove it stayed
+  // zero (a regression that drops the gate trips the invariant, not just a
+  // scripted test).
+  u64 severed_traffic() const { return severed_traffic_; }
+
   // ---- Isolation coupling (driven by the control console) ----
   // Applies the software-enforceable consequences of `level` (Standard /
   // Probation keep ports; Severed refuses all port traffic). Levels >= 4 are
@@ -160,6 +167,7 @@ class SoftwareHypervisor {
   EscalationFn escalate_;
   FailsafeFn failsafe_;
   ServiceStats lifetime_stats_;
+  u64 severed_traffic_ = 0;
   Cycles last_system_obs_ = 0;
   u64 doorbells_at_last_obs_ = 0;
   bool assertion_failed_ = false;

@@ -42,11 +42,19 @@ Result<ModelSnapshot> CaptureSnapshot(SoftwareHypervisor& hv, int core) {
 }
 
 Status RestoreSnapshot(SoftwareHypervisor& hv, const ModelSnapshot& snapshot) {
-  if (!snapshot.IntegrityOk()) {
-    return Unauthenticated("snapshot digest mismatch: refusing to restore");
-  }
   Machine& machine = hv.machine();
   ControlBus& bus = hv.control_bus();
+  if (!snapshot.IntegrityOk()) {
+    // A tampered snapshot is a security event, not just an API error: the
+    // refusal must land in the audit trail alongside the capture record.
+    machine.trace().Record(machine.clock().now(), TraceCategory::kSecurity, "hv",
+                           "snapshot.tamper",
+                           "core=" + std::to_string(snapshot.core) +
+                               " sealed=" + DigestHex(snapshot.digest).substr(0, 16) +
+                               " recomputed=" +
+                               DigestHex(snapshot.ComputeDigest()).substr(0, 16));
+    return Unauthenticated("snapshot digest mismatch: refusing to restore");
+  }
   const int core = snapshot.core;
   if (snapshot.dram.size() != machine.model_dram().size()) {
     return InvalidArgument("snapshot DRAM geometry does not match machine");

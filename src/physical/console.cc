@@ -2,6 +2,15 @@
 
 namespace guillotine {
 
+std::string_view TransitionCauseName(TransitionCause c) {
+  switch (c) {
+    case TransitionCause::kQuorum: return "quorum";
+    case TransitionCause::kHvEscalation: return "hv_escalation";
+    case TransitionCause::kForcedOffline: return "forced_offline";
+  }
+  return "?";
+}
+
 ControlConsole::ControlConsole(const ConsoleConfig& config, SoftwareHypervisor& hv,
                                KillSwitchPlant& plant, NetFabric* fabric, Rng& rng)
     : config_(config),
@@ -48,7 +57,7 @@ Result<Cycles> ControlConsole::RequestTransition(
       "console.quorum_ok",
       std::string(IsolationLevelName(level_)) + "->" +
           std::string(IsolationLevelName(target)) + " votes=" + std::to_string(accepted));
-  return ExecuteTransition(target);
+  return ExecuteTransition(target, TransitionCause::kQuorum, accepted, "");
 }
 
 Status ControlConsole::EscalateFromHypervisor(IsolationLevel target,
@@ -61,7 +70,8 @@ Status ControlConsole::EscalateFromHypervisor(IsolationLevel target,
   }
   hv_.machine().trace().Record(hv_.machine().clock().now(), TraceCategory::kIsolation,
                                "console", "console.hv_escalation", reason);
-  return ExecuteTransition(target).status();
+  return ExecuteTransition(target, TransitionCause::kHvEscalation, 0, std::move(reason))
+      .status();
 }
 
 void ControlConsole::ForceOffline(std::string reason) {
@@ -70,13 +80,27 @@ void ControlConsole::ForceOffline(std::string reason) {
   }
   hv_.machine().trace().Record(hv_.machine().clock().now(), TraceCategory::kIsolation,
                                "console", "console.force_offline", reason);
-  ExecuteTransition(IsolationLevel::kOffline).ok();
+  ExecuteTransition(IsolationLevel::kOffline, TransitionCause::kForcedOffline, 0,
+                    std::move(reason))
+      .ok();
 }
 
-Result<Cycles> ControlConsole::ExecuteTransition(IsolationLevel target) {
+Result<Cycles> ControlConsole::ExecuteTransition(IsolationLevel target,
+                                                 TransitionCause cause, int votes,
+                                                 std::string reason) {
   Machine& machine = hv_.machine();
   Cycles total = 0;
   const IsolationLevel from = level_;
+  auto log_transition = [&] {
+    TransitionRecord record;
+    record.at = machine.clock().now();
+    record.from = from;
+    record.to = target;
+    record.cause = cause;
+    record.votes = votes;
+    record.reason = std::move(reason);
+    transition_log_.push_back(std::move(record));
+  };
 
   // Decapitation -> Offline: replace the damaged cables but leave them
   // unplugged (the board stays dark; only reversibility is restored).
@@ -84,6 +108,7 @@ Result<Cycles> ControlConsole::ExecuteTransition(IsolationLevel target) {
     GLL_ASSIGN_OR_RETURN(Cycles repair, plant_.ManualRepair());
     level_ = target;
     ++transitions_;
+    log_transition();
     machine.trace().Record(machine.clock().now(), TraceCategory::kIsolation,
                            "console", "isolation.transition",
                            "decapitation->offline (cables replaced)",
@@ -161,6 +186,7 @@ Result<Cycles> ControlConsole::ExecuteTransition(IsolationLevel target) {
 
   level_ = target;
   ++transitions_;
+  log_transition();
   machine.trace().Record(machine.clock().now(), TraceCategory::kIsolation, "console",
                          "isolation.transition",
                          std::string(IsolationLevelName(from)) + "->" +

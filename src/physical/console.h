@@ -27,6 +27,28 @@ struct ConsoleConfig {
   std::optional<u32> fabric_host;
 };
 
+// Which authority caused an isolation transition. The console keeps a
+// structured log of every executed transition so auditors (and the fuzzer's
+// invariant checker) can verify the quorum story independently of the
+// free-form EventTrace: a relax must carry kQuorum provenance with enough
+// votes; kHvEscalation and kForcedOffline may only tighten.
+enum class TransitionCause {
+  kQuorum = 0,       // admin vote authorized by the HSM
+  kHvEscalation,     // software hypervisor / detector escalation
+  kForcedOffline,    // heartbeat lapse or hv assertion failure
+};
+
+std::string_view TransitionCauseName(TransitionCause c);
+
+struct TransitionRecord {
+  Cycles at = 0;               // when the transition completed
+  IsolationLevel from = IsolationLevel::kStandard;
+  IsolationLevel to = IsolationLevel::kStandard;
+  TransitionCause cause = TransitionCause::kQuorum;
+  int votes = 0;               // accepted admin signatures (kQuorum only)
+  std::string reason;          // escalation/force reason, empty for quorum
+};
+
 class ControlConsole {
  public:
   ControlConsole(const ConsoleConfig& config, SoftwareHypervisor& hv,
@@ -72,10 +94,16 @@ class ControlConsole {
   void Tick();
 
   u64 transitions_executed() const { return transitions_; }
+  // Structured provenance for every executed transition, in order.
+  const std::vector<TransitionRecord>& transition_log() const {
+    return transition_log_;
+  }
 
  private:
-  // Applies the physical + software consequences of moving to `target`.
-  Result<Cycles> ExecuteTransition(IsolationLevel target);
+  // Applies the physical + software consequences of moving to `target`,
+  // recording `cause`/`votes`/`reason` provenance in the transition log.
+  Result<Cycles> ExecuteTransition(IsolationLevel target, TransitionCause cause,
+                                   int votes, std::string reason);
 
   ConsoleConfig config_;
   SoftwareHypervisor& hv_;
@@ -89,6 +117,7 @@ class ControlConsole {
   IsolationLevel level_ = IsolationLevel::kStandard;
   ProbationPolicy probation_policy_;
   u64 transitions_ = 0;
+  std::vector<TransitionRecord> transition_log_;
 };
 
 }  // namespace guillotine

@@ -1,0 +1,372 @@
+#include "src/testing/invariants.h"
+
+#include <sstream>
+
+namespace guillotine {
+
+std::string RenderViolations(const std::vector<InvariantViolation>& violations) {
+  std::ostringstream out;
+  for (const InvariantViolation& v : violations) {
+    out << "[" << v.invariant << "] " << v.detail << "\n";
+  }
+  return out.str();
+}
+
+void InvariantChecker::Register(std::string name, std::string description,
+                                CheckFn fn) {
+  infos_.push_back({std::move(name), std::move(description)});
+  checks_.push_back(std::move(fn));
+}
+
+std::vector<InvariantViolation> InvariantChecker::Check(
+    const InvariantContext& ctx) const {
+  std::vector<InvariantViolation> violations;
+  for (size_t i = 0; i < checks_.size(); ++i) {
+    const std::string& name = infos_[i].name;
+    checks_[i](ctx, [&](std::string detail) {
+      violations.push_back({name, std::move(detail)});
+    });
+  }
+  return violations;
+}
+
+namespace {
+
+std::string LevelArrow(IsolationLevel from, IsolationLevel to) {
+  return std::string(IsolationLevelName(from)) + "->" +
+         std::string(IsolationLevelName(to));
+}
+
+// The console's structured provenance log is the authority on who caused
+// each transition; the quorum invariant is enforced against it.
+void CheckQuorumGatedRelax(const InvariantContext& ctx, QuorumPolicy floor,
+                           const InvariantChecker::ViolateFn& violate) {
+  for (const TransitionRecord& r : ctx.system->console().transition_log()) {
+    const bool relax = static_cast<int>(r.to) < static_cast<int>(r.from);
+    switch (r.cause) {
+      case TransitionCause::kQuorum:
+        if (relax && r.votes < floor.relax_threshold) {
+          violate("relax " + LevelArrow(r.from, r.to) + " @" + std::to_string(r.at) +
+                  " carried only " + std::to_string(r.votes) + " votes (floor " +
+                  std::to_string(floor.relax_threshold) + "-of-" +
+                  std::to_string(floor.num_admins) + ")");
+        }
+        if (!relax && r.votes < floor.restrict_threshold) {
+          violate("restrict " + LevelArrow(r.from, r.to) + " @" + std::to_string(r.at) +
+                  " carried only " + std::to_string(r.votes) + " votes (floor " +
+                  std::to_string(floor.restrict_threshold) + "-of-" +
+                  std::to_string(floor.num_admins) + ")");
+        }
+        break;
+      case TransitionCause::kHvEscalation:
+        if (relax || r.to == r.from) {
+          violate("software hypervisor relaxed isolation " + LevelArrow(r.from, r.to) +
+                  " @" + std::to_string(r.at) + " (" + r.reason + ")");
+        }
+        break;
+      case TransitionCause::kForcedOffline:
+        if (static_cast<int>(r.to) < static_cast<int>(IsolationLevel::kOffline) ||
+            relax) {
+          violate("forced-offline path produced " + LevelArrow(r.from, r.to) + " @" +
+                  std::to_string(r.at) + " (" + r.reason + ")");
+        }
+        break;
+    }
+  }
+}
+
+// Trace and transition log must tell the same story: an auditor reading
+// either sees every transition.
+void CheckTransitionAudit(const InvariantContext& ctx,
+                          const InvariantChecker::ViolateFn& violate) {
+  const auto& log = ctx.system->console().transition_log();
+  const auto events = ctx.system->trace().OfKind("isolation.transition");
+  if (events.size() != log.size()) {
+    violate("trace has " + std::to_string(events.size()) +
+            " isolation.transition events but the console log has " +
+            std::to_string(log.size()));
+    return;
+  }
+  if (ctx.system->console().transitions_executed() != log.size()) {
+    violate("console counted " +
+            std::to_string(ctx.system->console().transitions_executed()) +
+            " transitions but logged " + std::to_string(log.size()));
+  }
+  for (size_t i = 0; i < log.size(); ++i) {
+    if (events[i]->value != static_cast<i64>(log[i].to)) {
+      violate("transition " + std::to_string(i) + ": trace says level " +
+              std::to_string(events[i]->value) + ", log says " +
+              std::string(IsolationLevelName(log[i].to)));
+    }
+  }
+}
+
+// While isolation >= Offline the board must be dark: no model loads or
+// starts, no port responses, no doorbells. A board.power_on is legal only
+// as part of executing an authorized relax below Offline (the power comes
+// back just before the transition record lands).
+void CheckOfflineBoardDead(const InvariantContext& ctx,
+                           const InvariantChecker::ViolateFn& violate) {
+  auto is_activity = [](const TraceEvent& e) {
+    return e.kind == "model.load" || e.kind == "model.start" ||
+           e.kind == "port.response" || e.kind == "doorbell";
+  };
+  IsolationLevel level = IsolationLevel::kStandard;
+  bool pending_power_on = false;
+  for (const TraceEvent& e : ctx.system->trace().events()) {
+    if (e.kind == "isolation.transition") {
+      level = static_cast<IsolationLevel>(e.value);
+      if (level < IsolationLevel::kOffline) {
+        pending_power_on = false;
+      }
+      continue;
+    }
+    if (level < IsolationLevel::kOffline) {
+      continue;
+    }
+    if (e.kind == "board.power_on") {
+      // Tentatively legal; must be consumed by a relax transition before
+      // any guest activity.
+      pending_power_on = true;
+      continue;
+    }
+    if (is_activity(e)) {
+      violate("'" + e.kind + "' @" + std::to_string(e.time) + " while isolation is " +
+              std::string(IsolationLevelName(level)) +
+              (pending_power_on ? " (board repowered without a relax transition)"
+                                : " (board should be dark)"));
+    }
+  }
+  if (pending_power_on) {
+    violate("board repowered while isolation stayed >= offline");
+  }
+  if (ctx.system->console().level() >= IsolationLevel::kOffline) {
+    if (ctx.system->machine().board_powered()) {
+      violate("final state: board powered at isolation " +
+              std::string(IsolationLevelName(ctx.system->console().level())));
+    }
+    if (ctx.system->plant().power_line() == CableState::kConnected) {
+      violate("final state: power line connected at isolation " +
+              std::string(IsolationLevelName(ctx.system->console().level())));
+    }
+    if (ctx.system->plant().network_cable() == CableState::kConnected) {
+      violate("final state: network cable connected at isolation " +
+              std::string(IsolationLevelName(ctx.system->console().level())));
+    }
+  }
+}
+
+// Severed means "the model cannot use any ports": no device response may
+// reach a model core while the software hypervisor is at >= Severed, and
+// the hypervisor's severed-forward counter must be zero.
+void CheckSeveredPortsDark(const InvariantContext& ctx,
+                           const InvariantChecker::ViolateFn& violate) {
+  if (ctx.system->hv().severed_traffic() != 0) {
+    violate("hypervisor forwarded " + std::to_string(ctx.system->hv().severed_traffic()) +
+            " requests to devices while severed");
+  }
+  IsolationLevel hv_level = IsolationLevel::kStandard;
+  for (const TraceEvent& e : ctx.system->trace().events()) {
+    if (e.kind == "hv.isolation") {
+      hv_level = static_cast<IsolationLevel>(e.value);
+      continue;
+    }
+    if (hv_level >= IsolationLevel::kSevered && e.kind == "port.response") {
+      violate("port response (" + e.detail + ") @" + std::to_string(e.time) +
+              " while software isolation is " +
+              std::string(IsolationLevelName(hv_level)));
+    }
+  }
+}
+
+// A heartbeat lapse (or hv assertion failure) must actuate the kill switch
+// promptly: the forced transition lands within the plant's disconnect+cut
+// latency. And any scripted heartbeat outage longer than the watchdog
+// timeout must leave the deployment at >= Offline.
+void CheckHeartbeatKillBound(const InvariantContext& ctx,
+                             const InvariantChecker::ViolateFn& violate) {
+  const PlantConfig& plant = ctx.system->config().plant;
+  const Cycles bound = plant.net_disconnect_latency + plant.power_cut_latency;
+  const auto& events = ctx.system->trace().events();
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind != "console.force_offline") {
+      continue;
+    }
+    bool transitioned = false;
+    for (size_t j = i + 1; j < events.size(); ++j) {
+      if (events[j].kind != "isolation.transition") {
+        continue;
+      }
+      if (events[j].value < static_cast<i64>(IsolationLevel::kOffline)) {
+        break;  // something else transitioned first, and not to offline
+      }
+      transitioned = true;
+      if (events[j].time - events[i].time > bound) {
+        violate("force_offline @" + std::to_string(events[i].time) +
+                " actuated only @" + std::to_string(events[j].time) +
+                " (bound " + std::to_string(bound) + " cycles)");
+      }
+      break;
+    }
+    if (!transitioned) {
+      violate("force_offline @" + std::to_string(events[i].time) +
+              " never reached offline isolation");
+    }
+  }
+
+  if (ctx.scenario == nullptr || ctx.result == nullptr ||
+      ctx.scenario->steps().size() != ctx.result->outcomes.size()) {
+    return;
+  }
+  const HeartbeatConfig& hb = ctx.system->config().console.heartbeat;
+  for (size_t i = 0; i < ctx.scenario->steps().size(); ++i) {
+    const ScenarioStep& step = ctx.scenario->steps()[i];
+    if (step.kind != ScenarioStepKind::kDropHeartbeats) {
+      continue;
+    }
+    if (step.amount < hb.timeout + 2 * hb.period) {
+      continue;  // outage may legitimately stay under the watchdog
+    }
+    if (ctx.result->outcomes[i].value < static_cast<i64>(IsolationLevel::kOffline)) {
+      violate("heartbeats down for " + std::to_string(step.amount) +
+              " cycles (timeout " + std::to_string(hb.timeout) +
+              ") left isolation at value " +
+              std::to_string(ctx.result->outcomes[i].value) + " after step " +
+              std::to_string(i));
+    }
+  }
+}
+
+// Immolation destroys the deployment: no further transitions, repowering,
+// or guest activity may ever appear, and the plant must read destroyed.
+void CheckImmolationTerminal(const InvariantContext& ctx,
+                             const InvariantChecker::ViolateFn& violate) {
+  bool immolated = false;
+  for (const TraceEvent& e : ctx.system->trace().events()) {
+    if (!immolated) {
+      immolated = e.kind == "isolation.transition" &&
+                  e.value == static_cast<i64>(IsolationLevel::kImmolation);
+      continue;
+    }
+    if (e.kind == "isolation.transition" || e.kind == "board.power_on" ||
+        e.kind == "model.start" || e.kind == "port.response") {
+      violate("'" + e.kind + "' @" + std::to_string(e.time) + " after immolation");
+    }
+  }
+  if (immolated && !ctx.system->plant().destroyed()) {
+    violate("trace shows immolation but the plant is not destroyed");
+  }
+}
+
+// The audit trail accounts for the hypervisor's own counters: every
+// serviced request and response has a trace line, and rejects never
+// outnumber blocks.
+void CheckAuditCoverage(const InvariantContext& ctx,
+                        const InvariantChecker::ViolateFn& violate) {
+  const ServiceStats& stats = ctx.system->hv().lifetime_stats();
+  const EventTrace& trace = ctx.system->trace();
+  const size_t requests = trace.CountKind("port.request");
+  const size_t responses = trace.CountKind("port.response");
+  const size_t rejects = trace.CountKind("port.reject");
+  if (requests != stats.requests) {
+    violate("hv serviced " + std::to_string(stats.requests) + " requests but traced " +
+            std::to_string(requests));
+  }
+  if (responses != stats.responses) {
+    violate("hv pushed " + std::to_string(stats.responses) + " responses but traced " +
+            std::to_string(responses));
+  }
+  if (rejects > stats.blocked) {
+    violate("trace has " + std::to_string(rejects) + " port.reject events but hv "
+            "counted only " + std::to_string(stats.blocked) + " blocks");
+  }
+}
+
+// Exfiltrated bytes may only ever reach the fabric at Standard isolation:
+// Probation suspends NIC sends, Severed+ refuses ports outright. The level
+// estimate below only sees scripted transitions, so it can lag behind
+// detector-driven escalations — that lag never produces false positives
+// because the true level is always >= the estimate.
+void CheckExfilContained(const InvariantContext& ctx,
+                         const InvariantChecker::ViolateFn& violate) {
+  if (ctx.scenario == nullptr || ctx.result == nullptr ||
+      ctx.scenario->steps().size() != ctx.result->outcomes.size()) {
+    return;
+  }
+  IsolationLevel level = IsolationLevel::kStandard;
+  for (size_t i = 0; i < ctx.scenario->steps().size(); ++i) {
+    const ScenarioStep& step = ctx.scenario->steps()[i];
+    const StepOutcome& outcome = ctx.result->outcomes[i];
+    switch (step.kind) {
+      case ScenarioStepKind::kRequestIsolation:
+      case ScenarioStepKind::kHvEscalate:
+        if (outcome.value >= 0) {
+          level = step.level;
+        }
+        break;
+      case ScenarioStepKind::kDropHeartbeats:
+        level = static_cast<IsolationLevel>(outcome.value);
+        break;
+      case ScenarioStepKind::kAttemptExfil:
+        if (outcome.value > 0 && level != IsolationLevel::kStandard) {
+          violate(std::to_string(outcome.value) + " frame(s) escaped to host " +
+                  std::to_string(step.host) + " at step " + std::to_string(i) +
+                  " while isolation was at least " +
+                  std::string(IsolationLevelName(level)));
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+InvariantChecker InvariantChecker::Default(QuorumPolicy safety_floor) {
+  InvariantChecker checker;
+  checker.Register(
+      "quorum-gated-relax",
+      "isolation never relaxes without a quorum meeting the safety floor",
+      [safety_floor](const InvariantContext& ctx, const ViolateFn& violate) {
+        CheckQuorumGatedRelax(ctx, safety_floor, violate);
+      });
+  checker.Register("transition-audit",
+                   "every transition appears in both the trace and the console log",
+                   [](const InvariantContext& ctx, const ViolateFn& violate) {
+                     CheckTransitionAudit(ctx, violate);
+                   });
+  checker.Register("offline-board-dead",
+                   "the board is dark whenever isolation >= Offline",
+                   [](const InvariantContext& ctx, const ViolateFn& violate) {
+                     CheckOfflineBoardDead(ctx, violate);
+                   });
+  checker.Register("severed-ports-dark",
+                   "no guest bytes cross a port at isolation >= Severed",
+                   [](const InvariantContext& ctx, const ViolateFn& violate) {
+                     CheckSeveredPortsDark(ctx, violate);
+                   });
+  checker.Register("heartbeat-kill-bound",
+                   "heartbeat loss forces Offline within the plant's latency",
+                   [](const InvariantContext& ctx, const ViolateFn& violate) {
+                     CheckHeartbeatKillBound(ctx, violate);
+                   });
+  checker.Register("immolation-terminal",
+                   "nothing happens after Immolation",
+                   [](const InvariantContext& ctx, const ViolateFn& violate) {
+                     CheckImmolationTerminal(ctx, violate);
+                   });
+  checker.Register("audit-coverage",
+                   "hypervisor counters and the audit trace agree",
+                   [](const InvariantContext& ctx, const ViolateFn& violate) {
+                     CheckAuditCoverage(ctx, violate);
+                   });
+  checker.Register("exfil-contained",
+                   "fabric escapes only happen at Standard isolation",
+                   [](const InvariantContext& ctx, const ViolateFn& violate) {
+                     CheckExfilContained(ctx, violate);
+                   });
+  return checker;
+}
+
+}  // namespace guillotine

@@ -1,0 +1,85 @@
+// InvariantChecker: global safety properties over whole deployments.
+//
+// Scripted scenario tests assert what one hand-written attack should do;
+// invariants assert what NO behavior may ever do, so they can be checked
+// against arbitrary fuzzer-generated step interleavings (KILLBENCH's
+// "broad adversarial action space"). Each invariant inspects a finished
+// run post-mortem — the canonical EventTrace, the console's structured
+// transition log, hypervisor counters, and the final physical state — and
+// reports violations instead of asserting, so the fuzzer can shrink the
+// offending step sequence.
+//
+// The default suite encodes the paper's section-3.4 safety claims:
+//   quorum-gated-relax    isolation never loosens without >= 5-of-7 votes
+//   transition-audit      every transition is in both the log and the trace
+//   offline-board-dead    the board is dark whenever isolation >= Offline
+//   severed-ports-dark    no guest bytes cross a port at >= Severed
+//   heartbeat-kill-bound  heartbeat loss forces Offline within plant latency
+//   immolation-terminal   nothing happens after Immolation, ever
+//   exfil-contained       fabric escapes only happen at Standard isolation
+//
+// Adding an invariant: call Register with a name and a function that walks
+// the InvariantContext and calls `violate(detail)` for each breach (see
+// invariants.cc for the built-ins; README "Fuzzing" documents the recipe).
+#ifndef SRC_TESTING_INVARIANTS_H_
+#define SRC_TESTING_INVARIANTS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/testing/scenario.h"
+
+namespace guillotine {
+
+struct InvariantViolation {
+  std::string invariant;  // registered name
+  std::string detail;     // what broke, with enough context to debug
+};
+
+std::string RenderViolations(const std::vector<InvariantViolation>& violations);
+
+// Everything a check may inspect about one finished run. `scenario` may be
+// null (post-mortem on a run whose script is gone); step-correlated checks
+// then skip themselves.
+struct InvariantContext {
+  const Scenario* scenario = nullptr;
+  const ScenarioResult* result = nullptr;
+  const GuillotineSystem* system = nullptr;
+};
+
+struct InvariantInfo {
+  std::string name;
+  std::string description;
+};
+
+class InvariantChecker {
+ public:
+  // `violate` tags the detail with the invariant's registered name.
+  using ViolateFn = std::function<void(std::string detail)>;
+  using CheckFn = std::function<void(const InvariantContext&, const ViolateFn&)>;
+
+  // An empty checker; Default() returns one with the built-in suite.
+  InvariantChecker() = default;
+
+  // The paper's invariants. `safety_floor` is the quorum policy the checker
+  // holds every deployment to (defaults to the paper's 7-admin, 5-relax,
+  // 3-restrict policy) — a deployment configured with a weaker policy is
+  // exactly the kind of bug this layer exists to catch.
+  static InvariantChecker Default(QuorumPolicy safety_floor = {});
+
+  void Register(std::string name, std::string description, CheckFn fn);
+  const std::vector<InvariantInfo>& invariants() const { return infos_; }
+
+  // Runs every registered invariant; returns all violations in
+  // registration order.
+  std::vector<InvariantViolation> Check(const InvariantContext& ctx) const;
+
+ private:
+  std::vector<InvariantInfo> infos_;
+  std::vector<CheckFn> checks_;
+};
+
+}  // namespace guillotine
+
+#endif  // SRC_TESTING_INVARIANTS_H_

@@ -1,6 +1,7 @@
 #include "src/testing/scenario.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "src/machine/nic.h"
@@ -130,6 +131,387 @@ Scenario& Scenario::Custom(std::string label,
   s.custom = std::move(fn);
   steps_.push_back(std::move(s));
   return *this;
+}
+
+Scenario& Scenario::Append(ScenarioStep step) {
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario scripts
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string QuoteText(std::string_view text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<u8>(c) < 0x20 || static_cast<u8>(c) >= 0x7F) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\x";
+          out += kHex[(static_cast<u8>(c) >> 4) & 0xF];
+          out += kHex[static_cast<u8>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JoinU32(const std::vector<u32>& values) {
+  std::string out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+
+std::string JoinInt(const std::vector<int>& values) {
+  std::string out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+
+// One whitespace-separated token of a script line: either a bare word or a
+// key=value pair whose value may be a quoted string.
+struct ScriptToken {
+  std::string key;    // empty for bare words
+  std::string value;  // unescaped
+  bool quoted = false;
+};
+
+Result<std::vector<ScriptToken>> TokenizeLine(std::string_view line, size_t line_no) {
+  std::vector<ScriptToken> tokens;
+  size_t i = 0;
+  auto syntax_error = [&](std::string_view why) {
+    return InvalidArgument("scenario script line " + std::to_string(line_no) + ": " +
+                           std::string(why));
+  };
+  while (i < line.size()) {
+    if (line[i] == ' ' || line[i] == '\t') {
+      ++i;
+      continue;
+    }
+    if (line[i] == '#') {
+      break;  // comment to end of line (only outside quoted strings)
+    }
+    ScriptToken token;
+    // Optional key= prefix.
+    const size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' && line[i] != '=' &&
+           line[i] != '"') {
+      ++i;
+    }
+    if (i < line.size() && line[i] == '=') {
+      token.key = std::string(line.substr(start, i - start));
+      ++i;
+    } else if (i >= line.size() || line[i] != '"') {
+      token.value = std::string(line.substr(start, i - start));
+      tokens.push_back(std::move(token));
+      continue;
+    } else if (i != start) {
+      return syntax_error("quote in the middle of a bare word");
+    }
+    if (i < line.size() && line[i] == '"') {
+      token.quoted = true;
+      ++i;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') {
+          if (i + 1 >= line.size()) {
+            return syntax_error("dangling escape");
+          }
+          const char esc = line[i + 1];
+          if (esc == 'n') {
+            token.value += '\n';
+            i += 2;
+          } else if (esc == 'x') {
+            if (i + 3 >= line.size()) {
+              return syntax_error("truncated \\x escape");
+            }
+            auto nibble = [](char c) -> int {
+              if (c >= '0' && c <= '9') return c - '0';
+              if (c >= 'a' && c <= 'f') return 10 + c - 'a';
+              if (c >= 'A' && c <= 'F') return 10 + c - 'A';
+              return -1;
+            };
+            const int hi = nibble(line[i + 2]);
+            const int lo = nibble(line[i + 3]);
+            if (hi < 0 || lo < 0) {
+              return syntax_error("bad \\x escape");
+            }
+            token.value += static_cast<char>((hi << 4) | lo);
+            i += 4;
+          } else {
+            token.value += esc;  // \" and \\ (and anything else, literally)
+            i += 2;
+          }
+        } else {
+          token.value += line[i];
+          ++i;
+        }
+      }
+      if (i >= line.size()) {
+        return syntax_error("unterminated string");
+      }
+      ++i;  // closing quote
+    } else {
+      // key= with a bare value.
+      const size_t vstart = i;
+      while (i < line.size() && line[i] != ' ' && line[i] != '\t') {
+        ++i;
+      }
+      token.value = std::string(line.substr(vstart, i - vstart));
+    }
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+Result<u64> ParseNumber(std::string_view text, size_t line_no) {
+  u64 value = 0;
+  if (text.empty()) {
+    return InvalidArgument("scenario script line " + std::to_string(line_no) +
+                           ": empty number");
+  }
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return InvalidArgument("scenario script line " + std::to_string(line_no) +
+                             ": bad number '" + std::string(text) + "'");
+    }
+    const u64 digit = static_cast<u64>(c - '0');
+    if (value > (~0ULL - digit) / 10) {
+      return InvalidArgument("scenario script line " + std::to_string(line_no) +
+                             ": number '" + std::string(text) + "' overflows u64");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+template <typename T>
+Result<T> NarrowNumber(u64 v, size_t line_no) {
+  if (v > static_cast<u64>(std::numeric_limits<T>::max())) {
+    return InvalidArgument("scenario script line " + std::to_string(line_no) +
+                           ": number " + std::to_string(v) + " out of range");
+  }
+  return static_cast<T>(v);
+}
+
+template <typename T>
+Result<std::vector<T>> ParseNumberList(std::string_view text, size_t line_no) {
+  std::vector<T> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(',', start);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    GLL_ASSIGN_OR_RETURN(u64 v, ParseNumber(text.substr(start, end - start), line_no));
+    GLL_ASSIGN_OR_RETURN(T narrowed, NarrowNumber<T>(v, line_no));
+    out.push_back(narrowed);
+    if (end == text.size()) {
+      break;
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> SerializeScenarioScript(const Scenario& scenario) {
+  std::ostringstream out;
+  out << "scenario " << QuoteText(scenario.name()) << "\n";
+  for (const ScenarioStep& step : scenario.steps()) {
+    switch (step.kind) {
+      case ScenarioStepKind::kHostModel:
+        if (step.model_dims.empty()) {
+          return InvalidArgument("host_model step has no layer dims");
+        }
+        out << "host_model dims=" << JoinU32(step.model_dims) << " seed=" << step.seed;
+        break;
+      case ScenarioStepKind::kInjectPrompt:
+        out << "inject_prompt " << QuoteText(step.text);
+        break;
+      case ScenarioStepKind::kEmitOutput:
+        out << "emit_output " << QuoteText(step.text);
+        break;
+      case ScenarioStepKind::kFloodInterrupts:
+        out << "flood_interrupts count=" << step.amount;
+        break;
+      case ScenarioStepKind::kAttemptExfil:
+        out << "attempt_exfil host=" << step.host << " payload=" << QuoteText(step.text);
+        break;
+      case ScenarioStepKind::kDropHeartbeats:
+        out << "drop_heartbeats cycles=" << step.amount;
+        break;
+      case ScenarioStepKind::kRestoreHeartbeats:
+        out << "restore_heartbeats";
+        break;
+      case ScenarioStepKind::kRequestIsolation:
+        out << "request_isolation level=" << IsolationLevelName(step.level);
+        if (!step.votes.empty()) {
+          out << " votes=" << JoinInt(step.votes);
+        }
+        break;
+      case ScenarioStepKind::kHvEscalate:
+        out << "hv_escalate level=" << IsolationLevelName(step.level)
+            << " reason=" << QuoteText(step.text);
+        break;
+      case ScenarioStepKind::kAdvanceClock:
+        out << "advance_clock cycles=" << step.amount;
+        break;
+      case ScenarioStepKind::kPump:
+        out << "pump rounds=" << step.amount;
+        break;
+      case ScenarioStepKind::kCustom:
+        return InvalidArgument("custom steps hold code and cannot be serialized");
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<Scenario> ParseScenarioScript(std::string_view script) {
+  Scenario scenario("unnamed");
+  bool saw_header = false;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= script.size()) {
+    size_t end = script.find('\n', pos);
+    if (end == std::string_view::npos) {
+      end = script.size();
+    }
+    std::string_view line = script.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    GLL_ASSIGN_OR_RETURN(std::vector<ScriptToken> tokens, TokenizeLine(line, line_no));
+    if (tokens.empty()) {
+      if (pos > script.size()) {
+        break;
+      }
+      continue;
+    }
+    const std::string& verb = tokens.front().value;
+    auto find = [&](std::string_view key) -> const ScriptToken* {
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        if (tokens[i].key == key) {
+          return &tokens[i];
+        }
+      }
+      return nullptr;
+    };
+    auto require = [&](std::string_view key) -> Result<const ScriptToken*> {
+      const ScriptToken* token = find(key);
+      if (token == nullptr) {
+        return InvalidArgument("scenario script line " + std::to_string(line_no) +
+                               ": '" + verb + "' needs " + std::string(key) + "=");
+      }
+      return token;
+    };
+    auto require_number = [&](std::string_view key) -> Result<u64> {
+      GLL_ASSIGN_OR_RETURN(const ScriptToken* token, require(key));
+      return ParseNumber(token->value, line_no);
+    };
+    auto require_level = [&]() -> Result<IsolationLevel> {
+      GLL_ASSIGN_OR_RETURN(const ScriptToken* token, require("level"));
+      const auto level = IsolationLevelFromName(token->value);
+      if (!level.has_value()) {
+        return InvalidArgument("scenario script line " + std::to_string(line_no) +
+                               ": unknown isolation level '" + token->value + "'");
+      }
+      return *level;
+    };
+
+    if (verb == "scenario") {
+      if (tokens.size() < 2) {
+        return InvalidArgument("scenario script line " + std::to_string(line_no) +
+                               ": missing scenario name");
+      }
+      if (saw_header || !scenario.steps().empty()) {
+        return InvalidArgument("scenario script line " + std::to_string(line_no) +
+                               ": duplicate 'scenario' header (concatenated repro "
+                               "files must be split before replaying)");
+      }
+      scenario = Scenario(tokens[1].value);
+      saw_header = true;
+    } else if (verb == "host_model") {
+      GLL_ASSIGN_OR_RETURN(const ScriptToken* dims, require("dims"));
+      GLL_ASSIGN_OR_RETURN(std::vector<u32> widths,
+                           ParseNumberList<u32>(dims->value, line_no));
+      GLL_ASSIGN_OR_RETURN(u64 seed, require_number("seed"));
+      scenario.HostDefaultModel(std::move(widths), seed);
+    } else if (verb == "inject_prompt") {
+      if (tokens.size() < 2) {
+        return InvalidArgument("scenario script line " + std::to_string(line_no) +
+                               ": missing prompt");
+      }
+      scenario.InjectPrompt(tokens[1].value);
+    } else if (verb == "emit_output") {
+      if (tokens.size() < 2) {
+        return InvalidArgument("scenario script line " + std::to_string(line_no) +
+                               ": missing output");
+      }
+      scenario.EmitOutput(tokens[1].value);
+    } else if (verb == "flood_interrupts") {
+      GLL_ASSIGN_OR_RETURN(u64 count, require_number("count"));
+      GLL_ASSIGN_OR_RETURN(u32 doorbells, NarrowNumber<u32>(count, line_no));
+      scenario.FloodInterrupts(doorbells);
+    } else if (verb == "attempt_exfil") {
+      GLL_ASSIGN_OR_RETURN(u64 host, require_number("host"));
+      GLL_ASSIGN_OR_RETURN(u32 dst, NarrowNumber<u32>(host, line_no));
+      GLL_ASSIGN_OR_RETURN(const ScriptToken* payload, require("payload"));
+      scenario.AttemptExfiltration(dst, payload->value);
+    } else if (verb == "drop_heartbeats") {
+      GLL_ASSIGN_OR_RETURN(u64 cycles, require_number("cycles"));
+      scenario.DropHeartbeats(cycles);
+    } else if (verb == "restore_heartbeats") {
+      scenario.RestoreHeartbeats();
+    } else if (verb == "request_isolation") {
+      GLL_ASSIGN_OR_RETURN(IsolationLevel level, require_level());
+      std::vector<int> votes;
+      if (const ScriptToken* v = find("votes"); v != nullptr && !v->value.empty()) {
+        GLL_ASSIGN_OR_RETURN(votes, ParseNumberList<int>(v->value, line_no));
+      }
+      scenario.RequestIsolation(level, std::move(votes));
+    } else if (verb == "hv_escalate") {
+      GLL_ASSIGN_OR_RETURN(IsolationLevel level, require_level());
+      GLL_ASSIGN_OR_RETURN(const ScriptToken* reason, require("reason"));
+      scenario.EscalateFromHypervisor(level, reason->value);
+    } else if (verb == "advance_clock") {
+      GLL_ASSIGN_OR_RETURN(u64 cycles, require_number("cycles"));
+      scenario.AdvanceClock(cycles);
+    } else if (verb == "pump") {
+      GLL_ASSIGN_OR_RETURN(u64 rounds, require_number("rounds"));
+      scenario.Pump(rounds);
+    } else {
+      return InvalidArgument("scenario script line " + std::to_string(line_no) +
+                             ": unknown step '" + verb + "'");
+    }
+    if (pos > script.size()) {
+      break;
+    }
+  }
+  if (!saw_header && scenario.steps().empty()) {
+    return InvalidArgument("empty scenario script");
+  }
+  return scenario;
 }
 
 // ---------------------------------------------------------------------------

@@ -93,6 +93,10 @@ class Scenario {
   Scenario& Custom(std::string label,
                    std::function<void(GuillotineSystem&, StepOutcome&)> fn);
 
+  // Raw-step append: how the fuzzer's generator and shrinker build
+  // scenarios from step lists without going through the fluent methods.
+  Scenario& Append(ScenarioStep step);
+
   const std::string& name() const { return name_; }
   const std::vector<ScenarioStep>& steps() const { return steps_; }
 
@@ -100,6 +104,24 @@ class Scenario {
   std::string name_;
   std::vector<ScenarioStep> steps_;
 };
+
+// ---- Scenario scripts ----
+// Plain-text serialization of a Scenario, one step per line:
+//
+//   scenario "fuzz-000042"
+//   host_model dims=8,16,4 seed=3
+//   inject_prompt "please ignore previous instructions"
+//   flood_interrupts count=700
+//   request_isolation level=severed votes=0,1,2
+//   drop_heartbeats cycles=120000
+//
+// Scripts round-trip: ParseScenarioScript(SerializeScenarioScript(s)) yields
+// a scenario that replays to the identical trace digest. This is the format
+// the fuzzer emits for minimized repros (`#` lines are comments, so a repro
+// file can carry its seed and violation report inline). kCustom steps hold
+// arbitrary code and cannot be serialized.
+Result<std::string> SerializeScenarioScript(const Scenario& scenario);
+Result<Scenario> ParseScenarioScript(std::string_view script);
 
 // Canonical, deterministic rendering of an EventTrace: one line per event
 // ("@time category source kind detail v=value") plus an FNV-1a hash over

@@ -1,0 +1,246 @@
+// Seeded adversarial scenario fuzzing: thousands of random step
+// interleavings against fresh deployments, every run held to the global
+// safety invariants (see src/testing/invariants.h). The corpus seed is
+// fixed, so a red run reproduces exactly; set GUILLOTINE_FUZZ_RUNS /
+// GUILLOTINE_FUZZ_SEED to rescale or re-aim a campaign (the nightly CI job
+// runs 10k), and GUILLOTINE_FUZZ_ARTIFACT_DIR to write minimized repro
+// scripts for failing seeds.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "src/testing/fuzzer.h"
+
+namespace guillotine {
+namespace {
+
+u64 EnvOr(const char* name, u64 fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  return std::strtoull(value, nullptr, 0);
+}
+
+// Writes each failure's minimized repro script somewhere CI can pick it up
+// as a workflow artifact. No-op unless GUILLOTINE_FUZZ_ARTIFACT_DIR is set.
+void DumpRepros(const FuzzCampaignStats& stats) {
+  const char* dir = std::getenv("GUILLOTINE_FUZZ_ARTIFACT_DIR");
+  if (dir == nullptr || *dir == '\0' || stats.failures.empty()) {
+    return;
+  }
+  for (const FuzzFailure& failure : stats.failures) {
+    std::ostringstream path;
+    path << dir << "/repro-" << std::hex << failure.seed << ".scenario";
+    std::ofstream out(path.str());
+    out << failure.repro;
+    out.close();
+    if (out.fail()) {
+      std::fprintf(stderr, "fuzz repro could NOT be written to %s; inline copy:\n%s\n",
+                   path.str().c_str(), failure.repro.c_str());
+    } else {
+      std::fprintf(stderr, "fuzz repro written: %s\n", path.str().c_str());
+    }
+  }
+}
+
+// --- The corpus: >= 1000 random scenarios, zero invariant violations. ---
+
+TEST(ScenarioFuzzTest, SeededCorpusHoldsAllInvariants) {
+  const int runs = static_cast<int>(EnvOr("GUILLOTINE_FUZZ_RUNS", 1000));
+  const u64 base_seed = EnvOr("GUILLOTINE_FUZZ_SEED", 0xC0FFEE);
+  ScenarioFuzzer fuzzer;
+  const FuzzCampaignStats stats = fuzzer.RunCampaign(runs, base_seed);
+  DumpRepros(stats);
+  EXPECT_EQ(stats.scenarios, runs);
+  EXPECT_GT(stats.steps, static_cast<u64>(runs));  // scenarios are multi-step
+  EXPECT_GT(stats.replays, 0);
+  EXPECT_TRUE(stats.failures.empty()) << stats.Summary();
+}
+
+// --- Generation is a pure function of the seed. ---
+
+TEST(ScenarioFuzzTest, GeneratorIsDeterministic) {
+  ScenarioFuzzer fuzzer;
+  for (u64 seed : {1ULL, 42ULL, 0xDEADBEEFULL, ~0ULL}) {
+    const Scenario a = fuzzer.Generate(seed);
+    const Scenario b = fuzzer.Generate(seed);
+    const auto sa = SerializeScenarioScript(a);
+    const auto sb = SerializeScenarioScript(b);
+    ASSERT_TRUE(sa.ok()) << sa.status().ToString();
+    ASSERT_TRUE(sb.ok());
+    EXPECT_EQ(*sa, *sb) << "seed " << seed;
+  }
+  // Different seeds explore different scenarios.
+  EXPECT_NE(*SerializeScenarioScript(fuzzer.Generate(1)),
+            *SerializeScenarioScript(fuzzer.Generate(2)));
+}
+
+// --- Over a modest corpus, the generator reaches every step kind. ---
+
+TEST(ScenarioFuzzTest, GeneratorCoversTheWholeStepSpace) {
+  ScenarioFuzzer fuzzer;
+  std::set<ScenarioStepKind> seen;
+  for (u64 seed = 0; seed < 300; ++seed) {
+    const Scenario scenario = fuzzer.Generate(seed);
+    for (const ScenarioStep& step : scenario.steps()) {
+      seen.insert(step.kind);
+    }
+  }
+  for (const ScenarioStepKind kind :
+       {ScenarioStepKind::kHostModel, ScenarioStepKind::kInjectPrompt,
+        ScenarioStepKind::kEmitOutput, ScenarioStepKind::kFloodInterrupts,
+        ScenarioStepKind::kAttemptExfil, ScenarioStepKind::kDropHeartbeats,
+        ScenarioStepKind::kRestoreHeartbeats, ScenarioStepKind::kRequestIsolation,
+        ScenarioStepKind::kHvEscalate, ScenarioStepKind::kAdvanceClock,
+        ScenarioStepKind::kPump}) {
+    EXPECT_TRUE(seen.count(kind)) << "generator never emitted "
+                                  << ScenarioStepKindName(kind);
+  }
+}
+
+// --- Repro scripts round-trip through the DSL with identical digests. ---
+
+TEST(ScenarioFuzzTest, ScriptsRoundTripThroughTheDsl) {
+  ScenarioFuzzer fuzzer;
+  ScenarioRunner runner_a;
+  ScenarioRunner runner_b;
+  for (u64 seed = 1000; seed < 1025; ++seed) {
+    const Scenario original = fuzzer.Generate(seed);
+    const auto script = SerializeScenarioScript(original);
+    ASSERT_TRUE(script.ok()) << script.status().ToString();
+    const auto parsed = ParseScenarioScript(*script);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << *script;
+    EXPECT_EQ(parsed->name(), original.name());
+    ASSERT_EQ(parsed->steps().size(), original.steps().size());
+    // Serialization is a fixpoint...
+    const auto reserialized = SerializeScenarioScript(*parsed);
+    ASSERT_TRUE(reserialized.ok());
+    EXPECT_EQ(*script, *reserialized);
+    // ...and both scenarios replay to the identical trace digest.
+    EXPECT_EQ(runner_a.Run(original).trace_hash, runner_b.Run(*parsed).trace_hash)
+        << *script;
+  }
+}
+
+TEST(ScenarioFuzzTest, ScriptParserSurvivesCommentsAndRejectsGarbage) {
+  const auto ok = ParseScenarioScript(
+      "# a repro header\n"
+      "scenario \"commented\"\n"
+      "\n"
+      "flood_interrupts count=12  # trailing comment\n"
+      "request_isolation level=severed votes=0,1,2\n");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->steps().size(), 2u);
+  EXPECT_EQ(ok->steps()[1].level, IsolationLevel::kSevered);
+  EXPECT_EQ(ok->steps()[1].votes, (std::vector<int>{0, 1, 2}));
+
+  EXPECT_FALSE(ParseScenarioScript("jettison_the_model\n").ok());
+  EXPECT_FALSE(ParseScenarioScript("flood_interrupts count=twelve\n").ok());
+  EXPECT_FALSE(ParseScenarioScript("request_isolation level=vaporized\n").ok());
+  EXPECT_FALSE(ParseScenarioScript("inject_prompt \"unterminated\n").ok());
+  EXPECT_FALSE(ParseScenarioScript("").ok());
+  // Out-of-range numbers are rejected, not silently wrapped.
+  EXPECT_FALSE(ParseScenarioScript("drop_heartbeats cycles=18446744073709551616\n").ok());
+  EXPECT_FALSE(ParseScenarioScript("flood_interrupts count=4294967296\n").ok());
+  EXPECT_FALSE(
+      ParseScenarioScript("request_isolation level=standard votes=4294967296\n").ok());
+  // Concatenated repro files are rejected, not silently truncated.
+  EXPECT_FALSE(ParseScenarioScript("scenario \"a\"\npump rounds=1\nscenario \"b\"\n").ok());
+  // host_model steps without dims cannot serialize (they could not parse back).
+  Scenario dimless("dimless");
+  ScenarioStep host;
+  host.kind = ScenarioStepKind::kHostModel;
+  dimless.Append(host);
+  EXPECT_FALSE(SerializeScenarioScript(dimless).ok());
+}
+
+TEST(ScenarioFuzzTest, ScriptEscapingRoundTripsHostileText) {
+  Scenario hostile("escape\"me\\now");
+  hostile.InjectPrompt("line one\nline two \"quoted\" back\\slash")
+      .EmitOutput(std::string("nul\x01byte and bell\x07"));
+  const auto script = SerializeScenarioScript(hostile);
+  ASSERT_TRUE(script.ok());
+  const auto parsed = ParseScenarioScript(*script);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->name(), hostile.name());
+  ASSERT_EQ(parsed->steps().size(), 2u);
+  EXPECT_EQ(parsed->steps()[0].text, hostile.steps()[0].text);
+  EXPECT_EQ(parsed->steps()[1].text, hostile.steps()[1].text);
+}
+
+TEST(ScenarioFuzzTest, CustomStepsRefuseToSerialize) {
+  Scenario custom("custom");
+  custom.Custom("bespoke", [](GuillotineSystem&, StepOutcome&) {});
+  EXPECT_FALSE(SerializeScenarioScript(custom).ok());
+}
+
+// --- A deliberately broken deployment is caught AND shrunk. ---
+//
+// The acceptance gate for the invariant layer: weaken the quorum so a
+// single admin can relax isolation (the exact bug class the paper's 5-of-7
+// HSM policy exists to prevent), fuzz until the quorum invariant trips,
+// and require the shrinker to hand back a <= 10 step repro that still
+// violates and round-trips through the DSL.
+
+TEST(ScenarioFuzzTest, BrokenQuorumIsCaughtAndShrunk) {
+  ScenarioFuzzerConfig config;
+  config.runner.deployment.console.quorum.relax_threshold = 1;  // the bug
+  config.stop_after_failures = 1;
+  ScenarioFuzzer fuzzer(config);
+
+  const FuzzCampaignStats stats = fuzzer.RunCampaign(400, /*base_seed=*/7);
+  ASSERT_FALSE(stats.failures.empty())
+      << "400 scenarios never relaxed isolation on one vote";
+  const FuzzFailure& failure = stats.failures.front();
+
+  bool quorum_violation = false;
+  for (const InvariantViolation& v : failure.violations) {
+    quorum_violation |= v.invariant == "quorum-gated-relax";
+  }
+  EXPECT_TRUE(quorum_violation) << RenderViolations(failure.violations);
+
+  // Shrunk hard: a relax needs one prior escalation, so 2-3 steps suffice.
+  EXPECT_LE(failure.minimized.steps().size(), 10u) << failure.repro;
+  EXPECT_LT(failure.minimized.steps().size(), failure.scenario.steps().size());
+
+  // The minimized scenario still fails, and so does its repro script after
+  // a round-trip through the DSL.
+  EXPECT_FALSE(fuzzer.Check(failure.minimized).empty());
+  const auto reparsed = ParseScenarioScript(failure.repro);
+  ASSERT_TRUE(reparsed.ok()) << failure.repro;
+  EXPECT_FALSE(fuzzer.Check(*reparsed).empty()) << failure.repro;
+}
+
+// A healthy deployment run through the same shrinking entry point is left
+// alone (nothing fails, nothing to minimize).
+
+TEST(ScenarioFuzzTest, ShrinkLeavesPassingScenariosAlone) {
+  ScenarioFuzzer fuzzer;
+  const Scenario scenario = fuzzer.Generate(0xABCD);
+  EXPECT_TRUE(fuzzer.Check(scenario).empty());
+  const Scenario shrunk = fuzzer.Shrink(scenario);
+  EXPECT_EQ(shrunk.steps().size(), scenario.steps().size());
+}
+
+// --- The hypervisor's severed-forward counter is visible and quiet. ---
+
+TEST(ScenarioFuzzTest, SeveredTrafficCounterStaysZeroUnderAttack) {
+  Scenario s("severed-exfil");
+  s.HostDefaultModel()
+      .RequestIsolation(IsolationLevel::kSevered, {0, 1, 2})
+      .AttemptExfiltration(66, "shard")
+      .AttemptExfiltration(66, "shard again");
+  ScenarioRunner runner;
+  const ScenarioResult r = runner.Run(s);
+  ASSERT_TRUE(r.AllStepsRan()) << r.Summary();
+  EXPECT_EQ(runner.system().hv().severed_traffic(), 0u);
+  EXPECT_TRUE(runner.exfil_payloads().empty());
+}
+
+}  // namespace
+}  // namespace guillotine

@@ -121,6 +121,59 @@ TEST_F(HvExtrasTest, TamperedSnapshotRefusesRestore) {
   tampered.dram[42] ^= 0xFF;
   const Status restore = RestoreSnapshot(hv_, tampered);
   EXPECT_EQ(restore.code(), StatusCode::kUnauthenticated);
+  // The refusal is a security event in the audit trail, carrying both the
+  // sealed and the recomputed digest prefixes.
+  ASSERT_EQ(trace_.CountKind("snapshot.tamper"), 1u);
+  const TraceEvent* event = trace_.OfKind("snapshot.tamper").front();
+  EXPECT_EQ(event->category, TraceCategory::kSecurity);
+  EXPECT_NE(event->detail.find("sealed="), std::string::npos);
+  EXPECT_NE(event->detail.find("recomputed="), std::string::npos);
+  // Nothing was restored: no DRAM rewrite happened after the bit flip.
+  EXPECT_EQ(trace_.CountKind("snapshot.restore"), 0u);
+}
+
+TEST_F(HvExtrasTest, EveryTamperedSnapshotRegionIsCaughtAndAudited) {
+  // Get the core into a non-trivial architectural state first.
+  const Bytes code = [] {
+    ProgramBuilder b(0x1000);
+    b.Ldi(4, 77);
+    b.Halt();
+    return b.Build()->Encode();
+  }();
+  ASSERT_TRUE(hv_.LoadModel(0, code, 0x1000, 0x1000).ok());
+  ASSERT_TRUE(hv_.StartModel(0).ok());
+  machine_.model_core(0).Run(100'000);
+  const auto snapshot = CaptureSnapshot(hv_, 0);
+  ASSERT_TRUE(snapshot.ok());
+
+  size_t tamper_events = 0;
+  auto expect_rejected = [&](const ModelSnapshot& tampered, std::string_view what) {
+    EXPECT_FALSE(tampered.IntegrityOk()) << what;
+    const Status restore = RestoreSnapshot(hv_, tampered);
+    EXPECT_EQ(restore.code(), StatusCode::kUnauthenticated) << what;
+    ++tamper_events;
+    EXPECT_EQ(trace_.CountKind("snapshot.tamper"), tamper_events) << what;
+  };
+
+  ModelSnapshot dram_flip = *snapshot;
+  dram_flip.dram[0x9000] ^= 0x01;  // single-bit flip in memory
+  expect_rejected(dram_flip, "dram bit flip");
+
+  ModelSnapshot reg_flip = *snapshot;
+  reg_flip.arch.x[4] ^= 1;  // register tamper (77 -> 76)
+  expect_rejected(reg_flip, "register bit flip");
+
+  ModelSnapshot pc_flip = *snapshot;
+  pc_flip.arch.pc ^= 0x8;  // resume-point redirection
+  expect_rejected(pc_flip, "pc flip");
+
+  ModelSnapshot seal_flip = *snapshot;
+  seal_flip.digest[0] ^= 0x80;  // forged seal
+  expect_rejected(seal_flip, "digest bit flip");
+
+  // The untampered snapshot still restores fine afterwards.
+  EXPECT_TRUE(RestoreSnapshot(hv_, *snapshot).ok());
+  EXPECT_EQ(trace_.CountKind("snapshot.restore"), 1u);
 }
 
 TEST_F(HvExtrasTest, SnapshotRequiresQuiescedComplex) {

@@ -10,6 +10,7 @@
 #include "src/common/ring_buffer.h"
 #include "src/mem/cache.h"
 #include "src/physical/quorum.h"
+#include "src/testing/fuzzer.h"
 
 namespace guillotine {
 namespace {
@@ -237,6 +238,37 @@ TEST_P(QuorumMonotone, MoreValidVotesNeverHurt) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QuorumMonotone, ::testing::Values(30, 31, 32, 33));
+
+// --- Property: ScenarioRunner is deterministic over the whole generated
+// scenario space — identical seed+script => identical digest and outcomes.
+// Four instantiations x 25 scripts = 100 random scripts per run.
+
+class GeneratedScenarioDeterminism : public ::testing::TestWithParam<u64> {};
+
+TEST_P(GeneratedScenarioDeterminism, SameScriptSameDigest) {
+  ScenarioFuzzer fuzzer;
+  ScenarioRunner a;
+  ScenarioRunner b;
+  for (u64 i = 0; i < 25; ++i) {
+    const u64 seed = GetParam() * 1'000'003 + i;
+    const Scenario scenario = fuzzer.Generate(seed);
+    const ScenarioResult ra = a.Run(scenario);
+    const ScenarioResult rb = b.Run(scenario);
+    ASSERT_EQ(ra.trace_hash, rb.trace_hash)
+        << "seed " << seed << "\n" << ra.Summary();
+    ASSERT_EQ(ra.trace_digest, rb.trace_digest) << "seed " << seed;
+    ASSERT_EQ(ra.outcomes.size(), rb.outcomes.size()) << "seed " << seed;
+    for (size_t s = 0; s < ra.outcomes.size(); ++s) {
+      ASSERT_EQ(ra.outcomes[s].value, rb.outcomes[s].value)
+          << "seed " << seed << " step " << s;
+      ASSERT_EQ(ra.outcomes[s].detail, rb.outcomes[s].detail)
+          << "seed " << seed << " step " << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedScenarioDeterminism,
+                         ::testing::Values(500, 501, 502, 503));
 
 }  // namespace
 }  // namespace guillotine
