@@ -1,13 +1,24 @@
 // E8 (Table 4): end-to-end model-service cost of Guillotine.
 //
 // Paper context (section 2): a model service is queues + replicas; the
-// question a deployer asks is what the sandbox costs per request. We serve
-// the same workload through:
+// question a deployer asks is what the sandbox costs per request. Part one
+// serves the same workload through:
 //   native       analytic unsandboxed replica (no hypervisor at all)
 //   guillotine   full sandbox, no introspection (Standard isolation)
 //   +detectors   Standard + input/output mediation already included; this
 //                row adds layer-boundary activation introspection
 //   severed      Severed isolation (service refused)
+//
+// Part two is the fleet experiment: a sharded ModelService over a
+// GuillotineFleet (one sandboxed deployment per shard), swept over shard
+// count x arrival rate at fixed offered load. Throughput should scale with
+// shards while session affinity keeps the KV hit rate pinned to the
+// 1-shard serial baseline. Flags:
+//   --shards=1,2,4     shard counts to sweep (default 1,2,4 + 8 in full mode)
+//   --spacing=20000    arrival spacings (cycles between arrivals) to sweep
+#include <cstring>
+#include <sstream>
+
 #include "bench/bench_common.h"
 #include "src/core/guillotine.h"
 #include "src/service/service.h"
@@ -27,7 +38,32 @@ std::vector<InferenceRequest> Workload(int n) {
     r.id = static_cast<u64>(i);
     r.prompt = kPrompts[i % 6] + std::string(" #") + std::to_string(i);
     r.arrival = static_cast<u64>(i) * 20'000;  // saturating arrival rate
-    r.session_id = static_cast<u32>(i % 4);
+    r.session_id = static_cast<u32>(i % 4) + 1;
+    requests.push_back(std::move(r));
+  }
+  return requests;
+}
+
+// Fleet workload: 8 multi-turn conversations (growing context, so KV
+// prefix reuse matters) interleaved 3:1 with session-less one-shots (the
+// stealable fraction), at a fixed arrival spacing.
+std::vector<InferenceRequest> FleetWorkload(int n, Cycles spacing) {
+  std::vector<InferenceRequest> requests;
+  std::string context[8];
+  for (int i = 0; i < n; ++i) {
+    InferenceRequest r;
+    r.id = static_cast<u64>(i);
+    r.arrival = static_cast<u64>(i) * spacing;
+    if (i % 4 == 3) {
+      r.session_id = kNoSession;
+      r.prompt = "one-shot lookup #" + std::to_string(i);
+    } else {
+      const u32 session = static_cast<u32>(i % 3) + static_cast<u32>((i / 12) % 2) * 3 + 1;
+      std::string& ctx = context[session];
+      ctx += " turn " + std::to_string(i) + " of conversation";
+      r.session_id = session;
+      r.prompt = ctx;
+    }
     requests.push_back(std::move(r));
   }
   return requests;
@@ -53,7 +89,26 @@ void Row(TextTable& table, std::string_view name, const ServiceReport& report) {
                 TextTable::Num(report.throughput_per_mcycle() * 1000, 2)});
 }
 
-void Run() {
+// Comma-separated u64 list flag ("--shards=1,2,4"); empty if absent.
+std::vector<u64> FlagList(int argc, char** argv, const char* prefix) {
+  std::vector<u64> values;
+  const size_t prefix_len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, prefix_len) != 0) {
+      continue;
+    }
+    std::stringstream stream(argv[i] + prefix_len);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+      if (!token.empty()) {
+        values.push_back(std::strtoull(token.c_str(), nullptr, 0));
+      }
+    }
+  }
+  return values;
+}
+
+void RunSandboxCostTable() {
   BenchHeader("E8 / Table 4",
               "the sandbox costs a constant factor per request; Severed "
               "isolation stops service entirely (by design)");
@@ -109,11 +164,86 @@ void Run() {
       "its specification");
 }
 
+void RunShardSweep(const std::vector<u64>& shard_counts,
+                   const std::vector<u64>& spacings) {
+  BenchHeader("E8b / fleet sweep",
+              "a sharded fleet of sandboxed replicas scales throughput with "
+              "shard count at fixed offered load, and session affinity keeps "
+              "the KV hit rate identical to the 1-shard serial baseline");
+
+  Rng rng(21);
+  const MlpModel model = MlpModel::Random({16, 32, 8}, rng);
+  const int kRequests = Smoked(144, 24);
+
+  TextTable table({"shards", "spacing_cyc", "completed", "stolen", "max_qhw",
+                   "kv_hit_rate", "p50_lat_kcyc", "p99_lat_kcyc",
+                   "p999_lat_kcyc", "req_per_Gcycle"});
+
+  for (const u64 spacing : spacings) {
+    double baseline_hit_rate = -1.0;
+    for (const u64 shards : shard_counts) {
+      GuillotineFleet fleet(shards, SysConfig(IntrospectionMode::kNone));
+      if (!fleet.HostEverywhere(model).ok()) {
+        continue;
+      }
+      ModelServiceConfig config;
+      config.num_shards = shards;
+      ModelService service(config);
+      fleet.RegisterWith(service);
+
+      const ServiceReport report =
+          service.RunAll(FleetWorkload(kRequests, spacing));
+      size_t max_qhw = 0;
+      for (const ShardStats& s : report.shards) {
+        max_qhw = std::max(max_qhw, s.queue_high_water);
+      }
+      std::string hit_rate = TextTable::Num(report.kv_hit_rate, 3);
+      if (baseline_hit_rate < 0) {
+        baseline_hit_rate = report.kv_hit_rate;
+      } else if (report.kv_hit_rate == baseline_hit_rate) {
+        hit_rate += "=";  // byte-equal to the serial baseline
+      }
+      table.AddRow({std::to_string(shards), std::to_string(spacing),
+                    std::to_string(report.completed), std::to_string(report.stolen),
+                    std::to_string(max_qhw), hit_rate,
+                    TextTable::Num(report.latency.Percentile(50) / 1e3, 1),
+                    TextTable::Num(report.latency.Percentile(99) / 1e3, 1),
+                    TextTable::Num(report.latency.Percentile(99.9) / 1e3, 1),
+                    TextTable::Num(report.throughput_per_mcycle() * 1000, 2)});
+    }
+  }
+
+  table.Print();
+  BenchFooter(
+      "throughput climbs 1->4 shards while the kv_hit_rate column stays "
+      "byte-identical to the serial baseline ('=' marks equality): consistent "
+      "hashing pins every conversation to the shard holding its KV prefix, "
+      "and work-stealing moves only session-less one-shots");
+}
+
+void Run(const std::vector<u64>& shard_counts, const std::vector<u64>& spacings) {
+  RunSandboxCostTable();
+  RunShardSweep(shard_counts, spacings);
+}
+
 }  // namespace
 }  // namespace guillotine
 
 int main(int argc, char** argv) {
   guillotine::ParseBenchArgs(argc, argv);
-  guillotine::Run();
+  std::vector<guillotine::u64> shards =
+      guillotine::FlagList(argc, argv, "--shards=");
+  if (shards.empty()) {
+    shards = guillotine::SmokeMode() ? std::vector<guillotine::u64>{1, 2, 4}
+                                     : std::vector<guillotine::u64>{1, 2, 4, 8};
+  }
+  std::vector<guillotine::u64> spacings =
+      guillotine::FlagList(argc, argv, "--spacing=");
+  if (spacings.empty()) {
+    spacings = guillotine::SmokeMode()
+                   ? std::vector<guillotine::u64>{5'000}
+                   : std::vector<guillotine::u64>{5'000, 20'000, 80'000};
+  }
+  guillotine::Run(shards, spacings);
   return 0;
 }

@@ -91,7 +91,9 @@ int main() {
   // Multi-turn sessions exercising the KV cache through the service layer.
   std::printf("service run (multi-turn sessions, KV cache):\n");
   GuillotineReplica replica(sys);
-  ModelService service(KvCacheConfig{64, 16});
+  ModelServiceConfig service_config;
+  service_config.kv = KvCacheConfig{64, 16};
+  ModelService service(service_config);
   service.AddReplica(&replica);
   std::vector<InferenceRequest> requests;
   std::string context = "conversation:";

@@ -4,6 +4,7 @@
 #include "src/machine/nic.h"
 #include "src/machine/storage.h"
 #include "src/model/tokenizer.h"
+#include "src/service/service.h"
 
 namespace guillotine {
 
@@ -234,6 +235,12 @@ Result<std::string> GuillotineSystem::Infer(const std::string& prompt) {
   const std::string rendered = RenderOutput(output);
   // Output sanitization.
   GLL_ASSIGN_OR_RETURN(Bytes sanitized, hv_.FilterModelOutput(ToBytes(rendered)));
+  // Milestone for the audit trail: a completed, detector-approved inference.
+  // The detector-verdict-consistency invariant holds every one of these to a
+  // preceding non-blocking input AND output verdict.
+  trace_.Record(clock_.now(), TraceCategory::kService, "system", "infer.complete",
+                "bytes=" + std::to_string(sanitized.size()),
+                static_cast<i64>(sanitized.size()));
   return ToString(sanitized);
 }
 
@@ -257,6 +264,33 @@ Result<std::string> GuillotineReplica::Infer(const std::string& prompt,
   Result<std::string> result = system_.Infer(prompt);
   service_cycles = system_.clock().now() - start;
   return result;
+}
+
+GuillotineFleet::GuillotineFleet(size_t replicas, const DeploymentConfig& config) {
+  systems_.reserve(replicas);
+  replicas_.reserve(replicas);
+  for (size_t i = 0; i < replicas; ++i) {
+    DeploymentConfig member = config;
+    member.seed = config.seed + i;
+    member.fabric_host_id = config.fabric_host_id + static_cast<u32>(i);
+    systems_.push_back(std::make_unique<GuillotineSystem>(member));
+    replicas_.push_back(std::make_unique<GuillotineReplica>(
+        *systems_.back(), "guillotine-" + std::to_string(i)));
+  }
+}
+
+Status GuillotineFleet::HostEverywhere(const MlpModel& model) {
+  for (auto& sys : systems_) {
+    GLL_RETURN_IF_ERROR(sys->AttachDefaultDevices());
+    GLL_RETURN_IF_ERROR(sys->HostModel(model, sys->MakeVerifier()));
+  }
+  return OkStatus();
+}
+
+void GuillotineFleet::RegisterWith(ModelService& service) {
+  for (auto& replica : replicas_) {
+    service.AddReplica(replica.get());
+  }
 }
 
 }  // namespace guillotine

@@ -19,6 +19,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/detect/activation_steering.h"
 #include "src/detect/anomaly.h"
@@ -182,6 +183,36 @@ class GuillotineReplica : public InferenceReplica {
  private:
   GuillotineSystem& system_;
   std::string name_;
+};
+
+class ModelService;
+
+// A fleet of identically-configured sandboxed deployments plus their
+// replica adapters, so a sharded ModelService can be stood up in a few
+// lines. Each member gets its own GuillotineSystem (own clock, trace,
+// detectors — per-replica blast radius, exactly the paper's section-2
+// deployment picture); the only per-member divergence is the seed and
+// fabric host id, both offset by the member index.
+class GuillotineFleet {
+ public:
+  GuillotineFleet(size_t replicas, const DeploymentConfig& config);
+  GuillotineFleet(const GuillotineFleet&) = delete;
+  GuillotineFleet& operator=(const GuillotineFleet&) = delete;
+
+  // Attaches default devices and attestation-loads `model` into every
+  // member; fails on the first member that refuses.
+  Status HostEverywhere(const MlpModel& model);
+
+  size_t size() const { return systems_.size(); }
+  GuillotineSystem& system(size_t i) { return *systems_[i]; }
+  GuillotineReplica& replica(size_t i) { return *replicas_[i]; }
+
+  // Deals every replica to `service` round-robin across its shards.
+  void RegisterWith(ModelService& service);
+
+ private:
+  std::vector<std::unique_ptr<GuillotineSystem>> systems_;
+  std::vector<std::unique_ptr<GuillotineReplica>> replicas_;
 };
 
 }  // namespace guillotine

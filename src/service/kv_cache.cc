@@ -1,34 +1,58 @@
 #include "src/service/kv_cache.h"
 
+#include <vector>
+
 namespace guillotine {
+
+std::string_view KvOpName(KvOp op) {
+  switch (op) {
+    case KvOp::kExtend: return "extend";
+    case KvOp::kEvict: return "evict";
+    case KvOp::kDrop: return "drop";
+    case KvOp::kClear: return "clear";
+  }
+  return "?";
+}
 
 KvCache::KvCache(KvCacheConfig config) : config_(config) {}
 
+void KvCache::Audit(KvOp op, u32 session, i64 before, i64 after) {
+  audit_log_.push_back({op, session, before, after});
+  while (audit_log_.size() > config_.audit_log_limit) {
+    audit_log_.pop_front();
+    ++audit_dropped_;
+  }
+}
+
 bool KvCache::EvictOneExcept(u32 session) {
-  u32 victim = 0;
-  Cycles oldest = ~0ULL;
-  bool found = false;
-  for (const auto& [id, s] : sessions_) {
-    if (id == session) {
+  // The list front is the coldest resident session; the only session we may
+  // have to skip is the one currently being extended.
+  for (u32 victim : lru_) {
+    if (victim == session) {
       continue;
     }
-    if (s.last_use < oldest) {
-      oldest = s.last_use;
-      victim = id;
-      found = true;
-    }
+    const auto it = sessions_.find(victim);
+    const i64 before = static_cast<i64>(blocks_in_use_);
+    const i64 after = before - static_cast<i64>(it->second.blocks);
+    blocks_in_use_ -= it->second.blocks;
+    lru_.erase(it->second.lru_it);
+    sessions_.erase(it);
+    ++evictions_;
+    Audit(KvOp::kEvict, victim, before, after);
+    return true;
   }
-  if (!found) {
-    return false;
-  }
-  blocks_in_use_ -= sessions_[victim].blocks;
-  sessions_.erase(victim);
-  ++evictions_;
-  return true;
+  return false;
 }
 
 size_t KvCache::Extend(u32 session, size_t tokens, Cycles now) {
-  Session& s = sessions_[session];
+  auto [it, inserted] = sessions_.try_emplace(session);
+  Session& s = it->second;
+  if (inserted) {
+    s.lru_it = lru_.insert(lru_.end(), session);
+  } else {
+    // Touch: move to the hot end of the recency list.
+    lru_.splice(lru_.end(), lru_, s.lru_it);
+  }
   s.last_use = now;
   const size_t reused = std::min(s.tokens, tokens);
   hit_tokens_ += reused;
@@ -44,9 +68,11 @@ size_t KvCache::Extend(u32 session, size_t tokens, Cycles now) {
   }
   const size_t affordable_blocks =
       std::min(target_blocks, config_.total_blocks - (blocks_in_use_ - s.blocks));
+  const i64 before = static_cast<i64>(blocks_in_use_);
   blocks_in_use_ = blocks_in_use_ - s.blocks + affordable_blocks;
   s.blocks = affordable_blocks;
   s.tokens = std::min(target_tokens, affordable_blocks * config_.block_tokens);
+  Audit(KvOp::kExtend, session, before, static_cast<i64>(blocks_in_use_));
   return reused;
 }
 
@@ -60,13 +86,24 @@ void KvCache::Drop(u32 session) {
   if (it == sessions_.end()) {
     return;
   }
+  const i64 before = static_cast<i64>(blocks_in_use_);
+  const i64 after = before - static_cast<i64>(it->second.blocks);
   blocks_in_use_ -= it->second.blocks;
+  lru_.erase(it->second.lru_it);
   sessions_.erase(it);
+  Audit(KvOp::kDrop, session, before, after);
 }
 
 void KvCache::Clear() {
+  const i64 before = static_cast<i64>(blocks_in_use_);
   sessions_.clear();
+  lru_.clear();
   blocks_in_use_ = 0;
+  Audit(KvOp::kClear, 0, before, 0);
+}
+
+std::vector<u32> KvCache::LruOrder() const {
+  return std::vector<u32>(lru_.begin(), lru_.end());
 }
 
 }  // namespace guillotine

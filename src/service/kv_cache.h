@@ -2,10 +2,19 @@
 // LLMs key/value caches ... which store previously-generated tokens as well
 // as intermediate values"). Paged allocation in the PagedAttention style:
 // fixed-size blocks, per-session block lists, LRU eviction of whole
-// sessions under pressure.
+// sessions under pressure. Recency is tracked with an intrusive LRU list
+// (front = coldest), so picking an eviction victim is O(1) instead of a
+// linear scan over every resident session.
+//
+// Every mutation appends to a bounded audit log (op, victim, blocks before/
+// after in *signed* arithmetic), which is what the kv-quota-monotonicity
+// invariant replays: blocks_in_use must stay within [0, capacity] across any
+// Extend/Drop/evict interleaving, and consecutive entries must chain.
 #ifndef SRC_SERVICE_KV_CACHE_H_
 #define SRC_SERVICE_KV_CACHE_H_
 
+#include <deque>
+#include <list>
 #include <map>
 #include <vector>
 
@@ -17,6 +26,25 @@ namespace guillotine {
 struct KvCacheConfig {
   size_t total_blocks = 256;
   size_t block_tokens = 16;  // tokens per block
+  size_t audit_log_limit = 4096;  // oldest entries dropped beyond this
+};
+
+enum class KvOp {
+  kExtend = 0,  // session grew (or re-touched) its context
+  kEvict,       // LRU victim removed under pressure
+  kDrop,        // explicit per-session release
+  kClear,       // whole-cache reset
+};
+
+std::string_view KvOpName(KvOp op);
+
+struct KvAuditEntry {
+  KvOp op = KvOp::kExtend;
+  u32 session = 0;
+  // Signed occupancy so an accounting bug that would underflow the unsigned
+  // counter is visible in the log instead of wrapping.
+  i64 blocks_before = 0;
+  i64 blocks_after = 0;
 };
 
 class KvCache {
@@ -45,21 +73,35 @@ class KvCache {
     return total == 0 ? 0.0 : static_cast<double>(hit_tokens_) / static_cast<double>(total);
   }
 
+  // Resident sessions ordered coldest -> hottest: the exact order victims
+  // would be evicted in. Tests pin eviction sequences against this.
+  std::vector<u32> LruOrder() const;
+
+  // Bounded mutation history (oldest first). `audit_dropped` counts entries
+  // that aged out of the bounded log; the remaining entries are contiguous.
+  const std::deque<KvAuditEntry>& audit_log() const { return audit_log_; }
+  u64 audit_dropped() const { return audit_dropped_; }
+
  private:
   struct Session {
     size_t tokens = 0;
     size_t blocks = 0;
     Cycles last_use = 0;
+    std::list<u32>::iterator lru_it;  // position in lru_
   };
 
   bool EvictOneExcept(u32 session);
+  void Audit(KvOp op, u32 session, i64 before, i64 after);
 
   KvCacheConfig config_;
   std::map<u32, Session> sessions_;
+  std::list<u32> lru_;  // front = least recently used
   size_t blocks_in_use_ = 0;
   u64 evictions_ = 0;
   u64 hit_tokens_ = 0;
   u64 miss_tokens_ = 0;
+  std::deque<KvAuditEntry> audit_log_;
+  u64 audit_dropped_ = 0;
 };
 
 }  // namespace guillotine

@@ -13,11 +13,18 @@
 
 namespace guillotine {
 
+// session_id == kNoSession marks a one-shot request: it carries no KV-cache
+// state, is not pinned to a shard, and is the only kind of request the
+// sharded scheduler may steal across shards.
+inline constexpr u32 kNoSession = 0;
+
 struct InferenceRequest {
   u64 id = 0;
   std::string prompt;
   Cycles arrival = 0;
-  u32 session_id = 0;  // groups multi-turn conversations for the KV cache
+  u32 session_id = kNoSession;  // groups multi-turn conversations for the KV cache
+
+  bool has_session() const { return session_id != kNoSession; }
 };
 
 struct InferenceResponse {

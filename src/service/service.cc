@@ -1,57 +1,361 @@
 #include "src/service/service.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <sstream>
 
 namespace guillotine {
 
+namespace {
+
+std::string Fixed(double v, const char* format = "%.6f") {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), format, v);
+  return buffer;
+}
+
+void AppendPercentiles(std::ostringstream& out, const Histogram& h) {
+  out << "n=" << h.count() << " mean=" << Fixed(h.mean(), "%.3f")
+      << " p50=" << Fixed(h.Percentile(50), "%.3f")
+      << " p99=" << Fixed(h.Percentile(99), "%.3f")
+      << " p999=" << Fixed(h.Percentile(99.9), "%.3f");
+}
+
+}  // namespace
+
+std::string ServiceReport::Digest() const {
+  std::ostringstream out;
+  out << "service completed=" << completed << " failed=" << failed
+      << " stolen=" << stolen << " makespan=" << makespan
+      << " kv_hit_rate=" << Fixed(kv_hit_rate) << "\n";
+  out << "latency ";
+  AppendPercentiles(out, latency);
+  out << "\n";
+  for (const ShardStats& s : shards) {
+    out << "shard " << s.shard << " replicas=" << s.replicas
+        << " completed=" << s.completed << " failed=" << s.failed
+        << " stolen_in=" << s.stolen_in << " stolen_out=" << s.stolen_out
+        << " qhw=" << s.queue_high_water << " kv_hits=" << s.kv_hits
+        << " kv_misses=" << s.kv_misses << " kv_evictions=" << s.kv_evictions
+        << " kv_hit_rate=" << Fixed(s.kv_hit_rate) << " ";
+    AppendPercentiles(out, s.latency);
+    out << "\n";
+  }
+  for (const RequestOutcome& o : outcomes) {
+    out << "req id=" << o.id << " session=" << o.session_id
+        << " owner=" << o.owner_shard << " ran=" << o.ran_shard
+        << " replica=" << o.replica << " stolen=" << (o.stolen ? 1 : 0)
+        << " ok=" << (o.ok ? 1 : 0) << " start=" << o.start
+        << " done=" << o.done << "\n";
+  }
+  return out.str();
+}
+
+ModelService::ModelService(ModelServiceConfig config) : config_(std::move(config)) {
+  if (config_.num_shards == 0) {
+    config_.num_shards = 1;
+  }
+  shards_.reserve(config_.num_shards);
+  for (size_t i = 0; i < config_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<ServiceShard>(i, config_.kv));
+  }
+}
+
 void ModelService::AddReplica(InferenceReplica* replica) {
-  replicas_.push_back(ReplicaState{replica, 0});
+  AddReplica(replica, next_round_robin_);
+  next_round_robin_ = (next_round_robin_ + 1) % shards_.size();
+}
+
+void ModelService::AddReplica(InferenceReplica* replica, size_t shard) {
+  shards_[shard % shards_.size()]->AddReplica(replica);
+  ring_stale_ = true;
+}
+
+size_t ModelService::num_replicas() const {
+  size_t n = 0;
+  for (const auto& s : shards_) {
+    n += s->num_replicas();
+  }
+  return n;
+}
+
+void ModelService::RebuildRing() const {
+  std::vector<size_t> eligible;
+  for (const auto& s : shards_) {
+    if (s->num_replicas() > 0) {
+      eligible.push_back(s->index());
+    }
+  }
+  ring_ = std::make_unique<SessionHashRing>(eligible, config_.virtual_nodes);
+  ring_stale_ = false;
+}
+
+size_t ModelService::OwnerShard(u32 session_id) const {
+  if (ring_stale_ || ring_ == nullptr) {
+    RebuildRing();
+  }
+  return ring_->Owner(session_id);
+}
+
+// The global event loop is a min-heap of (time, seq): request arrivals get
+// their seq from arrival order, completions from issue order, so every heap
+// pop is totally ordered and two runs of the same workload replay the exact
+// same schedule.
+struct ModelService::Event {
+  Cycles time = 0;
+  u64 seq = 0;
+  enum Kind { kArrival = 0, kReplicaFree } kind = kArrival;
+  size_t index = 0;    // kArrival: request index; kReplicaFree: shard index
+  size_t replica = 0;  // kReplicaFree only
+
+  // std::push_heap builds a max-heap; invert so the top is the earliest.
+  bool operator<(const Event& other) const {
+    if (time != other.time) {
+      return time > other.time;
+    }
+    return seq > other.seq;
+  }
+};
+
+void ModelService::Execute(const InferenceRequest& request, ServiceShard& exec_shard,
+                           size_t replica_index, Cycles now, size_t owner_shard,
+                           RequestOutcome& outcome,
+                           std::vector<Event>& event_heap, u64& event_seq) {
+  const Cycles start = std::max(now, request.arrival);
+
+  // KV prefix reuse: cached tokens skip their share of prefill. The toy
+  // token count is one token per 4 prompt bytes. Session-less requests
+  // carry no reusable prefix and bypass the cache entirely.
+  const size_t tokens = request.prompt.size() / 4 + 1;
+  size_t reused = 0;
+  if (request.has_session()) {
+    reused = exec_shard.kv_cache().Extend(request.session_id, tokens, start);
+  }
+  const double reuse_frac =
+      static_cast<double>(reused) / static_cast<double>(tokens);
+
+  Cycles service_cycles = 0;
+  const Result<std::string> result =
+      exec_shard.replica(replica_index)->Infer(request.prompt, service_cycles);
+  // Prefill is ~60% of service time; reuse shaves that fraction.
+  service_cycles -= static_cast<Cycles>(0.6 * reuse_frac *
+                                        static_cast<double>(service_cycles));
+  const Cycles done = start + service_cycles;
+  exec_shard.set_busy_until(replica_index, done);
+
+  outcome.owner_shard = owner_shard;
+  outcome.ran_shard = exec_shard.index();
+  outcome.replica = replica_index;
+  outcome.stolen = exec_shard.index() != owner_shard;
+  outcome.ok = result.ok();
+  outcome.start = start;
+  outcome.done = done;
+  outcome.completion = result.ok() ? *result : result.status().ToString();
+
+  ShardStats& stats = exec_shard.stats();
+  if (result.ok()) {
+    ++stats.completed;
+    stats.latency.Add(static_cast<double>(done - request.arrival));
+  } else {
+    ++stats.failed;
+  }
+
+  event_heap.push_back(
+      Event{done, event_seq++, Event::kReplicaFree, exec_shard.index(), replica_index});
+  std::push_heap(event_heap.begin(), event_heap.end());
 }
 
 ServiceReport ModelService::RunAll(std::vector<InferenceRequest> requests) {
   ServiceReport report;
-  if (replicas_.empty()) {
-    report.failed = requests.size();
-    return report;
+  if (ring_stale_ || ring_ == nullptr) {
+    RebuildRing();
   }
+
+  std::vector<size_t> eligible;
+  for (auto& s : shards_) {
+    // Each run starts from a quiet fleet: stats reset, replicas idle. The
+    // KV caches deliberately persist — sessions outlive a single batch.
+    ShardStats fresh;
+    fresh.shard = s->index();
+    fresh.replicas = s->num_replicas();
+    fresh.kv_hits = s->kv_cache().hits();          // snapshot; delta at end
+    fresh.kv_misses = s->kv_cache().misses();
+    fresh.kv_evictions = s->kv_cache().evictions();
+    s->stats() = fresh;
+    for (size_t r = 0; r < s->num_replicas(); ++r) {
+      s->set_busy_until(r, 0);
+    }
+    if (s->num_replicas() > 0) {
+      eligible.push_back(s->index());
+    }
+  }
+
   std::sort(requests.begin(), requests.end(),
             [](const InferenceRequest& a, const InferenceRequest& b) {
-              return a.arrival < b.arrival;
+              return a.arrival != b.arrival ? a.arrival < b.arrival : a.id < b.id;
             });
-  for (const InferenceRequest& request : requests) {
-    // Least-loaded dispatch.
-    ReplicaState* target = &replicas_[0];
-    for (auto& r : replicas_) {
-      if (r.busy_until < target->busy_until) {
-        target = &r;
+
+  report.outcomes.resize(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    report.outcomes[i].id = requests[i].id;
+    report.outcomes[i].session_id = requests[i].session_id;
+  }
+
+  if (eligible.empty()) {
+    report.failed = requests.size();
+    for (RequestOutcome& o : report.outcomes) {
+      o.completion = "no replicas";
+    }
+    return report;
+  }
+
+  // Routing: sessions pin to their consistent-hash owner; session-less
+  // requests are dealt round-robin over eligible shards (static placement —
+  // the stealing path below does the dynamic balancing).
+  std::vector<size_t> owner(requests.size());
+  size_t sessionless_cursor = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].has_session()) {
+      owner[i] = ring_->Owner(requests[i].session_id);
+    } else {
+      owner[i] = eligible[sessionless_cursor];
+      sessionless_cursor = (sessionless_cursor + 1) % eligible.size();
+    }
+    report.outcomes[i].owner_shard = owner[i];
+    report.outcomes[i].ran_shard = owner[i];
+  }
+
+  // Shard queues hold pointers into `requests` (sorted above, never
+  // resized); the pointer offset recovers the outcome/routing slot.
+  auto outcome_of = [&](const InferenceRequest* r) -> RequestOutcome& {
+    return report.outcomes[static_cast<size_t>(r - requests.data())];
+  };
+  auto owner_of = [&](const InferenceRequest* r) -> size_t {
+    return owner[static_cast<size_t>(r - requests.data())];
+  };
+
+  std::vector<Event> events;
+  events.reserve(requests.size() * 2);
+  u64 seq = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    events.push_back(Event{requests[i].arrival, seq++, Event::kArrival, i, 0});
+  }
+  std::make_heap(events.begin(), events.end());
+
+  auto dispatch = [&](ServiceShard& s, Cycles now) {
+    while (!s.queue_empty()) {
+      const auto idle = s.IdleReplica(now);
+      if (!idle.has_value()) {
+        return;
+      }
+      const InferenceRequest* r = s.PopFront();
+      Execute(*r, s, *idle, now, owner_of(r), outcome_of(r), events, seq);
+    }
+  };
+
+  auto try_steal = [&](ServiceShard& thief, size_t replica_index, Cycles now) {
+    if (!config_.work_stealing) {
+      return;
+    }
+    // Victims ordered by backlog (desc), then index (asc); only peers whose
+    // backlog exceeds the threshold are worth raiding, and only session-less
+    // work may move (a stolen conversation would forfeit its KV prefix).
+    std::vector<size_t> victims;
+    for (size_t v : eligible) {
+      if (v == thief.index() || shards_[v]->queue_empty()) {
+        continue;
+      }
+      if (shards_[v]->Backlog(now) > config_.steal_backlog_threshold) {
+        victims.push_back(v);
       }
     }
-    const Cycles start = std::max(request.arrival, target->busy_until);
+    std::sort(victims.begin(), victims.end(), [&](size_t a, size_t b) {
+      const size_t ba = shards_[a]->Backlog(now);
+      const size_t bb = shards_[b]->Backlog(now);
+      return ba != bb ? ba > bb : a < b;
+    });
+    for (size_t v : victims) {
+      const InferenceRequest* r = shards_[v]->StealOldestSessionless();
+      if (r == nullptr) {
+        continue;
+      }
+      ++thief.stats().stolen_in;
+      ++shards_[v]->stats().stolen_out;
+      Execute(*r, thief, replica_index, now, owner_of(r), outcome_of(r), events, seq);
+      return;
+    }
+  };
 
-    // KV prefix reuse: cached tokens skip their share of prefill. The toy
-    // token count is one token per 4 prompt bytes.
-    const size_t tokens = request.prompt.size() / 4 + 1;
-    const size_t reused = kv_cache_.Extend(request.session_id, tokens, start);
-    const double reuse_frac =
-        static_cast<double>(reused) / static_cast<double>(tokens);
+  // Idle-drained shards steal in ascending index order; try_steal itself
+  // picks the most-backlogged victim, so thief order only breaks ties.
+  auto offer_steals = [&](Cycles now) {
+    for (size_t t : eligible) {
+      ServiceShard& thief = *shards_[t];
+      if (!thief.queue_empty()) {
+        continue;
+      }
+      const auto idle = thief.IdleReplica(now);
+      if (idle.has_value()) {
+        try_steal(thief, *idle, now);
+      }
+    }
+  };
 
-    Cycles service_cycles = 0;
-    const Result<std::string> result = target->replica->Infer(request.prompt,
-                                                              service_cycles);
-    // Prefill is ~60% of service time; reuse shaves that fraction.
-    service_cycles -= static_cast<Cycles>(0.6 * reuse_frac *
-                                          static_cast<double>(service_cycles));
-    const Cycles done = start + service_cycles;
-    target->busy_until = done;
-    report.makespan = std::max(report.makespan, done);
-    if (result.ok()) {
-      ++report.completed;
-      report.latency.Add(static_cast<double>(done - request.arrival));
+  while (!events.empty()) {
+    std::pop_heap(events.begin(), events.end());
+    const Event e = events.back();
+    events.pop_back();
+    if (e.kind == Event::kArrival) {
+      const InferenceRequest* r = &requests[e.index];
+      ServiceShard& s = *shards_[owner_of(r)];
+      s.Enqueue(r);
+      dispatch(s, e.time);
+      // A stealable arrival to a backlogged shard must wake idle peers now:
+      // a fully drained shard has no pending events of its own to steal on.
+      if (!s.queue_empty() &&
+          s.Backlog(e.time) > config_.steal_backlog_threshold) {
+        offer_steals(e.time);
+      }
     } else {
-      ++report.failed;
+      ServiceShard& s = *shards_[e.index];
+      dispatch(s, e.time);
+      // Re-resolve the idle replica: dispatch above may have re-booked
+      // `e.replica` (two replicas freeing at the same cycle), and stealing
+      // onto a busy replica would double-book it.
+      const auto idle = s.IdleReplica(e.time);
+      if (s.queue_empty() && idle.has_value()) {
+        try_steal(s, *idle, e.time);
+      }
     }
   }
-  report.kv_hit_rate = kv_cache_.hit_rate();
+
+  // ---- Aggregate ----
+  u64 kv_hits = 0, kv_misses = 0;
+  for (auto& s : shards_) {
+    ShardStats& stats = s->stats();
+    stats.kv_hits = s->kv_cache().hits() - stats.kv_hits;
+    stats.kv_misses = s->kv_cache().misses() - stats.kv_misses;
+    stats.kv_evictions = s->kv_cache().evictions() - stats.kv_evictions;
+    const u64 total = stats.kv_hits + stats.kv_misses;
+    stats.kv_hit_rate =
+        total == 0 ? 0.0 : static_cast<double>(stats.kv_hits) / static_cast<double>(total);
+    kv_hits += stats.kv_hits;
+    kv_misses += stats.kv_misses;
+    report.completed += stats.completed;
+    report.failed += stats.failed;
+    report.stolen += stats.stolen_in;
+    report.shards.push_back(stats);
+  }
+  const u64 kv_total = kv_hits + kv_misses;
+  report.kv_hit_rate =
+      kv_total == 0 ? 0.0 : static_cast<double>(kv_hits) / static_cast<double>(kv_total);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const RequestOutcome& o = report.outcomes[i];
+    report.makespan = std::max(report.makespan, o.done);
+    if (o.ok) {
+      report.latency.Add(static_cast<double>(o.done - requests[i].arrival));
+    }
+  }
   return report;
 }
 

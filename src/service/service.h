@@ -1,56 +1,115 @@
-// ModelService: queue + replicas + load balancer + KV cache, the distributed
-// system of paper section 2. Implemented as an event-driven queueing
-// simulation so the end-to-end experiment (E8) can compare native and
-// Guillotine replicas under identical arrival processes.
+// ModelService: the sharded replica fleet of paper section 2, implemented
+// as a deterministic discrete-event queueing simulation so the end-to-end
+// experiment (E8) can compare native and Guillotine replicas under
+// identical arrival processes at realistic concurrency.
+//
+// The request stream is partitioned across N shards. Each shard owns a
+// KvCache and a set of replicas; sessions are pinned to shards by
+// consistent hashing of session_id (SessionHashRing), so a multi-turn
+// conversation keeps its KV-prefix hits no matter how many shards serve
+// the fleet. The scheduler is a single global event loop over per-shard
+// ready queues: arrivals enqueue in arrival order, each shard dispatches
+// FIFO onto its least-loaded idle replica, and an idle replica whose shard
+// has drained may steal the oldest *session-less* request from the most
+// backlogged peer (sessioned requests never migrate mid-conversation).
 #ifndef SRC_SERVICE_SERVICE_H_
 #define SRC_SERVICE_SERVICE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/histogram.h"
-#include "src/service/kv_cache.h"
-#include "src/service/replica.h"
-#include "src/service/request_queue.h"
+#include "src/service/shard.h"
 
 namespace guillotine {
+
+struct ModelServiceConfig {
+  size_t num_shards = 1;
+  KvCacheConfig kv;                 // per-shard cache geometry
+  bool work_stealing = true;        // session-less rebalancing between shards
+  size_t steal_backlog_threshold = 4;  // victim backlog that justifies a steal
+  size_t virtual_nodes = 16;        // consistent-hash points per shard
+};
+
+// Per-request audit record: where the request was routed, where it actually
+// ran, and how it fared. The affinity and work-stealing tests (and the
+// detector-verdict service invariant) are asserted against this trace.
+struct RequestOutcome {
+  u64 id = 0;
+  u32 session_id = kNoSession;
+  size_t owner_shard = 0;  // routing decision (affinity / placement)
+  size_t ran_shard = 0;    // executing shard (differs only when stolen)
+  size_t replica = 0;      // replica index within ran_shard
+  bool stolen = false;
+  bool ok = false;         // false: blocked by detectors or replica error
+  Cycles start = 0;
+  Cycles done = 0;
+  std::string completion;  // replica output when ok, error text otherwise
+};
 
 struct ServiceReport {
   u64 completed = 0;
   u64 failed = 0;      // blocked by detectors or replica errors
+  u64 stolen = 0;      // session-less requests that migrated shards
   Histogram latency;   // cycles, per completed request
   Cycles makespan = 0; // completion time of the last request
-  double kv_hit_rate = 0.0;
+  double kv_hit_rate = 0.0;       // aggregate over every shard's cache
+  std::vector<ShardStats> shards; // per-shard breakdown
+  std::vector<RequestOutcome> outcomes;  // per-request, in arrival order
 
   double throughput_per_mcycle() const {
     return makespan == 0 ? 0.0
                          : static_cast<double>(completed) * 1e6 /
                                static_cast<double>(makespan);
   }
+
+  // Canonical rendering of every field (counts, per-shard stats, latency
+  // percentiles, the full request trace). Two runs of the same workload on
+  // the same configuration must produce byte-identical digests — the
+  // deterministic-fleet property test holds the scheduler to that.
+  std::string Digest() const;
 };
 
 class ModelService {
  public:
-  explicit ModelService(KvCacheConfig kv_config = {}) : kv_cache_(kv_config) {}
+  explicit ModelService(ModelServiceConfig config = {});
 
-  // Non-owning: replicas outlive the service.
+  // Non-owning: replicas outlive the service. The one-argument form deals
+  // replicas round-robin across shards; the two-argument form pins one to a
+  // specific shard.
   void AddReplica(InferenceReplica* replica);
-  size_t num_replicas() const { return replicas_.size(); }
-  KvCache& kv_cache() { return kv_cache_; }
+  void AddReplica(InferenceReplica* replica, size_t shard);
 
-  // Processes every request (sorted by arrival) to completion, assigning
-  // each to the least-loaded replica. KV-cache prefix reuse shortens the
-  // prefill fraction of service time.
+  size_t num_replicas() const;
+  size_t num_shards() const { return shards_.size(); }
+  ServiceShard& shard(size_t i) { return *shards_[i]; }
+  const ServiceShard& shard(size_t i) const { return *shards_[i]; }
+
+  // Owning shard for a session under the current fleet shape (only shards
+  // holding at least one replica participate in routing). Stable across
+  // service instances with identical configuration.
+  size_t OwnerShard(u32 session_id) const;
+
+  // Drives every request (sorted by arrival) to completion through the
+  // sharded event loop described above.
   ServiceReport RunAll(std::vector<InferenceRequest> requests);
 
  private:
-  struct ReplicaState {
-    InferenceReplica* replica = nullptr;
-    Cycles busy_until = 0;
-  };
+  void RebuildRing() const;
+  // Runs `request` on `replica` of `shard` starting at `now`; fills in the
+  // outcome and pushes the completion event.
+  struct Event;
+  void Execute(const InferenceRequest& request, ServiceShard& exec_shard,
+               size_t replica_index, Cycles now, size_t owner_shard,
+               RequestOutcome& outcome,
+               std::vector<Event>& event_heap, u64& event_seq);
 
-  std::vector<ReplicaState> replicas_;
-  KvCache kv_cache_;
+  ModelServiceConfig config_;
+  std::vector<std::unique_ptr<ServiceShard>> shards_;
+  size_t next_round_robin_ = 0;      // AddReplica dealing cursor
+  mutable std::unique_ptr<SessionHashRing> ring_;  // lazily rebuilt
+  mutable bool ring_stale_ = true;
 };
 
 }  // namespace guillotine

@@ -1,0 +1,162 @@
+// One shard of the sharded model service (paper section 2: a model service
+// is "a distributed system" of queues in front of sandboxed replicas).
+// A shard owns a KvCache and a set of replicas; per-session affinity pins
+// every request of a conversation to the shard that holds its KV prefix, so
+// sharding never costs cache hits. SessionHashRing is the consistent-hash
+// map from session_id to owning shard: each shard projects `virtual_nodes`
+// points onto a u64 ring, so adding a shard remaps only ~1/N of sessions
+// (the property that makes fleet resizes cheap in a real deployment).
+#ifndef SRC_SERVICE_SHARD_H_
+#define SRC_SERVICE_SHARD_H_
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/service/kv_cache.h"
+#include "src/service/replica.h"
+#include "src/service/request_queue.h"
+
+namespace guillotine {
+
+// Deterministic 64-bit mixer (splitmix64 finalizer); the only hash the ring
+// uses, so shard ownership is identical across builds and platforms.
+inline u64 MixU64(u64 x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+class SessionHashRing {
+ public:
+  // `shards` lists the shard indices participating in routing (shards with
+  // no replicas are left off the ring so sessions never strand).
+  SessionHashRing(const std::vector<size_t>& shards, size_t virtual_nodes);
+
+  // Owning shard for a session (first ring point clockwise of the session's
+  // hash). Undefined input `kNoSession` is still mapped deterministically;
+  // callers route session-less traffic themselves.
+  size_t Owner(u32 session_id) const;
+
+  size_t num_points() const { return points_.size(); }
+
+ private:
+  struct Point {
+    u64 position;
+    size_t shard;
+  };
+  std::vector<Point> points_;  // sorted by position
+};
+
+// Aggregated per-shard accounting surfaced through ServiceReport.
+struct ShardStats {
+  size_t shard = 0;
+  size_t replicas = 0;
+  u64 completed = 0;
+  u64 failed = 0;
+  u64 stolen_in = 0;   // session-less requests executed here for another shard
+  u64 stolen_out = 0;  // requests this shard queued that another shard ran
+  size_t queue_high_water = 0;  // deepest the ready queue ever got
+  u64 kv_hits = 0;
+  u64 kv_misses = 0;
+  u64 kv_evictions = 0;
+  double kv_hit_rate = 0.0;
+  Histogram latency;  // cycles, completed requests this shard executed
+};
+
+// A shard: ready queue + replicas + the KV cache those replicas share.
+// The global event loop in ModelService::RunAll drives it; the shard only
+// knows local state (queue order, replica busy horizons, cache contents).
+class ServiceShard {
+ public:
+  ServiceShard(size_t index, const KvCacheConfig& kv_config)
+      : index_(index), kv_cache_(kv_config) {
+    stats_.shard = index;
+  }
+
+  size_t index() const { return index_; }
+
+  void AddReplica(InferenceReplica* replica) {
+    replicas_.push_back(ReplicaState{replica, 0});
+    stats_.replicas = replicas_.size();
+  }
+  size_t num_replicas() const { return replicas_.size(); }
+
+  KvCache& kv_cache() { return kv_cache_; }
+  const KvCache& kv_cache() const { return kv_cache_; }
+
+  // ---- Ready queue (FIFO: arrival order is preserved within a shard) ----
+  void Enqueue(const InferenceRequest* request) {
+    queue_.push_back(request);
+    stats_.queue_high_water = std::max(stats_.queue_high_water, queue_.size());
+  }
+  const InferenceRequest* PopFront() {
+    const InferenceRequest* r = queue_.front();
+    queue_.pop_front();
+    return r;
+  }
+  // Removes and returns the oldest *session-less* request, for a stealing
+  // peer. Sessioned requests are never offered: their KV prefix lives here.
+  const InferenceRequest* StealOldestSessionless() {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (!(*it)->has_session()) {
+        const InferenceRequest* r = *it;
+        queue_.erase(it);
+        return r;
+      }
+    }
+    return nullptr;
+  }
+  size_t queue_depth() const { return queue_.size(); }
+  bool queue_empty() const { return queue_.empty(); }
+
+  // ---- Replicas ----
+  // Index of the least-loaded replica that is idle at `now` (smallest
+  // busy_until, ties to the lowest index), or nullopt if all are busy.
+  std::optional<size_t> IdleReplica(Cycles now) const {
+    std::optional<size_t> best;
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      if (replicas_[i].busy_until > now) {
+        continue;
+      }
+      if (!best.has_value() || replicas_[i].busy_until < replicas_[*best].busy_until) {
+        best = i;
+      }
+    }
+    return best;
+  }
+  InferenceReplica* replica(size_t i) { return replicas_[i].replica; }
+  Cycles busy_until(size_t i) const { return replicas_[i].busy_until; }
+  void set_busy_until(size_t i, Cycles t) { replicas_[i].busy_until = t; }
+
+  // Busy replicas + queued requests: the load metric used to place
+  // session-less arrivals and to pick stealing victims.
+  size_t Backlog(Cycles now) const {
+    size_t busy = 0;
+    for (const ReplicaState& r : replicas_) {
+      busy += r.busy_until > now ? 1 : 0;
+    }
+    return busy + queue_.size();
+  }
+
+  ShardStats& stats() { return stats_; }
+  const ShardStats& stats() const { return stats_; }
+
+ private:
+  struct ReplicaState {
+    InferenceReplica* replica = nullptr;
+    Cycles busy_until = 0;
+  };
+
+  size_t index_;
+  KvCache kv_cache_;
+  std::vector<ReplicaState> replicas_;
+  std::deque<const InferenceRequest*> queue_;
+  ShardStats stats_;
+};
+
+}  // namespace guillotine
+
+#endif  // SRC_SERVICE_SHARD_H_

@@ -41,6 +41,9 @@ std::string LevelArrow(IsolationLevel from, IsolationLevel to) {
 // each transition; the quorum invariant is enforced against it.
 void CheckQuorumGatedRelax(const InvariantContext& ctx, QuorumPolicy floor,
                            const InvariantChecker::ViolateFn& violate) {
+  if (ctx.system == nullptr) {
+    return;
+  }
   for (const TransitionRecord& r : ctx.system->console().transition_log()) {
     const bool relax = static_cast<int>(r.to) < static_cast<int>(r.from);
     switch (r.cause) {
@@ -79,6 +82,9 @@ void CheckQuorumGatedRelax(const InvariantContext& ctx, QuorumPolicy floor,
 // either sees every transition.
 void CheckTransitionAudit(const InvariantContext& ctx,
                           const InvariantChecker::ViolateFn& violate) {
+  if (ctx.system == nullptr) {
+    return;
+  }
   const auto& log = ctx.system->console().transition_log();
   const auto events = ctx.system->trace().OfKind("isolation.transition");
   if (events.size() != log.size()) {
@@ -107,6 +113,9 @@ void CheckTransitionAudit(const InvariantContext& ctx,
 // back just before the transition record lands).
 void CheckOfflineBoardDead(const InvariantContext& ctx,
                            const InvariantChecker::ViolateFn& violate) {
+  if (ctx.system == nullptr) {
+    return;
+  }
   auto is_activity = [](const TraceEvent& e) {
     return e.kind == "model.load" || e.kind == "model.start" ||
            e.kind == "port.response" || e.kind == "doorbell";
@@ -161,6 +170,9 @@ void CheckOfflineBoardDead(const InvariantContext& ctx,
 // the hypervisor's severed-forward counter must be zero.
 void CheckSeveredPortsDark(const InvariantContext& ctx,
                            const InvariantChecker::ViolateFn& violate) {
+  if (ctx.system == nullptr) {
+    return;
+  }
   if (ctx.system->hv().severed_traffic() != 0) {
     violate("hypervisor forwarded " + std::to_string(ctx.system->hv().severed_traffic()) +
             " requests to devices while severed");
@@ -185,6 +197,9 @@ void CheckSeveredPortsDark(const InvariantContext& ctx,
 // timeout must leave the deployment at >= Offline.
 void CheckHeartbeatKillBound(const InvariantContext& ctx,
                              const InvariantChecker::ViolateFn& violate) {
+  if (ctx.system == nullptr) {
+    return;
+  }
   const PlantConfig& plant = ctx.system->config().plant;
   const Cycles bound = plant.net_disconnect_latency + plant.power_cut_latency;
   const auto& events = ctx.system->trace().events();
@@ -241,6 +256,9 @@ void CheckHeartbeatKillBound(const InvariantContext& ctx,
 // or guest activity may ever appear, and the plant must read destroyed.
 void CheckImmolationTerminal(const InvariantContext& ctx,
                              const InvariantChecker::ViolateFn& violate) {
+  if (ctx.system == nullptr) {
+    return;
+  }
   bool immolated = false;
   for (const TraceEvent& e : ctx.system->trace().events()) {
     if (!immolated) {
@@ -263,6 +281,9 @@ void CheckImmolationTerminal(const InvariantContext& ctx,
 // outnumber blocks.
 void CheckAuditCoverage(const InvariantContext& ctx,
                         const InvariantChecker::ViolateFn& violate) {
+  if (ctx.system == nullptr) {
+    return;
+  }
   const ServiceStats& stats = ctx.system->hv().lifetime_stats();
   const EventTrace& trace = ctx.system->trace();
   const size_t requests = trace.CountKind("port.request");
@@ -321,6 +342,104 @@ void CheckExfilContained(const InvariantContext& ctx,
   }
 }
 
+// A blocked verdict must be final. Every completed inference the trace
+// records (infer.complete) belongs to the most recent inference attempt,
+// which opens with a detect.input verdict and closes with a detect.output
+// verdict; if either of those blocked (Block/Escalate), nothing may
+// complete until a new attempt opens with a fresh detect.input. Catches a
+// service or hypervisor path that keeps serving a request the detectors
+// already failed.
+void CheckDetectorVerdictConsistency(const InvariantContext& ctx,
+                                     const InvariantChecker::ViolateFn& violate) {
+  if (ctx.system == nullptr) {
+    return;
+  }
+  auto blocking = [](i64 action) {
+    return action == static_cast<i64>(VerdictAction::kBlock) ||
+           action == static_cast<i64>(VerdictAction::kEscalate);
+  };
+  bool blocked = false;
+  Cycles blocked_at = 0;
+  std::string blocked_by;
+  for (const TraceEvent& e : ctx.system->trace().events()) {
+    if (e.kind == "detect.input") {
+      // A new inference attempt begins; its fate is this verdict's.
+      blocked = blocking(e.value);
+      blocked_at = e.time;
+      blocked_by = "detect.input";
+    } else if (e.kind == "detect.output") {
+      if (blocking(e.value)) {
+        blocked = true;
+        blocked_at = e.time;
+        blocked_by = "detect.output";
+      }
+    } else if (e.kind == "infer.complete") {
+      if (blocked) {
+        violate("infer.complete @" + std::to_string(e.time) +
+                " after a blocking " + blocked_by + " verdict @" +
+                std::to_string(blocked_at) +
+                " (a detector-failed request completed anyway)");
+      }
+      blocked = false;
+    }
+  }
+}
+
+// Replays each KV cache's audit log in signed arithmetic: occupancy must
+// stay within [0, capacity] after every Extend/Drop/evict/Clear, entries
+// must chain (no unexplained jumps), and the live counter must match the
+// log's last word. An unsigned underflow in block accounting — the classic
+// "free twice under eviction pressure" bug — shows up here as a negative
+// or capacity-busting entry instead of silently wrapping.
+void CheckKvQuotaMonotonicity(const InvariantContext& ctx,
+                              const InvariantChecker::ViolateFn& violate) {
+  for (size_t c = 0; c < ctx.kv_caches.size(); ++c) {
+    const KvCache* cache = ctx.kv_caches[c];
+    if (cache == nullptr) {
+      continue;
+    }
+    const i64 capacity = static_cast<i64>(cache->capacity_blocks());
+    auto tag = [&](size_t entry) {
+      return "cache " + std::to_string(c) + " audit[" + std::to_string(entry) + "]";
+    };
+    const auto& log = cache->audit_log();
+    for (size_t i = 0; i < log.size(); ++i) {
+      const KvAuditEntry& e = log[i];
+      if (e.blocks_after < 0) {
+        violate(tag(i) + " " + std::string(KvOpName(e.op)) + " session " +
+                std::to_string(e.session) + " drove blocks_in_use negative (" +
+                std::to_string(e.blocks_after) + ")");
+      }
+      if (e.blocks_after > capacity) {
+        violate(tag(i) + " " + std::string(KvOpName(e.op)) + " session " +
+                std::to_string(e.session) + " left " +
+                std::to_string(e.blocks_after) + " blocks in use (capacity " +
+                std::to_string(capacity) + ")");
+      }
+      // Entries must chain: this op's starting occupancy is the previous
+      // op's ending occupancy (the bounded log drops only from the front,
+      // so surviving entries are contiguous).
+      if (i > 0 && e.blocks_before != log[i - 1].blocks_after) {
+        violate(tag(i) + " starts at " + std::to_string(e.blocks_before) +
+                " blocks but the previous entry ended at " +
+                std::to_string(log[i - 1].blocks_after));
+      }
+    }
+    if (!log.empty() &&
+        static_cast<i64>(cache->blocks_in_use()) != log.back().blocks_after) {
+      violate("cache " + std::to_string(c) + " counts " +
+              std::to_string(cache->blocks_in_use()) +
+              " blocks in use but its audit log ends at " +
+              std::to_string(log.back().blocks_after));
+    }
+    if (cache->blocks_in_use() > cache->capacity_blocks()) {
+      violate("cache " + std::to_string(c) + " final occupancy " +
+              std::to_string(cache->blocks_in_use()) + " exceeds capacity " +
+              std::to_string(cache->capacity_blocks()));
+    }
+  }
+}
+
 }  // namespace
 
 InvariantChecker InvariantChecker::Default(QuorumPolicy safety_floor) {
@@ -365,6 +484,16 @@ InvariantChecker InvariantChecker::Default(QuorumPolicy safety_floor) {
                    "fabric escapes only happen at Standard isolation",
                    [](const InvariantContext& ctx, const ViolateFn& violate) {
                      CheckExfilContained(ctx, violate);
+                   });
+  checker.Register("detector-verdict-consistency",
+                   "a request the detectors blocked never completes",
+                   [](const InvariantContext& ctx, const ViolateFn& violate) {
+                     CheckDetectorVerdictConsistency(ctx, violate);
+                   });
+  checker.Register("kv-quota-monotonicity",
+                   "KV occupancy stays within [0, capacity] across every op",
+                   [](const InvariantContext& ctx, const ViolateFn& violate) {
+                     CheckKvQuotaMonotonicity(ctx, violate);
                    });
   return checker;
 }

@@ -17,6 +17,9 @@
 //   heartbeat-kill-bound  heartbeat loss forces Offline within plant latency
 //   immolation-terminal   nothing happens after Immolation, ever
 //   exfil-contained       fabric escapes only happen at Standard isolation
+//   detector-verdict-consistency
+//                         a request the detectors blocked never completes
+//   kv-quota-monotonicity KV occupancy stays within [0, capacity] forever
 //
 // Adding an invariant: call Register with a name and a function that walks
 // the InvariantContext and calls `violate(detail)` for each breach (see
@@ -28,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "src/service/kv_cache.h"
 #include "src/testing/scenario.h"
 
 namespace guillotine {
@@ -39,13 +43,18 @@ struct InvariantViolation {
 
 std::string RenderViolations(const std::vector<InvariantViolation>& violations);
 
-// Everything a check may inspect about one finished run. `scenario` may be
-// null (post-mortem on a run whose script is gone); step-correlated checks
-// then skip themselves.
+// Everything a check may inspect about one finished run. Every field is
+// optional: `scenario` may be null (post-mortem on a run whose script is
+// gone), `system` may be null (a pure service-layer fuzz with no
+// deployment), `kv_caches` may be empty. Checks that need an absent field
+// skip themselves.
 struct InvariantContext {
   const Scenario* scenario = nullptr;
   const ScenarioResult* result = nullptr;
   const GuillotineSystem* system = nullptr;
+  // KV caches whose audit logs the quota invariant replays (e.g. every
+  // shard cache of a ModelService after RunAll, or a standalone fuzzed one).
+  std::vector<const KvCache*> kv_caches;
 };
 
 struct InvariantInfo {
