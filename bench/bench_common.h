@@ -6,8 +6,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <sstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/common/table.h"
 #include "src/common/types.h"
@@ -45,6 +48,27 @@ inline void ParseBenchArgs(int argc, char** argv) {
   std::printf("[bench] seed=%llu mode=%s\n",
               static_cast<unsigned long long>(g_bench_seed),
               g_bench_smoke ? "smoke" : "full");
+}
+
+// Comma-separated u64 list flag (e.g. "--shards=1,2,4" or
+// "--hv-cores=1,2,4"); returns empty when the flag is absent so callers
+// can fall back to their sweep defaults.
+inline std::vector<u64> FlagList(int argc, char** argv, const char* prefix) {
+  std::vector<u64> values;
+  const size_t prefix_len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, prefix_len) != 0) {
+      continue;
+    }
+    std::stringstream stream(argv[i] + prefix_len);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+      if (!token.empty()) {
+        values.push_back(std::strtoull(token.c_str(), nullptr, 0));
+      }
+    }
+  }
+  return values;
 }
 
 inline void BenchHeader(const std::string& experiment_id, const std::string& claim) {

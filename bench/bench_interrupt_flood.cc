@@ -5,10 +5,22 @@
 // hypervisor core throttles incoming requests." We flood from a GISA guest
 // at increasing rates and measure interrupts delivered vs coalesced and the
 // hypervisor cycles burned on interrupt handling.
+// E4b adds the multi-hv-core flood sweep: spurious doorbell storms against
+// a 1/2/4-core hypervisor complex servicing real requests under a slice
+// budget. The LAPIC token bucket coalesces the storm per core while the
+// service loop's IRQ dedup (a flat seen-bitmap since the async-port-loop
+// change; the old pairwise scan was O(n^2) in the burst size) keeps the
+// per-pass cost linear in the delivered burst. Flags:
+//   --hv-cores=1,2,4   hv core counts to sweep
+#include <cstring>
+#include <sstream>
+
 #include "bench/bench_common.h"
 #include "src/core/guillotine.h"
+#include "src/hv/service_scheduler.h"
 #include "src/machine/storage.h"
 #include "src/model/attacks.h"
+#include "src/testing/scenario.h"
 
 namespace guillotine {
 namespace {
@@ -78,7 +90,136 @@ FloodOutcome RunFlood(bool throttle, u32 stores, u32 spacing_spins) {
   return out;
 }
 
-void Run() {
+// One deterministic flood-and-service run: 8 storage ports spread across
+// `hv_cores`, and per pass each port offers `rate` real requests while the
+// flooder rings every doorbell 4x per request (3 spurious rings per real
+// one). Interrupt-driven servicing under a slice budget, poll sweep every
+// 8th pass.
+struct FloodSweepOutcome {
+  u64 offered = 0;
+  u64 serviced = 0;
+  u64 delivered = 0;
+  u64 coalesced = 0;
+  u64 forwarded = 0;
+  double req_per_gcycle = 0.0;
+  u64 trace_hash = 0;
+  std::string stats_digest;
+};
+
+FloodSweepOutcome RunFloodSweep(int hv_cores, u32 rate_per_port, u32 passes) {
+  MachineConfig mc;
+  mc.num_model_cores = 1;
+  mc.num_hv_cores = hv_cores;
+  mc.model_dram_bytes = 1 << 20;
+  mc.io_dram_bytes = 512 * 1024;
+  mc.lapic.refill_cycles = 10'000;
+  mc.lapic.burst = 32;
+  SimClock clock;
+  EventTrace trace;
+  Machine machine(mc, clock, trace);
+  HvConfig hc;
+  hc.log_payload_hashes = false;
+  hc.service_slice_cycles = 40'000;
+  SoftwareHypervisor hv(machine, nullptr, hc);
+  ServiceScheduler scheduler(hv);
+  const u32 disk = machine.AttachDevice(std::make_unique<StorageDevice>(64));
+
+  constexpr int kPorts = 8;
+  std::vector<u32> ports;
+  for (int p = 0; p < kPorts; ++p) {
+    ports.push_back(*hv.CreatePort(disk, PortRights{}, 0, /*slot_bytes=*/64,
+                                   /*slot_count=*/64));
+  }
+
+  FloodSweepOutcome out;
+  u64 tag = 1;
+  for (u32 pass = 0; pass < passes; ++pass) {
+    for (int p = 0; p < kPorts; ++p) {
+      const PortBinding* binding = hv.FindPort(ports[static_cast<size_t>(p)]);
+      RingView ring = machine.io_dram().RequestRing(binding->region);
+      // Skew mirrors E1b: ports 0 and 4 (both initially on hv core 0)
+      // carry 4x the flood, forcing the scheduler to hand off.
+      const u32 rate = rate_per_port * ((p == 0 || p == 4) ? 4 : 1);
+      for (u32 r = 0; r < rate; ++r) {
+        ++out.offered;
+        IoSlot slot;
+        slot.opcode = static_cast<u32>(StorageOpcode::kInfo);
+        slot.tag = tag++;
+        ring.Push(slot).ok();  // full ring = backpressure, doorbells ring on
+        // The flood: 4 doorbell rings per request — the LAPIC coalesces
+        // the extras, the service loop's flat-set dedup absorbs the rest.
+        for (int d = 0; d < 4; ++d) {
+          machine.hv_core(binding->owner_hv_core)
+              .DeliverDoorbell(binding->port_id, clock.now());
+        }
+      }
+    }
+    scheduler.RunPass(/*poll_all=*/pass % 8 == 7);
+    for (int p = 0; p < kPorts; ++p) {
+      const PortBinding* binding = hv.FindPort(ports[static_cast<size_t>(p)]);
+      RingView resp = machine.io_dram().ResponseRing(binding->region);
+      while (resp.Pop().has_value()) {
+      }
+    }
+    clock.Advance(20'000);
+  }
+
+  out.serviced = hv.lifetime_stats().requests;
+  out.forwarded = hv.lifetime_stats().forwarded_irqs;
+  for (int i = 0; i < machine.num_hv_cores(); ++i) {
+    out.delivered += machine.hv_core(i).lapic().delivered();
+    out.coalesced += machine.hv_core(i).lapic().suppressed();
+  }
+  out.req_per_gcycle =
+      clock.now() == 0 ? 0.0
+                       : static_cast<double>(out.serviced) * 1e9 /
+                             static_cast<double>(clock.now());
+  out.trace_hash = TraceDigestHash(trace);
+  out.stats_digest = scheduler.StatsDigest();
+  return out;
+}
+
+void RunHvCoreFloodSweep(const std::vector<u64>& hv_core_counts) {
+  BenchHeader("E4b / multi-hv-core flood sweep",
+              "under a 4x-spurious doorbell flood, serviced throughput still "
+              "scales with hypervisor cores: the LAPIC coalesces per core, "
+              "ownership spreads the storm, and the O(n) IRQ dedup keeps the "
+              "per-pass cost linear in the delivered burst");
+
+  const u32 passes = Smoked(64u, 6u);
+  TextTable table({"hv_cores", "rate_per_port", "offered_req", "delivered_irq",
+                   "coalesced_irq", "serviced", "req_per_Gcycle", "fwd_irq",
+                   "digest"});
+  for (const u64 rate : {2u, 6u, 16u}) {
+    for (const u64 cores : hv_core_counts) {
+      const FloodSweepOutcome a =
+          RunFloodSweep(static_cast<int>(cores), static_cast<u32>(rate), passes);
+      const FloodSweepOutcome b =
+          RunFloodSweep(static_cast<int>(cores), static_cast<u32>(rate), passes);
+      std::ostringstream digest;
+      digest << std::hex << (a.trace_hash & 0xFFFFFFFF);
+      digest << ((a.trace_hash == b.trace_hash && a.stats_digest == b.stats_digest)
+                     ? "="
+                     : "!");
+      table.AddRow({std::to_string(cores), std::to_string(rate),
+                    std::to_string(a.offered), std::to_string(a.delivered),
+                    std::to_string(a.coalesced), std::to_string(a.serviced),
+                    TextTable::Num(a.req_per_gcycle, 0),
+                    std::to_string(a.forwarded), digest.str()});
+    }
+  }
+  table.Print();
+  BenchFooter(
+      "dedup regression note: the service loop dedups each pass's IRQ burst "
+      "with a flat seen-bitmap (O(n) in burst size; the pre-async pairwise "
+      "scan was O(n^2), which this 4x-spurious storm would have made "
+      "quadratic in the flood rate). Serviced req/Gcycle climbs 1->4 hv "
+      "cores at the top offered rate while the coalesced column shows the "
+      "token bucket eating the storm; '=' digests confirm byte-identical "
+      "reruns at every core count");
+}
+
+void Run(const std::vector<u64>& hv_core_counts) {
   BenchHeader("E4 / Figure 3",
               "the LAPIC token bucket prevents doorbell floods from "
               "live-locking hypervisor cores; legitimate request rates pass "
@@ -108,6 +249,8 @@ void Run() {
       "rate (live-lock trajectory); with it, delivered interrupts are capped "
       "near the configured steady-state rate and busy fraction stays flat "
       "while excess doorbells coalesce harmlessly");
+
+  RunHvCoreFloodSweep(hv_core_counts);
 }
 
 }  // namespace
@@ -115,6 +258,11 @@ void Run() {
 
 int main(int argc, char** argv) {
   guillotine::ParseBenchArgs(argc, argv);
-  guillotine::Run();
+  std::vector<guillotine::u64> hv_cores =
+      guillotine::FlagList(argc, argv, "--hv-cores=");
+  if (hv_cores.empty()) {
+    hv_cores = {1, 2, 4};
+  }
+  guillotine::Run(hv_cores);
   return 0;
 }

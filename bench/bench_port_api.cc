@@ -11,10 +11,20 @@
 //             doorbell, and polls the response ring while the software
 //             hypervisor (with full logging + detector mediation) services
 //             the interrupt. Cycles are guest-observed.
+// E1b adds the async service-loop sweep: the same mediation stack run on a
+// 1/2/4-core hypervisor complex under increasing offered rates, with
+// per-port ownership, scheduler handoffs, and batched completion IRQs.
+// Flags:
+//   --hv-cores=1,2,4   hv core counts to sweep
+#include <cstring>
+#include <sstream>
+
 #include "bench/bench_common.h"
 #include "src/core/guillotine.h"
+#include "src/hv/service_scheduler.h"
 #include "src/machine/storage.h"
 #include "src/model/guest_lib.h"
+#include "src/testing/scenario.h"
 
 namespace guillotine {
 namespace {
@@ -51,9 +61,133 @@ Bytes BuildPortClient(const PortGuestInfo& port, u32 payload_bytes, u32 rounds,
   return b.Build()->Encode();
 }
 
+// One deterministic service-loop run: 8 storage ports dealt round-robin
+// across `hv_cores` service cores, a skewed per-pass offered load (ports 0
+// and 4 carry 4x — both land on hv core 0 initially, so the scheduler must
+// hand ports off to keep up), interrupt-driven servicing under a per-pass
+// slice budget, one poll sweep every 8th pass.
+struct SweepOutcome {
+  u64 offered = 0;
+  u64 enqueued = 0;
+  u64 serviced = 0;
+  u64 handoffs = 0;
+  u64 irq_batches = 0;
+  u64 batch_depth_max = 0;
+  double req_per_gcycle = 0.0;
+  u64 trace_hash = 0;
+  std::string stats_digest;
+};
+
+SweepOutcome RunServiceSweep(int hv_cores, u32 per_port_rate, u32 passes) {
+  MachineConfig mc;
+  mc.num_model_cores = 1;
+  mc.num_hv_cores = hv_cores;
+  mc.model_dram_bytes = 1 << 20;
+  mc.io_dram_bytes = 512 * 1024;
+  SimClock clock;
+  EventTrace trace;
+  Machine machine(mc, clock, trace);
+  HvConfig hc;
+  hc.log_payload_hashes = false;  // measure servicing, not SHA-256
+  hc.service_slice_cycles = 40'000;
+  SoftwareHypervisor hv(machine, nullptr, hc);
+  ServiceScheduler scheduler(hv);
+  const u32 disk = machine.AttachDevice(std::make_unique<StorageDevice>(64));
+
+  constexpr int kPorts = 8;
+  std::vector<u32> ports;
+  for (int p = 0; p < kPorts; ++p) {
+    ports.push_back(*hv.CreatePort(disk, PortRights{}, 0, /*slot_bytes=*/64,
+                                   /*slot_count=*/64));
+  }
+
+  SweepOutcome out;
+  u64 tag = 1;
+  for (u32 pass = 0; pass < passes; ++pass) {
+    for (int p = 0; p < kPorts; ++p) {
+      const PortBinding* binding = hv.FindPort(ports[static_cast<size_t>(p)]);
+      RingView ring = machine.io_dram().RequestRing(binding->region);
+      const u32 rate = per_port_rate * ((p == 0 || p == 4) ? 4 : 1);
+      for (u32 r = 0; r < rate; ++r) {
+        ++out.offered;
+        IoSlot slot;
+        slot.opcode = static_cast<u32>(StorageOpcode::kInfo);
+        slot.tag = tag++;
+        if (!ring.Push(slot).ok()) {
+          continue;  // ring full: the guest sees backpressure
+        }
+        ++out.enqueued;
+        machine.hv_core(binding->owner_hv_core)
+            .DeliverDoorbell(binding->port_id, clock.now());
+      }
+    }
+    scheduler.RunPass(/*poll_all=*/pass % 8 == 7);
+    // The guest consumes completions so response rings keep flowing.
+    for (int p = 0; p < kPorts; ++p) {
+      const PortBinding* binding = hv.FindPort(ports[static_cast<size_t>(p)]);
+      RingView resp = machine.io_dram().ResponseRing(binding->region);
+      while (resp.Pop().has_value()) {
+      }
+    }
+    clock.Advance(20'000);
+  }
+
+  const ServiceStats& stats = hv.lifetime_stats();
+  out.serviced = stats.requests;
+  out.handoffs = scheduler.handoffs();
+  out.irq_batches = stats.irq_batches;
+  out.batch_depth_max = stats.batch_depth_max;
+  out.req_per_gcycle =
+      clock.now() == 0 ? 0.0
+                       : static_cast<double>(out.serviced) * 1e9 /
+                             static_cast<double>(clock.now());
+  out.trace_hash = TraceDigestHash(trace);
+  out.stats_digest = scheduler.StatsDigest();
+  return out;
+}
+
+void RunHvCoreSweep(const std::vector<u64>& hv_core_counts) {
+  BenchHeader("E1b / async service sweep",
+              "the port service loop scales across hypervisor cores: "
+              "per-port ownership + scheduler handoffs + batched completion "
+              "IRQs lift serviced throughput at saturating offered rates, "
+              "deterministically (rerun digests are byte-identical)");
+
+  const u32 passes = Smoked(64u, 6u);
+  TextTable table({"hv_cores", "rate_per_port", "offered", "serviced",
+                   "req_per_Gcycle", "handoffs", "irq_batches", "depth_max",
+                   "digest"});
+  for (const u64 rate : {2u, 6u, 16u}) {
+    for (const u64 cores : hv_core_counts) {
+      const SweepOutcome a =
+          RunServiceSweep(static_cast<int>(cores), static_cast<u32>(rate), passes);
+      const SweepOutcome b =
+          RunServiceSweep(static_cast<int>(cores), static_cast<u32>(rate), passes);
+      std::ostringstream digest;
+      digest << std::hex << (a.trace_hash & 0xFFFFFFFF);
+      // '=' marks byte-identical trace + per-core stats across the rerun.
+      digest << ((a.trace_hash == b.trace_hash && a.stats_digest == b.stats_digest)
+                     ? "="
+                     : "!");
+      table.AddRow({std::to_string(cores), std::to_string(rate),
+                    std::to_string(a.offered), std::to_string(a.serviced),
+                    TextTable::Num(a.req_per_gcycle, 0),
+                    std::to_string(a.handoffs), std::to_string(a.irq_batches),
+                    std::to_string(a.batch_depth_max), digest.str()});
+    }
+  }
+  table.Print();
+  BenchFooter(
+      "at the top offered rate one service core saturates on its slice "
+      "budget while 4 cores keep draining — serviced req/Gcycle climbs with "
+      "the hv-core count; handoffs show the scheduler re-homing the two hot "
+      "ports off core 0, and every digest carries '=' (same trace and "
+      "per-core stats on rerun at every core count)");
+}
+
 }  // namespace
 
-void Run() {
+void Run(const std::vector<u64>& hv_core_counts) {
   BenchHeader("E1 / Table 1",
               "port-API mediation is affordable; direct (SR-IOV-style) device "
               "access is disallowed and would only save a constant factor");
@@ -128,12 +262,19 @@ void Run() {
       "DRAM under hypervisor observation — the concrete price of banning "
       "SR-IOV-style direct assignment, which the paper accepts (section "
       "3.5: Guillotine increases the cost of operating a model)");
+
+  RunHvCoreSweep(hv_core_counts);
 }
 
 }  // namespace guillotine
 
 int main(int argc, char** argv) {
   guillotine::ParseBenchArgs(argc, argv);
-  guillotine::Run();
+  std::vector<guillotine::u64> hv_cores =
+      guillotine::FlagList(argc, argv, "--hv-cores=");
+  if (hv_cores.empty()) {
+    hv_cores = {1, 2, 4};
+  }
+  guillotine::Run(hv_cores);
   return 0;
 }

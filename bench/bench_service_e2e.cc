@@ -89,25 +89,6 @@ void Row(TextTable& table, std::string_view name, const ServiceReport& report) {
                 TextTable::Num(report.throughput_per_mcycle() * 1000, 2)});
 }
 
-// Comma-separated u64 list flag ("--shards=1,2,4"); empty if absent.
-std::vector<u64> FlagList(int argc, char** argv, const char* prefix) {
-  std::vector<u64> values;
-  const size_t prefix_len = std::strlen(prefix);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix, prefix_len) != 0) {
-      continue;
-    }
-    std::stringstream stream(argv[i] + prefix_len);
-    std::string token;
-    while (std::getline(stream, token, ',')) {
-      if (!token.empty()) {
-        values.push_back(std::strtoull(token.c_str(), nullptr, 0));
-      }
-    }
-  }
-  return values;
-}
-
 void RunSandboxCostTable() {
   BenchHeader("E8 / Table 4",
               "the sandbox costs a constant factor per request; Severed "

@@ -41,6 +41,7 @@ GuillotineSystem::GuillotineSystem(DeploymentConfig config)
       detectors_(BuildDetectors(config_.detectors, &steering_, &breaker_)),
       machine_(config_.machine, clock_, trace_),
       hv_(machine_, detectors_.size() > 0 ? &detectors_ : nullptr, config_.hv),
+      scheduler_(hv_, config_.scheduler),
       plant_(config_.plant, clock_, trace_),
       fabric_(clock_),
       console_([this] {
@@ -105,9 +106,7 @@ Status GuillotineSystem::HostModel(const MlpModel& model,
 
 void GuillotineSystem::PumpOnce() {
   machine_.RunQuantum(config_.quantum);
-  for (int i = 0; i < machine_.num_hv_cores(); ++i) {
-    hv_.ServiceOnce(i, /*poll_all=*/true);
-  }
+  scheduler_.RunPass(/*poll_all=*/true);
   fabric_.Pump();
   console_.Tick();
 }
@@ -137,9 +136,7 @@ Status GuillotineSystem::RunForwardPass(Cycles max_cycles) {
         GLL_RETURN_IF_ERROR(bus.SingleStep(0, 0));
       }
       clock_.Advance(config_.quantum);
-      for (int i = 0; i < machine_.num_hv_cores(); ++i) {
-        hv_.ServiceOnce(i, true);
-      }
+      scheduler_.RunPass(/*poll_all=*/true);
       console_.Tick();
     } else {
       PumpOnce();

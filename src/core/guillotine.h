@@ -28,6 +28,7 @@
 #include "src/detect/input_shield.h"
 #include "src/detect/output_sanitizer.h"
 #include "src/hv/hypervisor.h"
+#include "src/hv/service_scheduler.h"
 #include "src/model/mlp_compiler.h"
 #include "src/net/fabric.h"
 #include "src/physical/console.h"
@@ -60,6 +61,7 @@ enum class IntrospectionMode {
 struct DeploymentConfig {
   MachineConfig machine;
   HvConfig hv;
+  ServiceSchedulerConfig scheduler;
   ConsoleConfig console;
   PlantConfig plant;
   DetectorConfig detectors;
@@ -85,6 +87,7 @@ class GuillotineSystem {
   Rng& rng() { return rng_; }
   Machine& machine() { return machine_; }
   SoftwareHypervisor& hv() { return hv_; }
+  ServiceScheduler& scheduler() { return scheduler_; }
   ControlConsole& console() { return console_; }
   KillSwitchPlant& plant() { return plant_; }
   NetFabric& fabric() { return fabric_; }
@@ -131,9 +134,10 @@ class GuillotineSystem {
   Result<std::vector<i64>> InferVector(const std::vector<i64>& input);
 
   // ---- Execution pump ----
-  // One scheduling round: model cores run a quantum, hypervisor cores
-  // service ports, the console ticks heartbeats/assertions, the fabric
-  // delivers frames.
+  // One scheduling round: model cores run a quantum, the service scheduler
+  // runs every hypervisor core over its owned ports (rebalancing ownership
+  // when a core falls behind), the console ticks heartbeats/assertions, the
+  // fabric delivers frames.
   void PumpOnce();
 
   // Runs an arbitrary guest program on model core `core` until it halts,
@@ -156,6 +160,7 @@ class GuillotineSystem {
   DetectorSuite detectors_;
   Machine machine_;
   SoftwareHypervisor hv_;
+  ServiceScheduler scheduler_;
   KillSwitchPlant plant_;
   NetFabric fabric_;
   ControlConsole console_;

@@ -1,5 +1,6 @@
 #include "src/hv/hypervisor.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/crypto/sha256.h"
@@ -7,12 +8,35 @@
 
 namespace guillotine {
 
+void ServiceStats::Accumulate(const ServiceStats& pass) {
+  requests += pass.requests;
+  responses += pass.responses;
+  blocked += pass.blocked;
+  rewritten += pass.rewritten;
+  escalations += pass.escalations;
+  dropped_responses += pass.dropped_responses;
+  completion_irqs += pass.completion_irqs;
+  irq_batches += pass.irq_batches;
+  batch_depth_max = std::max(batch_depth_max, pass.batch_depth_max);
+  forwarded_irqs += pass.forwarded_irqs;
+  handoffs_in += pass.handoffs_in;
+}
+
 SoftwareHypervisor::SoftwareHypervisor(Machine& machine, DetectorSuite* detectors,
                                        HvConfig config)
     : machine_(machine),
       control_bus_(machine),
       detectors_(detectors),
-      config_(std::move(config)) {}
+      config_(std::move(config)),
+      core_lifetime_(static_cast<size_t>(machine.num_hv_cores())) {}
+
+const ServiceStats& SoftwareHypervisor::core_lifetime_stats(int hv_core_id) const {
+  static const ServiceStats kEmpty;
+  if (hv_core_id < 0 || static_cast<size_t>(hv_core_id) >= core_lifetime_.size()) {
+    return kEmpty;
+  }
+  return core_lifetime_[static_cast<size_t>(hv_core_id)];
+}
 
 Result<u32> SoftwareHypervisor::CreatePort(u32 device_index, PortRights rights,
                                            int owner_core, u32 slot_bytes,
@@ -27,14 +51,54 @@ Result<u32> SoftwareHypervisor::CreatePort(u32 device_index, PortRights rights,
   GLL_ASSIGN_OR_RETURN(u32 port_id,
                        ports_.Create(machine_.io_dram(), device_index, dev->type(),
                                      rights, owner_core, slot_bytes, slot_count));
-  machine_.SetPortAffinity(port_id, static_cast<int>(port_id) %
-                                        machine_.num_hv_cores());
+  // Servicing ownership is dealt round-robin across the hv complex; the
+  // doorbell affinity map steers the LAPIC path to the same core.
+  const int owner_hv = static_cast<int>(port_id) % machine_.num_hv_cores();
+  ports_.Find(port_id)->owner_hv_core = owner_hv;
+  machine_.SetPortAffinity(port_id, owner_hv);
   machine_.trace().Record(machine_.clock().now(), TraceCategory::kPortIo, "hv",
                           "port.create",
                           "port=" + std::to_string(port_id) + " device=" +
-                              std::string(DeviceTypeName(dev->type())),
+                              std::string(DeviceTypeName(dev->type())) +
+                              " owner_hv=" + std::to_string(owner_hv),
                           static_cast<i64>(port_id));
   return port_id;
+}
+
+Status SoftwareHypervisor::HandoffPort(u32 port_id, int to_core,
+                                       std::string_view reason) {
+  PortBinding* binding = ports_.Find(port_id);
+  if (binding == nullptr) {
+    return NotFound("no such port");
+  }
+  if (to_core < 0 || to_core >= machine_.num_hv_cores()) {
+    return InvalidArgument("bad hv core");
+  }
+  if (binding->owner_hv_core == to_core) {
+    return OkStatus();  // already there; no record, no trace
+  }
+  PortHandoffRecord record;
+  record.at = machine_.clock().now();
+  record.port_id = port_id;
+  record.from_core = binding->owner_hv_core;
+  record.to_core = to_core;
+  record.backlog = machine_.io_dram().RequestRing(binding->region).size();
+  record.reason = std::string(reason);
+  binding->owner_hv_core = to_core;
+  machine_.SetPortAffinity(port_id, to_core);
+  if (static_cast<size_t>(to_core) < core_lifetime_.size()) {
+    ++core_lifetime_[static_cast<size_t>(to_core)].handoffs_in;
+  }
+  ++lifetime_stats_.handoffs_in;
+  machine_.trace().Record(machine_.clock().now(), TraceCategory::kPortIo, "hv",
+                          "hv.port_handoff",
+                          "port=" + std::to_string(port_id) + " from=hv" +
+                              std::to_string(record.from_core) + " to=hv" +
+                              std::to_string(to_core) + " backlog=" +
+                              std::to_string(record.backlog) + " " + record.reason,
+                          static_cast<i64>(to_core));
+  handoff_log_.push_back(std::move(record));
+  return OkStatus();
 }
 
 Status SoftwareHypervisor::RevokePort(u32 port_id) {
@@ -91,11 +155,12 @@ Status SoftwareHypervisor::StartModel(int core) {
   return OkStatus();
 }
 
-void SoftwareHypervisor::TraceIo(const PortBinding& binding, bool outbound,
-                                 const IoSlot& slot) {
+void SoftwareHypervisor::TraceIo(int hv_core_id, const PortBinding& binding,
+                                 bool outbound, const IoSlot& slot) {
   std::ostringstream detail;
   detail << "port=" << binding.port_id << " op=" << slot.opcode
-         << " bytes=" << slot.payload.size();
+         << " bytes=" << slot.payload.size() << " hv=" << hv_core_id
+         << " owner_hv=" << binding.owner_hv_core;
   if (config_.log_payload_hashes && !slot.payload.empty()) {
     const Sha256Digest d = Sha256::Hash(std::span<const u8>(slot.payload.data(),
                                                             slot.payload.size()));
@@ -112,8 +177,13 @@ void SoftwareHypervisor::HandleRequest(int hv_core_id, PortBinding& binding,
   RingView resp_ring = machine_.io_dram().ResponseRing(binding.region);
   ++stats.requests;
   ++binding.requests;
+  if (binding.owner_hv_core != hv_core_id) {
+    // Unreachable while ServiceOnce's ownership gate holds; counted (and
+    // tripping the port-owner invariant) rather than silently tolerated.
+    ++mis_owned_services_;
+  }
   hv.AccountWork(config_.request_base_cost + slot.payload.size() / 8);
-  TraceIo(binding, /*outbound=*/true, slot);
+  TraceIo(hv_core_id, binding, /*outbound=*/true, slot);
 
   auto reject = [&](u32 code, std::string_view why) {
     ++stats.blocked;
@@ -243,21 +313,71 @@ void SoftwareHypervisor::HandleRequest(int hv_core_id, PortBinding& binding,
   }
   if (resp_ring.Push(out).ok()) {
     ++stats.responses;
-    TraceIo(binding, /*outbound=*/false, out);
+    TraceIo(hv_core_id, binding, /*outbound=*/false, out);
     if (config_.raise_completion_irqs) {
-      machine_.model_core(binding.owner_core)
-          .RaiseExternalInterrupt(TrapCause::kPortCompletion);
+      if (config_.batch_completion_irqs &&
+          static_cast<size_t>(binding.owner_core) < pending_completions_.size()) {
+        ++pending_completions_[static_cast<size_t>(binding.owner_core)];
+      } else {
+        machine_.model_core(binding.owner_core)
+            .RaiseExternalInterrupt(TrapCause::kPortCompletion);
+        ++stats.completion_irqs;
+      }
     }
   } else {
     ++stats.dropped_responses;
+    machine_.trace().Record(machine_.clock().now(), TraceCategory::kPortIo, "hv",
+                            "port.drop",
+                            "port=" + std::to_string(binding.port_id) + " tag=" +
+                                std::to_string(out.tag) + " response ring full",
+                            static_cast<i64>(out.payload.size()));
   }
 }
 
+bool SoftwareHypervisor::SliceExhausted(int hv_core_id, u64 busy_start) const {
+  if (config_.service_slice_cycles == 0) {
+    return false;
+  }
+  return machine_.hv_core(hv_core_id).busy_cycles() - busy_start >=
+         config_.service_slice_cycles;
+}
+
 void SoftwareHypervisor::ServicePort(int hv_core_id, PortBinding& binding,
-                                     ServiceStats& stats) {
+                                     ServiceStats& stats, u64 busy_start) {
   RingView req_ring = machine_.io_dram().RequestRing(binding.region);
-  while (auto slot = req_ring.Pop()) {
+  while (!SliceExhausted(hv_core_id, busy_start)) {
+    auto slot = req_ring.Pop();
+    if (!slot.has_value()) {
+      return;  // ring drained
+    }
     HandleRequest(hv_core_id, binding, *slot, stats);
+  }
+  // Slice ran out with requests still queued: re-arm our own IRQ so even a
+  // pure interrupt-driven loop (no poll sweep) revisits this port next
+  // pass. Poll passes re-arm too — the IRQ is consumed-and-merged next
+  // pass either way, so nothing strands in mixed poll/IRQ regimes.
+  if (!req_ring.empty()) {
+    machine_.hv_core(hv_core_id).InjectIrq(binding.port_id);
+  }
+}
+
+void SoftwareHypervisor::FlushCompletionBatches(int hv_core_id, ServiceStats& stats) {
+  for (int core = 0; core < machine_.num_model_cores(); ++core) {
+    const u64 depth = pending_completions_[static_cast<size_t>(core)];
+    if (depth == 0) {
+      continue;
+    }
+    pending_completions_[static_cast<size_t>(core)] = 0;
+    machine_.model_core(core).RaiseExternalInterrupt(TrapCause::kPortCompletion);
+    ++stats.completion_irqs;
+    ++stats.irq_batches;
+    stats.batch_depth_max = std::max(stats.batch_depth_max, depth);
+    machine_.trace().Record(machine_.clock().now(), TraceCategory::kInterrupt, "hv",
+                            "port.irq_batch",
+                            "hv=" + std::to_string(hv_core_id) + " core=" +
+                                std::to_string(core) + " depth=" +
+                                std::to_string(depth),
+                            static_cast<i64>(depth));
   }
 }
 
@@ -266,39 +386,66 @@ ServiceStats SoftwareHypervisor::ServiceOnce(int hv_core_id, bool poll_all) {
   if (assertion_failed_) {
     return stats;  // a failed hypervisor does no further work
   }
-  HypervisorCore& hv = machine_.hv_core(hv_core_id);
-  std::vector<u32> to_service = hv.TakePendingIrqs();
-  if (poll_all) {
-    to_service = ports_.PortIds();
+  if (hv_core_id < 0 || hv_core_id >= machine_.num_hv_cores()) {
+    return stats;
   }
-  // Dedup while preserving order.
-  std::vector<u32> seen;
-  for (u32 port_id : to_service) {
-    bool dup = false;
-    for (u32 s : seen) {
-      if (s == port_id) {
-        dup = true;
-        break;
-      }
-    }
-    if (dup) {
-      continue;
-    }
-    seen.push_back(port_id);
+  HypervisorCore& hv = machine_.hv_core(hv_core_id);
+  const u64 busy_start = hv.busy_cycles();
+  // Pending IRQs are always consumed; a poll pass MERGES the sweep after
+  // them rather than replacing them, so doorbells (including self re-arms
+  // from an exhausted slice) are never silently discarded by a poll.
+  std::vector<u32> to_service = hv.TakePendingIrqs();
+  const size_t irq_count = to_service.size();
+  if (poll_all) {
+    const std::vector<u32> all = ports_.PortIds();
+    to_service.insert(to_service.end(), all.begin(), all.end());
+  }
+  pending_completions_.assign(static_cast<size_t>(machine_.num_model_cores()), 0);
+  // Dedup while preserving arrival order. Port ids are dense from zero
+  // (PortTable::Create), so a flat seen-bitmap does it in O(n) — the old
+  // pairwise scan was quadratic in the IRQ burst size.
+  std::vector<u8> seen(ports_.size(), 0);
+  for (size_t i = 0; i < to_service.size(); ++i) {
+    const u32 port_id = to_service[i];
+    const bool from_irq = i < irq_count;
     PortBinding* binding = ports_.Find(port_id);
     if (binding == nullptr) {
+      continue;  // stale IRQ for a port that never existed
+    }
+    if (seen[port_id]) {
       continue;
     }
-    ServicePort(hv_core_id, *binding, stats);
+    seen[port_id] = 1;
+    if (binding->owner_hv_core != hv_core_id) {
+      // An actual doorbell that raced an ownership handoff forwards to the
+      // owner as an inter-hv-core IPI; a poll sweep merely skips ports it
+      // does not own. Either way we never service another core's port (the
+      // port-owner invariant holds us to this).
+      if (from_irq) {
+        machine_.hv_core(binding->owner_hv_core).InjectIrq(port_id);
+        ++stats.forwarded_irqs;
+      }
+      continue;
+    }
+    if (SliceExhausted(hv_core_id, busy_start)) {
+      // Out of budget before even touching this port; keep its doorbell
+      // armed for whatever is still queued so later passes revisit it.
+      if (!machine_.io_dram().RequestRing(binding->region).empty()) {
+        hv.InjectIrq(port_id);
+      }
+      continue;
+    }
+    ServicePort(hv_core_id, *binding, stats, busy_start);
+  }
+  if (config_.raise_completion_irqs && config_.batch_completion_irqs) {
+    FlushCompletionBatches(hv_core_id, stats);
   }
   EmitSystemObservation(hv_core_id);
 
-  lifetime_stats_.requests += stats.requests;
-  lifetime_stats_.responses += stats.responses;
-  lifetime_stats_.blocked += stats.blocked;
-  lifetime_stats_.rewritten += stats.rewritten;
-  lifetime_stats_.escalations += stats.escalations;
-  lifetime_stats_.dropped_responses += stats.dropped_responses;
+  lifetime_stats_.Accumulate(stats);
+  if (static_cast<size_t>(hv_core_id) < core_lifetime_.size()) {
+    core_lifetime_[static_cast<size_t>(hv_core_id)].Accumulate(stats);
+  }
   return stats;
 }
 
@@ -344,6 +491,12 @@ void SoftwareHypervisor::ApplyProbationPolicy(const ProbationPolicy& policy) {
       binding->send_suspended = true;
     }
     if (policy.residual_byte_quota != 0) {
+      // Snapshot the quota in force before the clamp (first clamp only, so
+      // re-entering Probation without an intervening clear keeps the true
+      // pre-probation value) — ClearProbationRestrictions restores it.
+      if (!binding->pre_probation_quota.has_value()) {
+        binding->pre_probation_quota = binding->rights.byte_quota;
+      }
       binding->rights.byte_quota = binding->quota_used() + policy.residual_byte_quota;
     }
   }
@@ -357,7 +510,12 @@ void SoftwareHypervisor::ClearProbationRestrictions() {
     PortBinding* binding = ports_.Find(port_id);
     binding->send_suspended = false;
     binding->recv_suspended = false;
-    binding->rights.byte_quota = 0;
+    // Restore the pre-probation quota rather than resetting to unlimited:
+    // a port created with a real quota keeps it across a probation cycle.
+    if (binding->pre_probation_quota.has_value()) {
+      binding->rights.byte_quota = *binding->pre_probation_quota;
+      binding->pre_probation_quota.reset();
+    }
   }
   machine_.trace().Record(machine_.clock().now(), TraceCategory::kIsolation, "hv",
                           "hv.probation_cleared");
@@ -399,6 +557,10 @@ Status SoftwareHypervisor::RunAssertions() {
     }
     if (b->rights.byte_quota != 0 && b->quota_used() > 2 * b->rights.byte_quota) {
       return fail("quota accounting corruption on port " + std::to_string(port_id));
+    }
+    if (b->owner_hv_core < 0 || b->owner_hv_core >= machine_.num_hv_cores()) {
+      return fail("port " + std::to_string(port_id) + " owned by nonexistent hv core " +
+                  std::to_string(b->owner_hv_core));
     }
   }
   return OkStatus();
@@ -510,6 +672,8 @@ void SoftwareHypervisor::MeasurePlatform(MeasurementRegister& reg) const {
   std::ostringstream cfg;
   cfg << "log_hashes=" << config_.log_payload_hashes
       << ";completion_irqs=" << config_.raise_completion_irqs
+      << ";batch_irqs=" << config_.batch_completion_irqs
+      << ";slice=" << config_.service_slice_cycles
       << ";base_cost=" << config_.request_base_cost;
   reg.Extend("hv_config", cfg.str());
 }

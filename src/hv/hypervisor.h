@@ -16,6 +16,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/common/isolation.h"
 #include "src/crypto/attest.h"
@@ -32,6 +33,15 @@ struct HvConfig {
   bool log_payload_hashes = true;
   // Raise a completion interrupt on the owning model core per response.
   bool raise_completion_irqs = true;
+  // Coalesce completion interrupts: accumulate responses during a service
+  // pass and raise one IRQ per owning model core per pass (batch depth is
+  // counted in ServiceStats) instead of one IRQ per response.
+  bool batch_completion_irqs = true;
+  // Busy-cycle budget one hv core may spend per ServiceOnce pass. 0 means
+  // unlimited — the pre-async behavior of draining every ring to empty.
+  // With a budget, leftover requests stay queued in their rings and the
+  // core re-arms its own IRQ so an interrupt-driven loop revisits them.
+  Cycles service_slice_cycles = 0;
   // Base cycle cost of servicing one port request (validation, copies),
   // before detector and device costs.
   Cycles request_base_cost = 300;
@@ -58,6 +68,28 @@ struct ServiceStats {
   u64 rewritten = 0;   // detector kRewrite applied
   u64 escalations = 0; // detector kEscalate forwarded
   u64 dropped_responses = 0;  // response ring full
+  u64 completion_irqs = 0;    // completion interrupts actually raised
+  u64 irq_batches = 0;        // batched completion flushes (one IRQ each)
+  u64 batch_depth_max = 0;    // deepest single completion batch
+  u64 forwarded_irqs = 0;     // doorbells re-steered to the owning hv core
+  u64 handoffs_in = 0;        // ports received via ownership handoff
+
+  // Folds one pass into a lifetime accumulator (sums counters, maxes the
+  // batch depth high-water mark).
+  void Accumulate(const ServiceStats& pass);
+};
+
+// One explicit ownership-handoff record: which port moved between which hv
+// cores, when, and under what backlog. The log is the audit-trail twin of
+// the hv.port_handoff trace events (the port-owner invariant holds the two
+// to each other).
+struct PortHandoffRecord {
+  Cycles at = 0;
+  u32 port_id = 0;
+  int from_core = 0;
+  int to_core = 0;
+  u64 backlog = 0;  // request-ring depth of the port at handoff time
+  std::string reason;
 };
 
 class SoftwareHypervisor {
@@ -87,11 +119,32 @@ class SoftwareHypervisor {
   Status StartModel(int core);
 
   // ---- Service loop ----
-  // Drains interrupts delivered to hypervisor core `hv_core_id` and services
-  // the corresponding port rings. With `poll_all`, also sweeps every port
-  // (picks up coalesced doorbells).
+  // One service pass of hypervisor core `hv_core_id`: drains interrupts
+  // delivered to it and services the rings of the ports it OWNS. Doorbells
+  // that landed here for a port owned elsewhere (stale steering after a
+  // handoff) are forwarded to the owner, never serviced. With `poll_all`,
+  // also sweeps every owned port (picks up coalesced doorbells). Responses
+  // are delivered in batches: one completion IRQ per owning model core per
+  // pass when `batch_completion_irqs` is set. A nonzero
+  // `service_slice_cycles` caps the busy cycles one pass may spend; leftover
+  // requests stay ring-queued and the core re-arms its own IRQ.
   ServiceStats ServiceOnce(int hv_core_id, bool poll_all = false);
   const ServiceStats& lifetime_stats() const { return lifetime_stats_; }
+  // Per-hv-core lifetime accumulation of the same counters.
+  const ServiceStats& core_lifetime_stats(int hv_core_id) const;
+
+  // ---- Port ownership ----
+  // Moves servicing ownership of `port_id` to `to_core`: updates the
+  // binding, re-steers doorbell IRQs, appends a PortHandoffRecord, and
+  // traces hv.port_handoff. Called by the ServiceScheduler when a core
+  // falls behind, and by operators rebalancing manually.
+  Status HandoffPort(u32 port_id, int to_core, std::string_view reason);
+  const std::vector<PortHandoffRecord>& handoff_log() const { return handoff_log_; }
+
+  // Requests serviced by a core that did not own the port at service time.
+  // Unreachable by construction (ServiceOnce forwards instead); the counter
+  // exists so the fuzzer's port-owner invariant can prove it stayed zero.
+  u64 mis_owned_services() const { return mis_owned_services_; }
 
   // Requests forwarded to a device while isolation was >= Severed. The
   // severed gate in HandleRequest makes this unreachable by construction;
@@ -152,11 +205,18 @@ class SoftwareHypervisor {
     bool responded = false;
   };
 
-  void ServicePort(int hv_core_id, PortBinding& binding, ServiceStats& stats);
+  // Drains `binding`'s request ring until empty or the slice budget runs
+  // out; a non-empty leftover ring re-arms the core's own IRQ so the work
+  // is revisited next pass even without a poll sweep.
+  void ServicePort(int hv_core_id, PortBinding& binding, ServiceStats& stats,
+                   u64 busy_start);
+  bool SliceExhausted(int hv_core_id, u64 busy_start) const;
   void HandleRequest(int hv_core_id, PortBinding& binding, const IoSlot& slot,
                      ServiceStats& stats);
+  void FlushCompletionBatches(int hv_core_id, ServiceStats& stats);
   void EmitSystemObservation(int hv_core_id);
-  void TraceIo(const PortBinding& binding, bool outbound, const IoSlot& slot);
+  void TraceIo(int hv_core_id, const PortBinding& binding, bool outbound,
+               const IoSlot& slot);
 
   Machine& machine_;
   ControlBus control_bus_;
@@ -167,6 +227,10 @@ class SoftwareHypervisor {
   EscalationFn escalate_;
   FailsafeFn failsafe_;
   ServiceStats lifetime_stats_;
+  std::vector<ServiceStats> core_lifetime_;      // one slot per hv core
+  std::vector<u64> pending_completions_;         // per model core, one pass
+  std::vector<PortHandoffRecord> handoff_log_;
+  u64 mis_owned_services_ = 0;
   u64 severed_traffic_ = 0;
   Cycles last_system_obs_ = 0;
   u64 doorbells_at_last_obs_ = 0;

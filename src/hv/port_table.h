@@ -7,6 +7,7 @@
 #define SRC_HV_PORT_TABLE_H_
 
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "src/common/status.h"
@@ -41,7 +42,11 @@ struct PortBinding {
   u32 port_id = 0;
   u32 device_index = 0;
   DeviceType device_type = DeviceType::kNic;
-  int owner_core = 0;  // model core receiving completion interrupts
+  int owner_core = 0;     // model core receiving completion interrupts
+  // Hypervisor core that services this port: doorbell IRQs steer here and
+  // only this core drains the rings. Assigned round-robin at CreatePort and
+  // moved by explicit ownership handoffs (SoftwareHypervisor::HandoffPort).
+  int owner_hv_core = 0;
   PortRights rights;
   PortRegion region;
 
@@ -49,6 +54,10 @@ struct PortBinding {
   // Probation-level suspensions (reversible, unlike revocation).
   bool send_suspended = false;
   bool recv_suspended = false;
+  // Byte quota in force before probation clamped it; restored (and cleared)
+  // by ClearProbationRestrictions so a port created with a real quota does
+  // not come back from Probation unlimited.
+  std::optional<u64> pre_probation_quota;
 
   u64 bytes_out = 0;  // model -> device payload bytes
   u64 bytes_in = 0;   // device -> model payload bytes

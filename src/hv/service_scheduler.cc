@@ -1,0 +1,104 @@
+#include "src/hv/service_scheduler.h"
+
+#include <sstream>
+
+namespace guillotine {
+
+ServiceScheduler::ServiceScheduler(SoftwareHypervisor& hv,
+                                   ServiceSchedulerConfig config)
+    : hv_(hv), config_(config) {}
+
+u64 ServiceScheduler::CoreBacklog(int hv_core_id) const {
+  Machine& machine = hv_.machine();
+  u64 backlog = 0;
+  for (u32 port_id : hv_.ports().PortIds()) {
+    const PortBinding* binding = hv_.ports().Find(port_id);
+    if (binding->owner_hv_core != hv_core_id) {
+      continue;
+    }
+    backlog += machine.io_dram().RequestRing(binding->region).size();
+  }
+  return backlog;
+}
+
+ServiceStats ServiceScheduler::RunPass(bool poll_all) {
+  ServiceStats total;
+  const int cores = hv_.machine().num_hv_cores();
+  for (int core = 0; core < cores; ++core) {
+    total.Accumulate(hv_.ServiceOnce(core, poll_all));
+  }
+  MaybeRebalance();
+  ++passes_;
+  return total;
+}
+
+void ServiceScheduler::MaybeRebalance() {
+  const int cores = hv_.machine().num_hv_cores();
+  if (!config_.rebalance || cores < 2) {
+    return;
+  }
+  Machine& machine = hv_.machine();
+  for (u32 done = 0; done < config_.max_handoffs_per_pass; ++done) {
+    // Ties break toward the lowest core id on both ends, so the decision is
+    // a pure function of the (deterministic) ring state.
+    int busiest = 0, idlest = 0;
+    u64 max_backlog = 0, min_backlog = ~0ULL;
+    for (int core = 0; core < cores; ++core) {
+      const u64 backlog = CoreBacklog(core);
+      if (backlog > max_backlog) {
+        max_backlog = backlog;
+        busiest = core;
+      }
+      if (backlog < min_backlog) {
+        min_backlog = backlog;
+        idlest = core;
+      }
+    }
+    if (busiest == idlest || max_backlog - min_backlog < config_.backlog_gap_threshold) {
+      return;
+    }
+    // Move the deepest port of the overloaded core (ties -> lowest id).
+    u32 victim = 0;
+    u64 victim_depth = 0;
+    bool found = false;
+    for (u32 port_id : hv_.ports().PortIds()) {
+      const PortBinding* binding = hv_.ports().Find(port_id);
+      if (binding->owner_hv_core != busiest || binding->revoked) {
+        continue;
+      }
+      const u64 depth = machine.io_dram().RequestRing(binding->region).size();
+      if (depth > victim_depth) {
+        victim_depth = depth;
+        victim = port_id;
+        found = true;
+      }
+    }
+    if (!found || victim_depth == 0) {
+      return;
+    }
+    hv_.HandoffPort(victim, idlest,
+                    "rebalance: backlog " + std::to_string(max_backlog) + " vs " +
+                        std::to_string(min_backlog))
+        .ok();
+    ++handoffs_;
+  }
+}
+
+std::string ServiceScheduler::StatsDigest() const {
+  std::ostringstream out;
+  const int cores = hv_.machine().num_hv_cores();
+  for (int core = 0; core < cores; ++core) {
+    const ServiceStats& s = hv_.core_lifetime_stats(core);
+    out << "hv" << core << " req=" << s.requests << " resp=" << s.responses
+        << " blocked=" << s.blocked << " rewritten=" << s.rewritten
+        << " esc=" << s.escalations << " dropped=" << s.dropped_responses
+        << " irqs=" << s.completion_irqs << " batches=" << s.irq_batches
+        << " depth_max=" << s.batch_depth_max << " fwd=" << s.forwarded_irqs
+        << " handoffs_in=" << s.handoffs_in << "\n";
+  }
+  out << "scheduler passes=" << passes_ << " handoffs=" << handoffs_
+      << " mis_owned=" << hv_.mis_owned_services() << "\n";
+  return out.str();
+}
+
+}  // namespace guillotine

@@ -45,6 +45,14 @@ class HypervisorCore {
   // drains the rings.
   std::vector<u32> TakePendingIrqs();
 
+  // Direct IRQ injection that bypasses the LAPIC token bucket. Guest
+  // doorbells never take this path; it exists for hypervisor-internal
+  // signalling: re-arming a port whose ring still holds requests when the
+  // service slice ran out, and forwarding a stale-steered doorbell to the
+  // port's owning core after an ownership handoff (an inter-hv-core IPI).
+  void InjectIrq(u32 port_id) { pending_irqs_.push_back(port_id); }
+  size_t pending_irq_count() const { return pending_irqs_.size(); }
+
   // Cycle accounting for hypervisor-side work (management ops, port
   // servicing, detector runs). Used for utilization and overhead metrics.
   void AccountWork(Cycles cycles) { busy_cycles_ += cycles; }

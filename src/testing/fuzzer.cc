@@ -84,8 +84,10 @@ std::vector<int> PickVotes(Rng& rng, int num_admins) {
   return ids;
 }
 
-Scenario FromSteps(const std::string& name, const std::vector<ScenarioStep>& steps) {
+Scenario FromSteps(const std::string& name, const std::vector<ScenarioStep>& steps,
+                   u32 hv_cores) {
   Scenario scenario(name);
+  scenario.WithHvCores(hv_cores);
   for (const ScenarioStep& step : steps) {
     scenario.Append(step);
   }
@@ -113,6 +115,13 @@ Scenario ScenarioFuzzer::Generate(u64 seed) const {
   Scenario scenario(name.str());
   const HeartbeatConfig& hb = config_.runner.deployment.console.heartbeat;
   const int num_admins = config_.runner.deployment.console.quorum.num_admins;
+
+  // A third of the corpus runs on a 2- or 4-core hypervisor complex so
+  // per-port ownership, doorbell steering, IRQ forwarding, and scheduler
+  // handoffs are all exercised under the global safety invariants.
+  if (rng.NextBool(0.34)) {
+    scenario.WithHvCores(rng.NextBool(0.5) ? 2 : 4);
+  }
 
   if (rng.NextBool(0.7)) {
     static const std::vector<u32> kDims[] = {{8, 16, 4}, {6, 8, 4}, {4, 12, 6, 4}};
@@ -190,7 +199,7 @@ Scenario ScenarioFuzzer::Shrink(const Scenario& scenario) {
     }
     --budget;
     ScenarioRunner runner(config_.runner);
-    const Scenario s = FromSteps(scenario.name(), candidate);
+    const Scenario s = FromSteps(scenario.name(), candidate, scenario.hv_cores());
     const ScenarioResult r = runner.Run(s);
     InvariantContext ctx;
     ctx.scenario = &s;
@@ -251,7 +260,7 @@ Scenario ScenarioFuzzer::Shrink(const Scenario& scenario) {
       }
     }
   }
-  return FromSteps(scenario.name() + "-min", steps);
+  return FromSteps(scenario.name() + "-min", steps, scenario.hv_cores());
 }
 
 std::string ScenarioFuzzer::ReproScript(

@@ -440,6 +440,44 @@ void CheckKvQuotaMonotonicity(const InvariantContext& ctx,
   }
 }
 
+// Multi-hv-core servicing must respect ownership: a request is only ever
+// drained by the hv core that owns its port at service time (stale-steered
+// doorbells are forwarded, not serviced), every ownership handoff appears
+// in the audit trace alongside its structured record, and final owners
+// point at cores that exist.
+void CheckPortOwnerServiced(const InvariantContext& ctx,
+                            const InvariantChecker::ViolateFn& violate) {
+  if (ctx.system == nullptr) {
+    return;
+  }
+  const SoftwareHypervisor& hv = ctx.system->hv();
+  if (hv.mis_owned_services() != 0) {
+    violate(std::to_string(hv.mis_owned_services()) +
+            " request(s) serviced by an hv core that did not own the port");
+  }
+  const size_t traced = ctx.system->trace().CountKind("hv.port_handoff");
+  if (traced != hv.handoff_log().size()) {
+    violate("hv logged " + std::to_string(hv.handoff_log().size()) +
+            " ownership handoffs but the trace has " + std::to_string(traced));
+  }
+  const int num_hv_cores = ctx.system->machine().num_hv_cores();
+  for (u32 port_id : hv.ports().PortIds()) {
+    const PortBinding* binding = hv.ports().Find(port_id);
+    if (binding->owner_hv_core < 0 || binding->owner_hv_core >= num_hv_cores) {
+      violate("port " + std::to_string(port_id) + " owned by nonexistent hv core " +
+              std::to_string(binding->owner_hv_core));
+    }
+  }
+  for (const PortHandoffRecord& record : hv.handoff_log()) {
+    if (record.from_core == record.to_core) {
+      violate("handoff of port " + std::to_string(record.port_id) + " @" +
+              std::to_string(record.at) + " moved nothing (hv" +
+              std::to_string(record.from_core) + "->hv" +
+              std::to_string(record.to_core) + ")");
+    }
+  }
+}
+
 }  // namespace
 
 InvariantChecker InvariantChecker::Default(QuorumPolicy safety_floor) {
@@ -494,6 +532,11 @@ InvariantChecker InvariantChecker::Default(QuorumPolicy safety_floor) {
                    "KV occupancy stays within [0, capacity] across every op",
                    [](const InvariantContext& ctx, const ViolateFn& violate) {
                      CheckKvQuotaMonotonicity(ctx, violate);
+                   });
+  checker.Register("port-owner-serviced",
+                   "every request is serviced by its port's owning hv core",
+                   [](const InvariantContext& ctx, const ViolateFn& violate) {
+                     CheckPortOwnerServiced(ctx, violate);
                    });
   return checker;
 }

@@ -20,6 +20,9 @@
 //   detector-verdict-consistency
 //                         a request the detectors blocked never completes
 //   kv-quota-monotonicity KV occupancy stays within [0, capacity] forever
+//   port-owner-serviced   every port request is serviced by the hv core
+//                         that owned the port at service time, and every
+//                         ownership handoff is in the audit trace
 //
 // Adding an invariant: call Register with a name and a function that walks
 // the InvariantContext and calls `violate(detail)` for each breach (see

@@ -138,6 +138,11 @@ Scenario& Scenario::Append(ScenarioStep step) {
   return *this;
 }
 
+Scenario& Scenario::WithHvCores(u32 hv_cores) {
+  hv_cores_ = hv_cores;
+  return *this;
+}
+
 // ---------------------------------------------------------------------------
 // Scenario scripts
 // ---------------------------------------------------------------------------
@@ -337,7 +342,11 @@ Result<std::vector<T>> ParseNumberList(std::string_view text, size_t line_no) {
 
 Result<std::string> SerializeScenarioScript(const Scenario& scenario) {
   std::ostringstream out;
-  out << "scenario " << QuoteText(scenario.name()) << "\n";
+  out << "scenario " << QuoteText(scenario.name());
+  if (scenario.hv_cores() != 0) {
+    out << " hv_cores=" << scenario.hv_cores();
+  }
+  out << "\n";
   for (const ScenarioStep& step : scenario.steps()) {
     switch (step.kind) {
       case ScenarioStepKind::kHostModel:
@@ -450,6 +459,11 @@ Result<Scenario> ParseScenarioScript(std::string_view script) {
                                "files must be split before replaying)");
       }
       scenario = Scenario(tokens[1].value);
+      if (const ScriptToken* cores = find("hv_cores"); cores != nullptr) {
+        GLL_ASSIGN_OR_RETURN(u64 n, ParseNumber(cores->value, line_no));
+        GLL_ASSIGN_OR_RETURN(u32 narrowed, NarrowNumber<u32>(n, line_no));
+        scenario.WithHvCores(narrowed);
+      }
       saw_header = true;
     } else if (verb == "host_model") {
       GLL_ASSIGN_OR_RETURN(const ScriptToken* dims, require("dims"));
@@ -600,7 +614,11 @@ ScenarioRunner::ScenarioRunner(ScenarioRunnerConfig config)
 ScenarioRunner::~ScenarioRunner() = default;
 
 ScenarioResult ScenarioRunner::Run(const Scenario& scenario) {
-  system_ = std::make_unique<GuillotineSystem>(config_.deployment);
+  DeploymentConfig deployment = config_.deployment;
+  if (scenario.hv_cores() > 0) {
+    deployment.machine.num_hv_cores = static_cast<int>(scenario.hv_cores());
+  }
+  system_ = std::make_unique<GuillotineSystem>(deployment);
   exfil_payloads_.clear();
   next_tag_ = 1;
 
@@ -676,17 +694,26 @@ void ScenarioRunner::Execute(const ScenarioStep& step, StepOutcome& outcome) {
         outcome.detail = info.status().ToString();
         break;
       }
-      const Lapic& lapic = sys.machine().hv_core(0).lapic();
-      const u64 delivered_before = lapic.delivered();
-      const u64 suppressed_before = lapic.suppressed();
+      // Doorbells steer to the storage port's owning hv core; sum every
+      // LAPIC so the counts are right at any hv-core count.
+      auto lapic_totals = [&sys] {
+        std::pair<u64, u64> totals{0, 0};
+        for (int i = 0; i < sys.machine().num_hv_cores(); ++i) {
+          totals.first += sys.machine().hv_core(i).lapic().delivered();
+          totals.second += sys.machine().hv_core(i).lapic().suppressed();
+        }
+        return totals;
+      };
+      const auto [delivered_before, suppressed_before] = lapic_totals();
       const AttackProgram flood =
           BuildDoorbellFlood(config_.deployment.code_base, config_.attack_scratch,
                              *info, static_cast<u32>(step.amount));
       const Result<RunState> state =
           sys.RunGuestProgram(0, flood.code, flood.code_base, flood.entry,
                               config_.flood_budget_cycles);
-      const u64 delivered = lapic.delivered() - delivered_before;
-      const u64 suppressed = lapic.suppressed() - suppressed_before;
+      const auto [delivered_after, suppressed_after] = lapic_totals();
+      const u64 delivered = delivered_after - delivered_before;
+      const u64 suppressed = suppressed_after - suppressed_before;
       outcome.ok = state.ok() && *state == RunState::kDone;
       outcome.value = static_cast<i64>(suppressed);
       std::ostringstream detail;
@@ -724,7 +751,9 @@ void ScenarioRunner::Execute(const ScenarioStep& step, StepOutcome& outcome) {
       const size_t escaped_before = exfil_payloads_.size();
       const u64 rejected_before = sys.hv().lifetime_stats().blocked;
       const u64 dropped_before = sys.fabric().dropped();
-      sys.hv().ServiceOnce(0, /*poll_all=*/true);
+      // Service on the NIC port's owning hv core: with a multi-core hv
+      // complex, core 0 only polls the ports it owns.
+      sys.hv().ServiceOnce(binding->owner_hv_core, /*poll_all=*/true);
       sys.fabric().Pump();
       outcome.ok = true;
       outcome.value = static_cast<i64>(exfil_payloads_.size() - escaped_before);

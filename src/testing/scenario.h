@@ -97,12 +97,20 @@ class Scenario {
   // scenarios from step lists without going through the fluent methods.
   Scenario& Append(ScenarioStep step);
 
+  // Overrides the deployment's hypervisor-core count for this scenario
+  // (0 = use the runner's default). Lets the fuzzer exercise ownership
+  // steering, IRQ forwarding, and handoff across 1/2/4-core hv complexes;
+  // serialized on the script header line so repros replay exactly.
+  Scenario& WithHvCores(u32 hv_cores);
+  u32 hv_cores() const { return hv_cores_; }
+
   const std::string& name() const { return name_; }
   const std::vector<ScenarioStep>& steps() const { return steps_; }
 
  private:
   std::string name_;
   std::vector<ScenarioStep> steps_;
+  u32 hv_cores_ = 0;
 };
 
 // ---- Scenario scripts ----

@@ -1,0 +1,239 @@
+// Tests for the multi-hv-core ServiceScheduler: deterministic core
+// sequencing, backlog-driven ownership rebalancing, batched response
+// delivery under load, and byte-identical reruns — plus the facade-level
+// pump across a multi-core hypervisor complex.
+#include <gtest/gtest.h>
+
+#include "src/core/guillotine.h"
+#include "src/hv/service_scheduler.h"
+#include "src/machine/storage.h"
+#include "src/testing/invariants.h"
+#include "src/testing/scenario.h"
+
+namespace guillotine {
+namespace {
+
+MachineConfig SchedConfig(int hv_cores) {
+  MachineConfig config;
+  config.num_model_cores = 1;
+  config.num_hv_cores = hv_cores;
+  config.model_dram_bytes = 1 << 20;
+  config.io_dram_bytes = 256 * 1024;
+  return config;
+}
+
+// A self-contained deterministic driver: `ports` storage ports, `rate`
+// requests pushed into port 0 and one into every other port per pass
+// (skewed so the round-robin initial ownership overloads core 0), serviced
+// IRQ-driven under `slice` cycles of budget per core per pass.
+struct Driver {
+  SimClock clock;
+  EventTrace trace;
+  Machine machine;
+  SoftwareHypervisor hv;
+  ServiceScheduler scheduler;
+  std::vector<u32> ports;
+  u64 tag = 1;
+
+  Driver(int hv_cores, int num_ports, Cycles slice,
+         ServiceSchedulerConfig sched_config = {})
+      : machine(SchedConfig(hv_cores), clock, trace),
+        hv(machine, nullptr,
+           [slice] {
+             HvConfig c;
+             c.log_payload_hashes = false;
+             c.service_slice_cycles = slice;
+             return c;
+           }()),
+        scheduler(hv, sched_config) {
+    const u32 disk = machine.AttachDevice(std::make_unique<StorageDevice>(64, 512));
+    for (int p = 0; p < num_ports; ++p) {
+      ports.push_back(*hv.CreatePort(disk, PortRights{}, 0, /*slot_bytes=*/64,
+                                     /*slot_count=*/64));
+    }
+  }
+
+  void OfferAndPump(u32 port0_rate, u32 passes) {
+    for (u32 pass = 0; pass < passes; ++pass) {
+      for (size_t p = 0; p < ports.size(); ++p) {
+        const u32 rate = p == 0 ? port0_rate : 1;
+        const PortBinding* binding = hv.FindPort(ports[p]);
+        RingView ring = machine.io_dram().RequestRing(binding->region);
+        for (u32 r = 0; r < rate; ++r) {
+          IoSlot slot;
+          slot.opcode = static_cast<u32>(StorageOpcode::kInfo);
+          slot.tag = tag++;
+          if (ring.Push(slot).ok()) {
+            machine.hv_core(binding->owner_hv_core)
+                .DeliverDoorbell(binding->port_id, clock.now());
+          }
+        }
+      }
+      scheduler.RunPass(/*poll_all=*/pass % 4 == 3);
+      for (const u32 port : ports) {
+        RingView resp = machine.io_dram().ResponseRing(hv.FindPort(port)->region);
+        while (resp.Pop().has_value()) {
+        }
+      }
+      clock.Advance(20'000);
+    }
+  }
+};
+
+TEST(ServiceSchedulerTest, RunPassServicesEveryCoreInOrder) {
+  Driver driver(2, 4, /*slice=*/0);
+  driver.OfferAndPump(/*port0_rate=*/1, /*passes=*/2);
+  // Ports 0/2 belong to core 0, ports 1/3 to core 1; both cores serviced.
+  EXPECT_GT(driver.hv.core_lifetime_stats(0).requests, 0u);
+  EXPECT_GT(driver.hv.core_lifetime_stats(1).requests, 0u);
+  EXPECT_EQ(driver.hv.lifetime_stats().requests,
+            driver.hv.core_lifetime_stats(0).requests +
+                driver.hv.core_lifetime_stats(1).requests);
+  EXPECT_EQ(driver.scheduler.passes(), 2u);
+  EXPECT_EQ(driver.hv.mis_owned_services(), 0u);
+}
+
+TEST(ServiceSchedulerTest, RebalanceHandsOffTheBacklogHeavyPort) {
+  // Slice of 2000 cycles services ~6 requests per core per pass while port
+  // 0 alone offers 24 — core 0 falls behind and the scheduler must move
+  // port 0 (or its ring-mate) to the idle core.
+  Driver driver(2, 4, /*slice=*/2'000);
+  driver.OfferAndPump(/*port0_rate=*/24, /*passes=*/8);
+  EXPECT_GT(driver.scheduler.handoffs(), 0u);
+  EXPECT_EQ(driver.hv.handoff_log().size(), driver.scheduler.handoffs());
+  EXPECT_EQ(driver.trace.CountKind("hv.port_handoff"),
+            driver.hv.handoff_log().size());
+  // Every handoff record names two distinct, existing cores.
+  for (const PortHandoffRecord& record : driver.hv.handoff_log()) {
+    EXPECT_NE(record.from_core, record.to_core);
+    EXPECT_GE(record.to_core, 0);
+    EXPECT_LT(record.to_core, 2);
+  }
+  EXPECT_EQ(driver.hv.mis_owned_services(), 0u);
+}
+
+TEST(ServiceSchedulerTest, RebalanceCanBeDisabled) {
+  ServiceSchedulerConfig config;
+  config.rebalance = false;
+  Driver driver(2, 4, /*slice=*/2'000, config);
+  driver.OfferAndPump(/*port0_rate=*/24, /*passes=*/8);
+  EXPECT_EQ(driver.scheduler.handoffs(), 0u);
+  EXPECT_TRUE(driver.hv.handoff_log().empty());
+}
+
+TEST(ServiceSchedulerTest, CoreBacklogSumsOwnedRingDepths) {
+  Driver driver(2, 2, /*slice=*/0);
+  const PortBinding* p0 = driver.hv.FindPort(driver.ports[0]);
+  RingView ring = driver.machine.io_dram().RequestRing(p0->region);
+  for (u64 tag = 1; tag <= 3; ++tag) {
+    IoSlot slot;
+    slot.opcode = static_cast<u32>(StorageOpcode::kInfo);
+    slot.tag = tag;
+    ASSERT_TRUE(ring.Push(slot).ok());
+  }
+  EXPECT_EQ(driver.scheduler.CoreBacklog(0), 3u);
+  EXPECT_EQ(driver.scheduler.CoreBacklog(1), 0u);
+}
+
+TEST(ServiceSchedulerTest, MultiCoreOutServicesSingleCoreAtSaturation) {
+  const u32 passes = 8;
+  Driver one(1, 4, /*slice=*/2'000);
+  one.OfferAndPump(/*port0_rate=*/24, passes);
+  Driver four(4, 4, /*slice=*/2'000);
+  four.OfferAndPump(/*port0_rate=*/24, passes);
+  EXPECT_GT(four.hv.lifetime_stats().requests, one.hv.lifetime_stats().requests);
+}
+
+TEST(ServiceSchedulerTest, RerunsAreByteIdenticalIncludingHandoffs) {
+  auto run = [] {
+    Driver driver(4, 4, /*slice=*/2'000);
+    driver.OfferAndPump(/*port0_rate=*/24, /*passes=*/8);
+    return std::make_tuple(TraceDigestHash(driver.trace),
+                           driver.scheduler.StatsDigest(),
+                           driver.scheduler.handoffs());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(std::get<0>(a), std::get<0>(b));
+  EXPECT_EQ(std::get<1>(a), std::get<1>(b));
+  EXPECT_EQ(std::get<2>(a), std::get<2>(b));
+  // The run actually exercised rebalancing (otherwise the determinism
+  // claim would be vacuous).
+  EXPECT_GT(std::get<2>(a), 0u);
+}
+
+TEST(ServiceSchedulerTest, StatsDigestRendersEveryCore) {
+  Driver driver(2, 2, /*slice=*/0);
+  driver.OfferAndPump(1, 1);
+  const std::string digest = driver.scheduler.StatsDigest();
+  EXPECT_NE(digest.find("hv0 req="), std::string::npos);
+  EXPECT_NE(digest.find("hv1 req="), std::string::npos);
+  EXPECT_NE(digest.find("scheduler passes=1"), std::string::npos);
+  EXPECT_NE(digest.find("mis_owned=0"), std::string::npos);
+}
+
+// --- Facade level: a deployment with a multi-core hv complex ---
+
+TEST(MultiHvCoreSystemTest, PumpServicesPortsOwnedByEveryCore) {
+  DeploymentConfig config;
+  config.machine.num_model_cores = 1;
+  config.machine.num_hv_cores = 2;
+  config.machine.model_dram_bytes = 1 << 20;
+  config.machine.io_dram_bytes = 512 * 1024;
+  config.console.heartbeat.timeout = ~0ULL >> 1;
+  GuillotineSystem sys(config);
+  ASSERT_TRUE(sys.AttachDefaultDevices().ok());
+
+  // Default devices open 4 ports; round-robin ownership spans both cores.
+  EXPECT_EQ(sys.hv().FindPort(*sys.nic_port())->owner_hv_core, 0);
+  EXPECT_EQ(sys.hv().FindPort(*sys.storage_port())->owner_hv_core, 1);
+  EXPECT_EQ(sys.hv().FindPort(*sys.accel_port())->owner_hv_core, 0);
+  EXPECT_EQ(sys.hv().FindPort(*sys.rag_port())->owner_hv_core, 1);
+
+  // A request on the storage port (owned by hv core 1) is serviced by the
+  // pump's scheduler pass, not stranded.
+  const PortBinding* disk = sys.hv().FindPort(*sys.storage_port());
+  RingView req = sys.machine().io_dram().RequestRing(disk->region);
+  IoSlot slot;
+  slot.opcode = static_cast<u32>(StorageOpcode::kInfo);
+  slot.tag = 11;
+  ASSERT_TRUE(req.Push(slot).ok());
+  sys.PumpOnce();
+  EXPECT_EQ(sys.hv().lifetime_stats().requests, 1u);
+  EXPECT_EQ(sys.hv().core_lifetime_stats(1).requests, 1u);
+  EXPECT_EQ(sys.hv().core_lifetime_stats(0).requests, 0u);
+  EXPECT_EQ(sys.hv().mis_owned_services(), 0u);
+}
+
+TEST(MultiHvCoreSystemTest, ScenarioWithHvCoresRoundTripsAndStaysContained) {
+  Scenario scenario("multi-hv-exfil");
+  scenario.WithHvCores(4)
+      .RequestIsolation(IsolationLevel::kSevered, {0, 1, 2})
+      .AttemptExfiltration(66, "stolen weights shard");
+
+  // The hv_cores override rides the script header and round-trips.
+  const auto script = SerializeScenarioScript(scenario);
+  ASSERT_TRUE(script.ok());
+  EXPECT_NE(script->find("hv_cores=4"), std::string::npos);
+  const auto parsed = ParseScenarioScript(*script);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->hv_cores(), 4u);
+
+  ScenarioRunner runner;
+  const ScenarioResult result = runner.Run(scenario);
+  EXPECT_EQ(runner.system().machine().num_hv_cores(), 4);
+  // Severed still contains the exfiltration on a 4-core hv complex.
+  EXPECT_EQ(result.Find("attempt_exfil")->value, 0);
+  // And the whole run satisfies the port-owner invariant (among others).
+  InvariantContext ctx;
+  ctx.scenario = &scenario;
+  ctx.result = &result;
+  ctx.system = &runner.system();
+  const auto violations = InvariantChecker::Default().Check(ctx);
+  EXPECT_TRUE(violations.empty()) << RenderViolations(violations);
+  // Replays are digest-identical at the overridden core count.
+  EXPECT_EQ(result.trace_hash, runner.Run(*parsed).trace_hash);
+}
+
+}  // namespace
+}  // namespace guillotine

@@ -280,6 +280,296 @@ TEST_F(HvTest, AttestationRoundTripAndTamperDetection) {
   EXPECT_FALSE(verifier.VerifyQuote(bad, 8).ok());
 }
 
+// --- Probation quota snapshot/restore (the "unlimited after probation" fix) ---
+
+TEST_F(HvTest, ProbationRestoresPrePortQuota) {
+  PortRights limited_rights;
+  limited_rights.byte_quota = 1000;
+  const auto limited = hv_.CreatePort(disk_index_, limited_rights, 0,
+                                      /*slot_bytes=*/2048, /*slot_count=*/4);
+  const auto unlimited = hv_.CreatePort(disk_index_, PortRights{});
+  ASSERT_TRUE(limited.ok());
+  ASSERT_TRUE(unlimited.ok());
+
+  ProbationPolicy policy;
+  policy.residual_byte_quota = 64;
+  hv_.ApplyProbationPolicy(policy);
+  EXPECT_EQ(hv_.FindPort(*limited)->rights.byte_quota, 64u);  // nothing used yet
+  EXPECT_EQ(hv_.FindPort(*unlimited)->rights.byte_quota, 64u);
+
+  // Probation tightened again without an intervening clear: the snapshot
+  // must keep the original pre-probation value, not the first clamp.
+  policy.residual_byte_quota = 32;
+  hv_.ApplyProbationPolicy(policy);
+  EXPECT_EQ(hv_.FindPort(*limited)->rights.byte_quota, 32u);
+
+  hv_.ClearProbationRestrictions();
+  // The port created with a real quota gets it back — it does NOT come
+  // back from Probation unlimited.
+  EXPECT_EQ(hv_.FindPort(*limited)->rights.byte_quota, 1000u);
+  EXPECT_EQ(hv_.FindPort(*unlimited)->rights.byte_quota, 0u);
+  EXPECT_FALSE(hv_.FindPort(*limited)->pre_probation_quota.has_value());
+
+  // And the restored quota is enforced: a request past 1000 bytes rejects.
+  const ServiceStats stats = PushAndService(
+      *limited, static_cast<u32>(StorageOpcode::kWrite), 1, Bytes(1200, 0));
+  EXPECT_EQ(stats.blocked, 1u);
+  EXPECT_EQ(PopResponse(*limited)->opcode, 0xE153u);
+}
+
+// --- ServiceStats: dropped responses + lifetime accumulation ---
+
+TEST_F(HvTest, DroppedResponsesCountedTracedAndAccumulated) {
+  // Two response slots: the second pass's responses have nowhere to go.
+  const auto port = hv_.CreatePort(disk_index_, PortRights{}, 0,
+                                   /*slot_bytes=*/64, /*slot_count=*/2);
+  ASSERT_TRUE(port.ok());
+  const PortBinding* binding = hv_.FindPort(*port);
+  RingView req = machine_.io_dram().RequestRing(binding->region);
+
+  for (u64 tag = 1; tag <= 2; ++tag) {
+    IoSlot slot;
+    slot.opcode = static_cast<u32>(StorageOpcode::kInfo);
+    slot.tag = tag;
+    ASSERT_TRUE(req.Push(slot).ok());
+  }
+  const ServiceStats first = hv_.ServiceOnce(0, /*poll_all=*/true);
+  EXPECT_EQ(first.requests, 2u);
+  EXPECT_EQ(first.responses, 2u);
+  EXPECT_EQ(first.dropped_responses, 0u);
+
+  // Response ring now full (the guest never consumed); service two more.
+  for (u64 tag = 3; tag <= 4; ++tag) {
+    IoSlot slot;
+    slot.opcode = static_cast<u32>(StorageOpcode::kInfo);
+    slot.tag = tag;
+    ASSERT_TRUE(req.Push(slot).ok());
+  }
+  const ServiceStats second = hv_.ServiceOnce(0, /*poll_all=*/true);
+  EXPECT_EQ(second.requests, 2u);
+  EXPECT_EQ(second.responses, 0u);
+  EXPECT_EQ(second.dropped_responses, 2u);
+
+  // The drop is counted in the lifetime accumulators (global and per-core)
+  // and traced for the audit trail.
+  EXPECT_EQ(hv_.lifetime_stats().requests, 4u);
+  EXPECT_EQ(hv_.lifetime_stats().responses, 2u);
+  EXPECT_EQ(hv_.lifetime_stats().dropped_responses, 2u);
+  EXPECT_EQ(hv_.core_lifetime_stats(0).dropped_responses, 2u);
+  EXPECT_EQ(trace_.CountKind("port.drop"), 2u);
+}
+
+TEST_F(HvTest, LifetimeStatsAccumulateAcrossPasses) {
+  const auto port = hv_.CreatePort(disk_index_, PortRights{});
+  ASSERT_TRUE(port.ok());
+  for (u64 tag = 1; tag <= 3; ++tag) {
+    PushAndService(*port, static_cast<u32>(StorageOpcode::kInfo), tag, {});
+    PopResponse(*port);
+  }
+  EXPECT_EQ(hv_.lifetime_stats().requests, 3u);
+  EXPECT_EQ(hv_.lifetime_stats().responses, 3u);
+  // Batched completion delivery: each pass flushed one single-response
+  // batch to model core 0.
+  EXPECT_EQ(hv_.lifetime_stats().irq_batches, 3u);
+  EXPECT_EQ(hv_.lifetime_stats().completion_irqs, 3u);
+  EXPECT_EQ(hv_.lifetime_stats().batch_depth_max, 1u);
+  // With one hv core, the per-core accumulator IS the lifetime view.
+  EXPECT_EQ(hv_.core_lifetime_stats(0).requests, 3u);
+  EXPECT_EQ(hv_.core_lifetime_stats(0).responses, 3u);
+}
+
+// --- Batched response delivery ---
+
+TEST_F(HvTest, BatchedCompletionIrqsOnePerPass) {
+  const auto port = hv_.CreatePort(disk_index_, PortRights{}, 0,
+                                   /*slot_bytes=*/64, /*slot_count=*/16);
+  ASSERT_TRUE(port.ok());
+  const PortBinding* binding = hv_.FindPort(*port);
+  RingView req = machine_.io_dram().RequestRing(binding->region);
+  for (u64 tag = 1; tag <= 5; ++tag) {
+    IoSlot slot;
+    slot.opcode = static_cast<u32>(StorageOpcode::kInfo);
+    slot.tag = tag;
+    ASSERT_TRUE(req.Push(slot).ok());
+  }
+  const ServiceStats stats = hv_.ServiceOnce(0, /*poll_all=*/true);
+  EXPECT_EQ(stats.responses, 5u);
+  // One IRQ for the whole batch, not five.
+  EXPECT_EQ(stats.completion_irqs, 1u);
+  EXPECT_EQ(stats.irq_batches, 1u);
+  EXPECT_EQ(stats.batch_depth_max, 5u);
+  EXPECT_EQ(trace_.CountKind("port.irq_batch"), 1u);
+}
+
+TEST_F(HvTest, UnbatchedModeRaisesPerResponse) {
+  HvConfig config;
+  config.batch_completion_irqs = false;
+  SoftwareHypervisor hv(machine_, nullptr, config);
+  const auto port = hv.CreatePort(disk_index_, PortRights{}, 0, 64, 16);
+  ASSERT_TRUE(port.ok());
+  RingView req = machine_.io_dram().RequestRing(hv.FindPort(*port)->region);
+  for (u64 tag = 1; tag <= 4; ++tag) {
+    IoSlot slot;
+    slot.opcode = static_cast<u32>(StorageOpcode::kInfo);
+    slot.tag = tag;
+    ASSERT_TRUE(req.Push(slot).ok());
+  }
+  const ServiceStats stats = hv.ServiceOnce(0, /*poll_all=*/true);
+  EXPECT_EQ(stats.responses, 4u);
+  EXPECT_EQ(stats.completion_irqs, 4u);
+  EXPECT_EQ(stats.irq_batches, 0u);
+}
+
+// --- Per-port hv-core ownership ---
+
+TEST(HvOwnershipTest, RoundRobinAssignmentAndOwnerOnlyService) {
+  MachineConfig mc = SmallConfig();
+  mc.num_hv_cores = 2;
+  SimClock clock;
+  EventTrace trace;
+  Machine machine(mc, clock, trace);
+  SoftwareHypervisor hv(machine, nullptr);
+  const u32 disk = machine.AttachDevice(std::make_unique<StorageDevice>(64, 512));
+
+  const auto p0 = hv.CreatePort(disk, PortRights{});
+  const auto p1 = hv.CreatePort(disk, PortRights{});
+  ASSERT_TRUE(p0.ok());
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(hv.FindPort(*p0)->owner_hv_core, 0);
+  EXPECT_EQ(hv.FindPort(*p1)->owner_hv_core, 1);
+
+  // A request on core 1's port, with the doorbell mis-steered to core 0:
+  // core 0 forwards instead of servicing.
+  RingView req = machine.io_dram().RequestRing(hv.FindPort(*p1)->region);
+  IoSlot slot;
+  slot.opcode = static_cast<u32>(StorageOpcode::kInfo);
+  slot.tag = 7;
+  ASSERT_TRUE(req.Push(slot).ok());
+  machine.hv_core(0).InjectIrq(*p1);
+
+  const ServiceStats s0 = hv.ServiceOnce(0, /*poll_all=*/false);
+  EXPECT_EQ(s0.requests, 0u);
+  EXPECT_EQ(s0.forwarded_irqs, 1u);
+  const ServiceStats s1 = hv.ServiceOnce(1, /*poll_all=*/false);
+  EXPECT_EQ(s1.requests, 1u);
+  EXPECT_EQ(hv.mis_owned_services(), 0u);
+
+  // poll_all sweeps only owned ports: a fresh request on p1 is invisible
+  // to core 0's poll.
+  IoSlot again;
+  again.opcode = static_cast<u32>(StorageOpcode::kInfo);
+  again.tag = 8;
+  ASSERT_TRUE(req.Push(again).ok());
+  EXPECT_EQ(hv.ServiceOnce(0, /*poll_all=*/true).requests, 0u);
+  EXPECT_EQ(hv.ServiceOnce(1, /*poll_all=*/true).requests, 1u);
+}
+
+TEST(HvOwnershipTest, HandoffMovesOwnershipTracesAndForwards) {
+  MachineConfig mc = SmallConfig();
+  mc.num_hv_cores = 2;
+  SimClock clock;
+  EventTrace trace;
+  Machine machine(mc, clock, trace);
+  SoftwareHypervisor hv(machine, nullptr);
+  const u32 disk = machine.AttachDevice(std::make_unique<StorageDevice>(64, 512));
+  const auto port = hv.CreatePort(disk, PortRights{});
+  ASSERT_TRUE(port.ok());
+
+  RingView req = machine.io_dram().RequestRing(hv.FindPort(*port)->region);
+  IoSlot slot;
+  slot.opcode = static_cast<u32>(StorageOpcode::kInfo);
+  slot.tag = 1;
+  ASSERT_TRUE(req.Push(slot).ok());
+  // The doorbell landed on core 0 (the owner at ring time)...
+  machine.hv_core(0).InjectIrq(*port);
+  // ...then ownership moves to core 1 before the pass.
+  ASSERT_TRUE(hv.HandoffPort(*port, 1, "operator rebalance").ok());
+  EXPECT_EQ(hv.FindPort(*port)->owner_hv_core, 1);
+  ASSERT_EQ(hv.handoff_log().size(), 1u);
+  EXPECT_EQ(hv.handoff_log()[0].from_core, 0);
+  EXPECT_EQ(hv.handoff_log()[0].to_core, 1);
+  EXPECT_EQ(hv.handoff_log()[0].backlog, 1u);
+  EXPECT_EQ(trace.CountKind("hv.port_handoff"), 1u);
+  EXPECT_EQ(hv.core_lifetime_stats(1).handoffs_in, 1u);
+
+  // The stale doorbell forwards to the new owner; nothing is mis-serviced.
+  EXPECT_EQ(hv.ServiceOnce(0, false).forwarded_irqs, 1u);
+  EXPECT_EQ(hv.ServiceOnce(1, false).requests, 1u);
+  EXPECT_EQ(hv.mis_owned_services(), 0u);
+
+  // Handing off to the current owner is a no-op (no record, no trace).
+  ASSERT_TRUE(hv.HandoffPort(*port, 1, "noop").ok());
+  EXPECT_EQ(hv.handoff_log().size(), 1u);
+  // Bad targets are refused.
+  EXPECT_FALSE(hv.HandoffPort(*port, 5, "bad").ok());
+  EXPECT_FALSE(hv.HandoffPort(99, 0, "no port").ok());
+}
+
+// --- Service slice budget ---
+
+TEST(HvSliceTest, SliceBudgetDefersAndRearms) {
+  MachineConfig mc = SmallConfig();
+  SimClock clock;
+  EventTrace trace;
+  Machine machine(mc, clock, trace);
+  HvConfig config;
+  config.service_slice_cycles = 300;  // one kInfo request (~325 cyc) per pass
+  SoftwareHypervisor hv(machine, nullptr, config);
+  const u32 disk = machine.AttachDevice(std::make_unique<StorageDevice>(64, 512));
+  const auto port = hv.CreatePort(disk, PortRights{});
+  ASSERT_TRUE(port.ok());
+
+  RingView req = machine.io_dram().RequestRing(hv.FindPort(*port)->region);
+  for (u64 tag = 1; tag <= 3; ++tag) {
+    IoSlot slot;
+    slot.opcode = static_cast<u32>(StorageOpcode::kInfo);
+    slot.tag = tag;
+    ASSERT_TRUE(req.Push(slot).ok());
+  }
+  machine.hv_core(0).InjectIrq(*port);
+
+  // Each IRQ-driven pass drains one request and re-arms its own IRQ for
+  // the leftovers — no request is ever stranded.
+  u64 serviced = 0;
+  for (int pass = 0; pass < 3; ++pass) {
+    serviced += hv.ServiceOnce(0, /*poll_all=*/false).requests;
+  }
+  EXPECT_EQ(serviced, 3u);
+  EXPECT_TRUE(req.empty());
+  // Ring drained: the re-arm chain stops.
+  EXPECT_EQ(hv.ServiceOnce(0, /*poll_all=*/false).requests, 0u);
+}
+
+TEST(HvSliceTest, PollPassDoesNotStrandSliceLeftovers) {
+  MachineConfig mc = SmallConfig();
+  SimClock clock;
+  EventTrace trace;
+  Machine machine(mc, clock, trace);
+  HvConfig config;
+  config.service_slice_cycles = 300;  // one kInfo request per pass
+  SoftwareHypervisor hv(machine, nullptr, config);
+  const u32 disk = machine.AttachDevice(std::make_unique<StorageDevice>(64, 512));
+  const auto port = hv.CreatePort(disk, PortRights{});
+  ASSERT_TRUE(port.ok());
+
+  RingView req = machine.io_dram().RequestRing(hv.FindPort(*port)->region);
+  for (u64 tag = 1; tag <= 3; ++tag) {
+    IoSlot slot;
+    slot.opcode = static_cast<u32>(StorageOpcode::kInfo);
+    slot.tag = tag;
+    ASSERT_TRUE(req.Push(slot).ok());
+  }
+  machine.hv_core(0).InjectIrq(*port);
+
+  // IRQ pass services one and re-arms; an interleaved POLL pass consumes
+  // that re-armed IRQ but must merge (not replace) it — and must itself
+  // re-arm for its own slice leftovers, or the third request strands.
+  EXPECT_EQ(hv.ServiceOnce(0, /*poll_all=*/false).requests, 1u);
+  EXPECT_EQ(hv.ServiceOnce(0, /*poll_all=*/true).requests, 1u);
+  EXPECT_EQ(hv.ServiceOnce(0, /*poll_all=*/false).requests, 1u);
+  EXPECT_TRUE(req.empty());
+}
+
 // The flagship integration test: a GISA guest program pushes a storage kInfo
 // request through the port API (ring write + doorbell store), the hypervisor
 // services the interrupt, and the guest parses the response — the complete

@@ -173,6 +173,34 @@ TEST(InvariantCheckerTest, CustomInvariantsParticipate) {
   EXPECT_TRUE(checker.Check(ctx).empty());
 }
 
+// --- The port-owner invariant rides the multi-hv-core service loop. ---
+
+TEST(InvariantCheckerTest, PortOwnerInvariantRegisteredAndGreenAcrossCoreCounts) {
+  const InvariantChecker checker = InvariantChecker::Default();
+  bool found = false;
+  for (const InvariantInfo& info : checker.invariants()) {
+    found |= info.name == "port-owner-serviced";
+  }
+  EXPECT_TRUE(found) << "port-owner-serviced missing from the default suite";
+
+  // The same adversarial flood+exfil scenario, replayed on a 1-, 2-, and
+  // 4-core hv complex, must satisfy the ownership rule every time.
+  for (const u32 hv_cores : {1u, 2u, 4u}) {
+    Scenario s("owner-sweep");
+    s.WithHvCores(hv_cores)
+        .HostDefaultModel()
+        .FloodInterrupts(400)
+        .AttemptExfiltration(66, "routine sync ping")
+        .Pump(3);
+    ScenarioRunner runner;
+    const auto violations = RunAndCheck(s, runner);
+    EXPECT_TRUE(violations.empty())
+        << "hv_cores=" << hv_cores << "\n" << RenderViolations(violations);
+    EXPECT_EQ(runner.system().machine().num_hv_cores(), static_cast<int>(hv_cores));
+    EXPECT_EQ(runner.system().hv().mis_owned_services(), 0u);
+  }
+}
+
 // --- Post-mortem checks degrade gracefully without the scenario. ---
 
 TEST(InvariantCheckerTest, WorksWithoutScenarioContext) {
