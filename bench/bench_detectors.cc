@@ -5,6 +5,21 @@
 // sanitization, activation steering, and circuit breaking. We run each
 // reference detector over a labeled corpus and report precision/recall and
 // per-observation analysis cost.
+//
+// E5b adds the batched-pipeline sweep: every detector (and the full suite)
+// re-runs the corpus through EvaluateBatch at increasing batch sizes. The
+// cyc_per_obs column must fall as the batch grows (pattern-table builds,
+// norm accumulators, and window folds amortize) while the verdict digest
+// stays byte-identical to the serial loop — the '=' marker means "same
+// verdicts, traces and digests, batched or not, and identical on rerun".
+// A '!' marker or a <2x amortization on the pattern-scan detectors at
+// batch>=8 fails the harness (nonzero exit), so ctest's smoke entry pins
+// both properties.
+// Flags:
+//   --batch=1,8,64   batch sizes to sweep
+#include <functional>
+#include <sstream>
+
 #include "bench/bench_common.h"
 #include "src/core/guillotine.h"
 
@@ -129,7 +144,241 @@ void Row(TextTable& table, std::string_view name, const Score& s) {
                 TextTable::Num(double(s.total_cost) / s.n, 0)});
 }
 
-void Run() {
+// ---------------------------------------------------------------------------
+// E5b: batch sweep
+// ---------------------------------------------------------------------------
+
+// System/port-traffic corpus for the anomaly detector: a mix of quiet and
+// flooded windows plus small and oversized payloads.
+std::vector<Observation> AnomalyCorpus(Rng& rng) {
+  std::vector<Observation> corpus;
+  for (int i = 0; i < Smoked(24, 12); ++i) {
+    if (i % 2 == 0) {
+      Observation obs;
+      obs.kind = ObservationKind::kSystem;
+      obs.window_cycles = 1'000'000;
+      obs.doorbells_in_window = 50 + rng.NextBelow(200) + (i % 6 == 0 ? 4'000 : 0);
+      corpus.push_back(std::move(obs));
+    } else {
+      Observation obs;
+      obs.kind = ObservationKind::kPortTraffic;
+      obs.data = Bytes(i % 5 == 0 ? 48 * 1024 : 96 + rng.NextBelow(512), 0x5A);
+      corpus.push_back(std::move(obs));
+    }
+  }
+  return corpus;
+}
+
+// One detector's sweep outcome at one batch size, plus its serial baseline.
+struct BatchOutcome {
+  double serial_cyc_per_obs = 0.0;
+  double batched_cyc_per_obs = 0.0;
+  bool digest_match = false;  // serial == batched == batched-rerun
+};
+
+// Runs `corpus` serially and in batches of `batch` through detectors built
+// by `make` (fresh instance per run so stateful detectors replay the same
+// history), comparing verdict digests — which exclude costs by design —
+// across serial/batched and across a batched rerun.
+BatchOutcome SweepDetector(const std::function<std::unique_ptr<MisbehaviorDetector>()>& make,
+                           const std::vector<Observation>& corpus, size_t batch) {
+  auto serial = [&] {
+    auto detector = make();
+    VerdictPlan plan;
+    for (const Observation& obs : corpus) {
+      plan.verdicts.push_back(detector->Evaluate(obs));
+      plan.total_cost += plan.verdicts.back().cost;
+    }
+    return plan;
+  };
+  auto batched = [&] {
+    auto detector = make();
+    VerdictPlan plan;
+    for (size_t i = 0; i < corpus.size(); i += batch) {
+      const size_t n = std::min(batch, corpus.size() - i);
+      std::vector<DetectorVerdict> verdicts =
+          detector->EvaluateBatch(std::span<const Observation>(&corpus[i], n));
+      for (DetectorVerdict& v : verdicts) {
+        plan.total_cost += v.cost;
+        plan.verdicts.push_back(std::move(v));
+      }
+    }
+    return plan;
+  };
+  const VerdictPlan s = serial();
+  const VerdictPlan a = batched();
+  const VerdictPlan b = batched();
+  BatchOutcome out;
+  const double n = static_cast<double>(corpus.size());
+  out.serial_cyc_per_obs = static_cast<double>(s.total_cost) / n;
+  out.batched_cyc_per_obs = static_cast<double>(a.total_cost) / n;
+  out.digest_match =
+      s.Digest() == a.Digest() && a.Digest() == b.Digest() && a.total_cost == b.total_cost;
+  return out;
+}
+
+// Same sweep for the whole DetectorSuite over a mixed corpus (merged
+// verdicts + flag counts must match the serial loop).
+BatchOutcome SweepSuite(const std::vector<Observation>& corpus, size_t batch) {
+  DetectorConfig config;
+  auto build = [&] { return BuildDetectorSuite(config); };
+  auto digest_counts = [](DetectorSuite& suite, const VerdictPlan& plan) {
+    std::ostringstream out;
+    out << plan.Digest();
+    for (const auto& [name, count] : suite.flag_counts()) {
+      out << name << "=" << count << "\n";
+    }
+    return out.str();
+  };
+  DetectorSuite serial_suite = build();
+  VerdictPlan serial_plan;
+  for (const Observation& obs : corpus) {
+    serial_plan.verdicts.push_back(serial_suite.Evaluate(obs));
+    serial_plan.total_cost += serial_plan.verdicts.back().cost;
+  }
+  auto batched = [&](DetectorSuite& suite) {
+    VerdictPlan plan;
+    for (size_t i = 0; i < corpus.size(); i += batch) {
+      const size_t n = std::min(batch, corpus.size() - i);
+      VerdictPlan chunk = suite.EvaluateBatch(std::span<const Observation>(&corpus[i], n));
+      plan.total_cost += chunk.total_cost;
+      for (DetectorVerdict& v : chunk.verdicts) {
+        plan.verdicts.push_back(std::move(v));
+      }
+    }
+    return plan;
+  };
+  DetectorSuite suite_a = build();
+  DetectorSuite suite_b = build();
+  const VerdictPlan a = batched(suite_a);
+  const VerdictPlan b = batched(suite_b);
+  BatchOutcome out;
+  const double n = static_cast<double>(corpus.size());
+  out.serial_cyc_per_obs = static_cast<double>(serial_plan.total_cost) / n;
+  out.batched_cyc_per_obs = static_cast<double>(a.total_cost) / n;
+  out.digest_match = digest_counts(serial_suite, serial_plan) == digest_counts(suite_a, a) &&
+                     digest_counts(suite_a, a) == digest_counts(suite_b, b);
+  return out;
+}
+
+// Runs the E5b sweep; returns false when any digest diverged or the
+// pattern-scan detectors amortize less than 2x at batch >= 8.
+bool RunBatchSweep(const std::vector<u64>& batch_sizes) {
+  BenchHeader("E5b / batched detector pipeline",
+              "EvaluateBatch amortizes per-observation setup (shared "
+              "rolling-hash pattern scans, per-layer norm accumulators, "
+              "window-counter folds) without changing a single verdict: "
+              "cyc_per_obs falls with the batch size while the serial and "
+              "batched verdict digests stay byte-identical, rerun included");
+
+  Rng rng(BenchSeed());
+  std::vector<i64> probe(16);
+  for (auto& v : probe) {
+    v = ToFixed(rng.NextGaussian());
+  }
+  auto strip = [](std::vector<Sample> samples) {
+    std::vector<Observation> corpus;
+    corpus.reserve(samples.size());
+    for (Sample& s : samples) {
+      corpus.push_back(std::move(s.obs));
+    }
+    return corpus;
+  };
+  const std::vector<Observation> inputs = strip(InputCorpus());
+  const std::vector<Observation> outputs = strip(OutputCorpus());
+  Rng act_rng(7);
+  const std::vector<Observation> activations = strip(ActivationCorpus(probe, act_rng));
+  Rng anomaly_rng(11);
+  const std::vector<Observation> system_traffic = AnomalyCorpus(anomaly_rng);
+  // Mixed suite corpus: interleave all four so batches are heterogeneous.
+  std::vector<Observation> mixed;
+  for (size_t i = 0;
+       i < std::max(std::max(inputs.size(), outputs.size()),
+                    std::max(activations.size(), system_traffic.size()));
+       ++i) {
+    if (i < inputs.size()) mixed.push_back(inputs[i]);
+    if (i < outputs.size()) mixed.push_back(outputs[i]);
+    if (i < activations.size()) mixed.push_back(activations[i]);
+    if (i < system_traffic.size()) mixed.push_back(system_traffic[i]);
+  }
+
+  struct Entry {
+    std::string name;
+    std::function<std::unique_ptr<MisbehaviorDetector>()> make;
+    const std::vector<Observation>* corpus;
+    bool pattern_scan = false;  // held to the >=2x amortization bar
+  };
+  const SteeringVector sv = [&] {
+    SteeringVector v;
+    v.direction = probe;
+    v.threshold = 1.5;
+    return v;
+  }();
+  CircuitBreakerConfig cb_config;
+  cb_config.trip_threshold = 1.5;
+  cb_config.escalate_after_trips = 1000;
+  const std::vector<Entry> entries = {
+      {"input_shield", [] { return std::make_unique<InputShield>(); }, &inputs, true},
+      {"output_sanitizer", [] { return std::make_unique<OutputSanitizer>(); }, &outputs,
+       true},
+      {"activation_steering",
+       [&] {
+         auto d = std::make_unique<ActivationSteering>();
+         d->SetLayerVector(1, sv);
+         return d;
+       },
+       &activations, false},
+      {"circuit_breaker",
+       [&] {
+         auto d = std::make_unique<CircuitBreaker>(cb_config);
+         d->SetLayerProbe(1, probe);
+         return d;
+       },
+       &activations, false},
+      {"anomaly", [] { return std::make_unique<AnomalyDetector>(); }, &system_traffic,
+       false},
+  };
+
+  TextTable table({"detector", "batch", "cyc_per_obs", "amortized", "digest"});
+  bool ok = true;
+  for (const Entry& entry : entries) {
+    for (const u64 batch : batch_sizes) {
+      const BatchOutcome out = SweepDetector(entry.make, *entry.corpus, batch);
+      const double speedup = out.batched_cyc_per_obs == 0.0
+                                 ? 1.0
+                                 : out.serial_cyc_per_obs / out.batched_cyc_per_obs;
+      ok = ok && out.digest_match;
+      if (entry.pattern_scan && batch >= 8 && speedup < 2.0) {
+        ok = false;
+      }
+      table.AddRow({entry.name, std::to_string(batch),
+                    TextTable::Num(out.batched_cyc_per_obs, 0),
+                    TextTable::Num(speedup, 2) + "x",
+                    out.digest_match ? "=" : "!"});
+    }
+  }
+  for (const u64 batch : batch_sizes) {
+    const BatchOutcome out = SweepSuite(mixed, batch);
+    const double speedup = out.batched_cyc_per_obs == 0.0
+                               ? 1.0
+                               : out.serial_cyc_per_obs / out.batched_cyc_per_obs;
+    ok = ok && out.digest_match;
+    table.AddRow({"suite(all)", std::to_string(batch),
+                  TextTable::Num(out.batched_cyc_per_obs, 0),
+                  TextTable::Num(speedup, 2) + "x", out.digest_match ? "=" : "!"});
+  }
+  table.Print();
+  BenchFooter(
+      "batch=1 degenerates to the serial cost on every detector; at batch>=8 "
+      "the pattern-scan detectors amortize their table builds and per-pattern "
+      "rescans >=2x and the suite's mixed batches amortize across kinds, with "
+      "'=' on every row — the enforcement layer can adopt VerdictPlans "
+      "without any verdict drift (circuit_breaker rides the default "
+      "loop-over-Evaluate path, so its cost is flat by construction)");
+  return ok;
+}
+
+bool Run(const std::vector<u64>& batch_sizes) {
   BenchHeader("E5 / Table 3",
               "the hypervisor's observation points support all four detector "
               "families; detection cost is small relative to inference");
@@ -169,6 +418,8 @@ void Run() {
       "few hundred cycles per observation; activation detectors recover the "
       "planted probe direction — matching the paper's claim that Guillotine's "
       "affordances are sufficient for these detector families");
+
+  return RunBatchSweep(batch_sizes);
 }
 
 }  // namespace
@@ -176,6 +427,18 @@ void Run() {
 
 int main(int argc, char** argv) {
   guillotine::ParseBenchArgs(argc, argv);
-  guillotine::Run();
+  std::vector<guillotine::u64> batch_sizes =
+      guillotine::FlagList(argc, argv, "--batch=");
+  if (batch_sizes.empty()) {
+    batch_sizes = {1, 8, 64};
+  }
+  for (guillotine::u64& b : batch_sizes) {
+    b = b == 0 ? 1 : b;
+  }
+  if (!guillotine::Run(batch_sizes)) {
+    std::printf("FAIL: batched/serial digest mismatch or amortization below "
+                "the 2x bar (see '=' markers above)\n");
+    return 1;
+  }
   return 0;
 }

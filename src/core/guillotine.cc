@@ -8,9 +8,9 @@
 
 namespace guillotine {
 
-namespace {
-DetectorSuite BuildDetectors(const DetectorConfig& config, ActivationSteering** steering,
-                             CircuitBreaker** breaker) {
+DetectorSuite BuildDetectorSuite(const DetectorConfig& config,
+                                 ActivationSteering** steering,
+                                 CircuitBreaker** breaker) {
   DetectorSuite suite;
   if (config.input_shield) {
     suite.Add(std::make_unique<InputShield>(config.input_shield_config));
@@ -20,12 +20,16 @@ DetectorSuite BuildDetectors(const DetectorConfig& config, ActivationSteering** 
   }
   if (config.activation_steering) {
     auto s = std::make_unique<ActivationSteering>();
-    *steering = s.get();
+    if (steering != nullptr) {
+      *steering = s.get();
+    }
     suite.Add(std::move(s));
   }
   if (config.circuit_breaker) {
     auto c = std::make_unique<CircuitBreaker>(config.circuit_breaker_config);
-    *breaker = c.get();
+    if (breaker != nullptr) {
+      *breaker = c.get();
+    }
     suite.Add(std::move(c));
   }
   if (config.anomaly) {
@@ -33,12 +37,11 @@ DetectorSuite BuildDetectors(const DetectorConfig& config, ActivationSteering** 
   }
   return suite;
 }
-}  // namespace
 
 GuillotineSystem::GuillotineSystem(DeploymentConfig config)
     : config_(std::move(config)),
       rng_(config_.seed),
-      detectors_(BuildDetectors(config_.detectors, &steering_, &breaker_)),
+      detectors_(BuildDetectorSuite(config_.detectors, &steering_, &breaker_)),
       machine_(config_.machine, clock_, trace_),
       hv_(machine_, detectors_.size() > 0 ? &detectors_ : nullptr, config_.hv),
       scheduler_(hv_, config_.scheduler),

@@ -51,6 +51,16 @@ struct DetectorConfig {
   AnomalyConfig anomaly_config;
 };
 
+// Assembles a DetectorSuite from `config` in the canonical registration
+// order (shield, sanitizer, steering, breaker, anomaly — the order every
+// deployment and report uses). `steering`/`breaker` receive non-owning
+// pointers to the constructed instances when enabled (pass nullptr to skip).
+// Exposed so the service layer and benches can stand up mediation suites
+// that match the deployment's wiring.
+DetectorSuite BuildDetectorSuite(const DetectorConfig& config,
+                                 ActivationSteering** steering = nullptr,
+                                 CircuitBreaker** breaker = nullptr);
+
 // How deeply the hypervisor introspects the forward pass (experiment E11).
 enum class IntrospectionMode {
   kNone = 0,          // run to completion, look only at input/output

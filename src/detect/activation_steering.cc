@@ -22,19 +22,26 @@ double ActivationSteering::Project(std::span<const i64> activations,
   return norm_sq == 0.0 ? 0.0 : dot / norm_sq;
 }
 
-DetectorVerdict ActivationSteering::Evaluate(const Observation& observation) {
+DetectorVerdict ActivationSteering::EvaluateWithNorm(const Observation& observation,
+                                                     const SteeringVector& sv,
+                                                     double norm_sq,
+                                                     Cycles cost) const {
   DetectorVerdict v;
-  if (observation.kind != ObservationKind::kActivations) {
-    return v;
-  }
-  const auto it = vectors_.find(observation.layer);
-  if (it == vectors_.end()) {
-    return v;
-  }
-  const SteeringVector& sv = it->second;
-  v.cost = 100 + 2 * observation.activations.size();
+  v.cost = cost;
 
-  const double projection = Project(observation.activations, sv.direction);
+  // Same arithmetic as Project, with |direction|^2 precomputed: each
+  // accumulator only ever sums its own products in index order, so hoisting
+  // the norm out of the loop leaves the projection value bit-identical.
+  double projection = 0.0;
+  if (observation.activations.size() == sv.direction.size() && !sv.direction.empty() &&
+      norm_sq != 0.0) {
+    double dot = 0.0;
+    for (size_t i = 0; i < sv.direction.size(); ++i) {
+      dot += static_cast<double>(observation.activations[i]) *
+             static_cast<double>(sv.direction[i]);
+    }
+    projection = dot / norm_sq;
+  }
   if (projection <= sv.threshold) {
     return v;
   }
@@ -50,6 +57,57 @@ DetectorVerdict ActivationSteering::Evaluate(const Observation& observation) {
              " above threshold at layer " + std::to_string(observation.layer);
   v.rewritten_activations = std::move(steered);
   return v;
+}
+
+DetectorVerdict ActivationSteering::Evaluate(const Observation& observation) {
+  DetectorVerdict v;
+  if (observation.kind != ObservationKind::kActivations) {
+    return v;
+  }
+  const auto it = vectors_.find(observation.layer);
+  if (it == vectors_.end()) {
+    return v;
+  }
+  const SteeringVector& sv = it->second;
+  double norm_sq = 0.0;
+  for (const i64 d : sv.direction) {
+    norm_sq += static_cast<double>(d) * static_cast<double>(d);
+  }
+  // Cost model: one pass over the activations for the dot product and one
+  // for the norm.
+  return EvaluateWithNorm(observation, sv, norm_sq,
+                          100 + 2 * observation.activations.size());
+}
+
+std::vector<DetectorVerdict> ActivationSteering::EvaluateBatch(
+    std::span<const Observation> observations) {
+  std::vector<DetectorVerdict> verdicts(observations.size());
+  // Per-layer norm accumulators, built on first touch and reused across the
+  // batch; the build cost is charged to the observation that triggered it.
+  std::map<int, double> norms;
+  for (size_t i = 0; i < observations.size(); ++i) {
+    const Observation& observation = observations[i];
+    if (observation.kind != ObservationKind::kActivations) {
+      continue;
+    }
+    const auto it = vectors_.find(observation.layer);
+    if (it == vectors_.end()) {
+      continue;
+    }
+    const SteeringVector& sv = it->second;
+    Cycles cost = 25 + observation.activations.size();  // dot-product pass only
+    auto norm_it = norms.find(observation.layer);
+    if (norm_it == norms.end()) {
+      double norm_sq = 0.0;
+      for (const i64 d : sv.direction) {
+        norm_sq += static_cast<double>(d) * static_cast<double>(d);
+      }
+      norm_it = norms.emplace(observation.layer, norm_sq).first;
+      cost += sv.direction.size();  // the once-per-layer norm accumulation
+    }
+    verdicts[i] = EvaluateWithNorm(observation, sv, norm_it->second, cost);
+  }
+  return verdicts;
 }
 
 }  // namespace guillotine

@@ -2,17 +2,29 @@
 
 namespace guillotine {
 
+namespace {
+// Serial per-observation costs: full dispatch + counter load per call.
+constexpr Cycles kSerialSystemCost = 150;
+constexpr Cycles kSerialPortCost = 50;
+// Batched: the window-counter fold loads state once per batch and streams
+// the observations, so each one pays only the incremental update.
+constexpr Cycles kBatchSetupCost = 100;
+constexpr Cycles kBatchSystemCost = 50;
+constexpr Cycles kBatchPortCost = 20;
+}  // namespace
+
 AnomalyDetector::AnomalyDetector(AnomalyConfig config)
     : config_(config), ewma_rate_(config.rate_baseline) {}
 
-DetectorVerdict AnomalyDetector::Evaluate(const Observation& observation) {
+DetectorVerdict AnomalyDetector::EvaluateOne(const Observation& observation,
+                                             Cycles system_cost, Cycles port_cost) {
   DetectorVerdict v;
   switch (observation.kind) {
     case ObservationKind::kSystem: {
       if (observation.window_cycles == 0) {
         return v;
       }
-      v.cost = 150;
+      v.cost = system_cost;
       const double rate = static_cast<double>(observation.doorbells_in_window) *
                           1e6 / static_cast<double>(observation.window_cycles);
       const double baseline = ewma_rate_;
@@ -30,7 +42,7 @@ DetectorVerdict AnomalyDetector::Evaluate(const Observation& observation) {
       return v;
     }
     case ObservationKind::kPortTraffic: {
-      v.cost = 50;
+      v.cost = port_cost;
       if (observation.data.size() > config_.payload_flag_bytes) {
         v.action = VerdictAction::kFlag;
         v.score = 0.5;
@@ -42,6 +54,26 @@ DetectorVerdict AnomalyDetector::Evaluate(const Observation& observation) {
     default:
       return v;
   }
+}
+
+DetectorVerdict AnomalyDetector::Evaluate(const Observation& observation) {
+  return EvaluateOne(observation, kSerialSystemCost, kSerialPortCost);
+}
+
+std::vector<DetectorVerdict> AnomalyDetector::EvaluateBatch(
+    std::span<const Observation> observations) {
+  std::vector<DetectorVerdict> verdicts;
+  verdicts.reserve(observations.size());
+  Cycles setup = kBatchSetupCost;  // charged to the first relevant observation
+  for (const Observation& observation : observations) {
+    DetectorVerdict v = EvaluateOne(observation, kBatchSystemCost, kBatchPortCost);
+    if (v.cost != 0) {
+      v.cost += setup;
+      setup = 0;
+    }
+    verdicts.push_back(std::move(v));
+  }
+  return verdicts;
 }
 
 }  // namespace guillotine

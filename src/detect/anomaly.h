@@ -31,9 +31,21 @@ class AnomalyDetector : public MisbehaviorDetector {
   std::string_view name() const override { return "anomaly"; }
   DetectorVerdict Evaluate(const Observation& observation) override;
 
+  // Batched path: folds the batch's window counters and payload checks into
+  // one pass. The EWMA state advances in observation order (identical to
+  // the serial loop, so verdicts are bit-identical); the per-observation
+  // dispatch/update overhead is amortized into a single per-batch setup.
+  std::vector<DetectorVerdict> EvaluateBatch(
+      std::span<const Observation> observations) override;
+
   double learned_rate() const { return ewma_rate_; }
 
  private:
+  // The shared evaluation body; serial and batched calls differ only in the
+  // simulated cost they charge, never in verdicts or EWMA evolution.
+  DetectorVerdict EvaluateOne(const Observation& observation, Cycles system_cost,
+                              Cycles port_cost);
+
   AnomalyConfig config_;
   double ewma_rate_;
 };

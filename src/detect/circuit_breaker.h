@@ -28,6 +28,10 @@ class CircuitBreaker : public MisbehaviorDetector {
 
   std::string_view name() const override { return "circuit_breaker"; }
   DetectorVerdict Evaluate(const Observation& observation) override;
+  // Inherits the default EvaluateBatch (loop over Evaluate): the trip
+  // counter makes every verdict depend on every earlier one, so there is no
+  // per-batch setup to amortize — and the default keeps the base-class path
+  // exercised by the batched pipeline.
 
   u64 trips() const { return trips_; }
 

@@ -1,5 +1,8 @@
 #include "src/detect/detector.h"
 
+#include <cstdio>
+#include <sstream>
+
 namespace guillotine {
 
 std::string_view VerdictActionName(VerdictAction a) {
@@ -18,29 +21,100 @@ std::string_view VerdictActionName(VerdictAction a) {
   return "?";
 }
 
+std::vector<DetectorVerdict> MisbehaviorDetector::EvaluateBatch(
+    std::span<const Observation> observations) {
+  std::vector<DetectorVerdict> verdicts;
+  verdicts.reserve(observations.size());
+  for (const Observation& observation : observations) {
+    verdicts.push_back(Evaluate(observation));
+  }
+  return verdicts;
+}
+
+std::string VerdictPlan::Digest() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < verdicts.size(); ++i) {
+    const DetectorVerdict& v = verdicts[i];
+    char score[32];
+    std::snprintf(score, sizeof(score), "%.6f", v.score);
+    out << i << " " << VerdictActionName(v.action) << " score=" << score
+        << " reason=" << v.reason;
+    if (v.rewritten_data.has_value()) {
+      out << " data'=" << ToString(*v.rewritten_data);
+    }
+    if (v.rewritten_activations.has_value()) {
+      out << " act'=";
+      for (const i64 a : *v.rewritten_activations) {
+        out << a << ",";
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
 void DetectorSuite::Add(std::unique_ptr<MisbehaviorDetector> detector) {
-  flag_counts_.emplace_back(std::string(detector->name()), 0);
+  detector_names_.emplace_back(detector->name());
+  flag_counts_by_slot_.push_back(0);
   detectors_.push_back(std::move(detector));
+}
+
+std::vector<std::pair<std::string, u64>> DetectorSuite::flag_counts() const {
+  std::vector<std::pair<std::string, u64>> rows;
+  rows.reserve(detector_names_.size());
+  for (size_t i = 0; i < detector_names_.size(); ++i) {
+    rows.emplace_back(detector_names_[i], flag_counts_by_slot_[i]);
+  }
+  return rows;
+}
+
+void DetectorSuite::MergeVerdict(size_t slot, DetectorVerdict v,
+                                 DetectorVerdict& merged) {
+  merged.cost += v.cost;
+  if (v.action == VerdictAction::kAllow) {
+    return;
+  }
+  ++flag_counts_by_slot_[slot];
+  if (static_cast<int>(v.action) > static_cast<int>(merged.action)) {
+    merged.action = v.action;
+    merged.reason = detector_names_[slot] + ": " + v.reason;
+    merged.rewritten_data = std::move(v.rewritten_data);
+    merged.rewritten_activations = std::move(v.rewritten_activations);
+  }
+  merged.score = std::max(merged.score, v.score);
 }
 
 DetectorVerdict DetectorSuite::Evaluate(const Observation& observation) {
   DetectorVerdict merged;
   for (size_t i = 0; i < detectors_.size(); ++i) {
-    DetectorVerdict v = detectors_[i]->Evaluate(observation);
-    merged.cost += v.cost;
-    if (v.action == VerdictAction::kAllow) {
-      continue;
-    }
-    ++flag_counts_[i].second;
-    if (static_cast<int>(v.action) > static_cast<int>(merged.action)) {
-      merged.action = v.action;
-      merged.reason = std::string(detectors_[i]->name()) + ": " + v.reason;
-      merged.rewritten_data = std::move(v.rewritten_data);
-      merged.rewritten_activations = std::move(v.rewritten_activations);
-    }
-    merged.score = std::max(merged.score, v.score);
+    MergeVerdict(i, detectors_[i]->Evaluate(observation), merged);
   }
   return merged;
+}
+
+VerdictPlan DetectorSuite::EvaluateBatch(std::span<const Observation> observations) {
+  VerdictPlan plan;
+  plan.verdicts.resize(observations.size());
+  // Detector-major: detector i consumes the whole batch (observations in
+  // order, so its internal state evolves exactly as under the serial loop),
+  // then its verdicts merge into each observation's slot. Because each
+  // detector's state is independent, per-observation merges in slot order
+  // reproduce the serial observation-major result bit for bit.
+  for (size_t i = 0; i < detectors_.size(); ++i) {
+    std::vector<DetectorVerdict> verdicts = detectors_[i]->EvaluateBatch(observations);
+    // A malformed override that returns the wrong shape degrades to allow
+    // for the missing tail instead of corrupting the merge.
+    verdicts.resize(observations.size());
+    for (size_t obs = 0; obs < observations.size(); ++obs) {
+      MergeVerdict(i, std::move(verdicts[obs]), plan.verdicts[obs]);
+    }
+  }
+  for (const DetectorVerdict& v : plan.verdicts) {
+    plan.total_cost += v.cost;
+  }
+  ++batches_;
+  batched_observations_ += observations.size();
+  return plan;
 }
 
 }  // namespace guillotine

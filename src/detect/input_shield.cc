@@ -38,6 +38,66 @@ double InputShield::ShannonEntropy(std::span<const u8> data) {
   return entropy;
 }
 
+const PatternScanner& InputShield::Scanner() {
+  if (scanner_ == nullptr) {
+    scanner_ = PatternScanner::Make(config_.block_patterns, config_.flag_patterns);
+  }
+  return *scanner_;
+}
+
+void InputShield::Classify(const Observation& observation, size_t combined_hit,
+                           DetectorVerdict& v) const {
+  if (combined_hit != PatternScanner::kNpos) {
+    if (combined_hit < config_.block_patterns.size()) {
+      v.action = VerdictAction::kBlock;
+      v.score = 1.0;
+      v.reason = "blocked pattern '" + config_.block_patterns[combined_hit] + "'";
+    } else {
+      v.action = VerdictAction::kFlag;
+      v.score = 0.6;
+      v.reason =
+          "flagged pattern '" +
+          config_.flag_patterns[combined_hit - config_.block_patterns.size()] + "'";
+    }
+    return;
+  }
+  if (observation.data.size() > config_.max_len) {
+    v.action = VerdictAction::kFlag;
+    v.score = 0.4;
+    v.reason = "prompt exceeds length bound";
+    return;
+  }
+  const double entropy = ShannonEntropy(observation.data);
+  if (entropy > config_.entropy_threshold && observation.data.size() >= 64) {
+    v.action = VerdictAction::kFlag;
+    v.score = 0.5;
+    v.reason = "high-entropy payload (possible encoded content)";
+  }
+}
+
+std::vector<DetectorVerdict> InputShield::EvaluateBatch(
+    std::span<const Observation> observations) {
+  const PatternScanner& scanner = Scanner();
+  std::vector<DetectorVerdict> verdicts(observations.size());
+  // The pattern-table build is paid once per batch, spread over the batch's
+  // input observations so per-verdict costs stay meaningful.
+  size_t inputs = 0;
+  for (const Observation& o : observations) {
+    inputs += o.kind == ObservationKind::kModelInput ? 1 : 0;
+  }
+  PatternScanner::BuildAmortizer build(scanner.build_cost(), inputs);
+  for (size_t i = 0; i < observations.size(); ++i) {
+    const Observation& observation = observations[i];
+    DetectorVerdict& v = verdicts[i];
+    if (observation.kind != ObservationKind::kModelInput) {
+      continue;
+    }
+    v.cost = build.Take() + PatternScanner::ScanCost(observation.data.size());
+    Classify(observation, scanner.FirstHit(Lowered(observation.data)), v);
+  }
+  return verdicts;
+}
+
 DetectorVerdict InputShield::Evaluate(const Observation& observation) {
   DetectorVerdict v;
   if (observation.kind != ObservationKind::kModelInput) {
@@ -46,36 +106,26 @@ DetectorVerdict InputShield::Evaluate(const Observation& observation) {
   // Cost model: one pass over the prompt.
   v.cost = 200 + observation.data.size();
 
+  // First block pattern that occurs, else first flag pattern, as a
+  // combined block++flag index — the same priority FirstHit computes over
+  // the batched scanner.
   const std::string text = Lowered(observation.data);
-  for (const std::string& pattern : config_.block_patterns) {
-    if (text.find(pattern) != std::string::npos) {
-      v.action = VerdictAction::kBlock;
-      v.score = 1.0;
-      v.reason = "blocked pattern '" + pattern + "'";
-      return v;
+  size_t combined_hit = PatternScanner::kNpos;
+  for (size_t i = 0; i < config_.block_patterns.size(); ++i) {
+    if (text.find(config_.block_patterns[i]) != std::string::npos) {
+      combined_hit = i;
+      break;
     }
   }
-  for (const std::string& pattern : config_.flag_patterns) {
-    if (text.find(pattern) != std::string::npos) {
-      v.action = VerdictAction::kFlag;
-      v.score = 0.6;
-      v.reason = "flagged pattern '" + pattern + "'";
-      return v;
+  if (combined_hit == PatternScanner::kNpos) {
+    for (size_t i = 0; i < config_.flag_patterns.size(); ++i) {
+      if (text.find(config_.flag_patterns[i]) != std::string::npos) {
+        combined_hit = config_.block_patterns.size() + i;
+        break;
+      }
     }
   }
-  if (observation.data.size() > config_.max_len) {
-    v.action = VerdictAction::kFlag;
-    v.score = 0.4;
-    v.reason = "prompt exceeds length bound";
-    return v;
-  }
-  const double entropy = ShannonEntropy(observation.data);
-  if (entropy > config_.entropy_threshold && observation.data.size() >= 64) {
-    v.action = VerdictAction::kFlag;
-    v.score = 0.5;
-    v.reason = "high-entropy payload (possible encoded content)";
-    return v;
-  }
+  Classify(observation, combined_hit, v);
   return v;
 }
 

@@ -5,10 +5,12 @@
 #ifndef SRC_DETECT_INPUT_SHIELD_H_
 #define SRC_DETECT_INPUT_SHIELD_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/detect/detector.h"
+#include "src/detect/pattern_scan.h"
 
 namespace guillotine {
 
@@ -33,11 +35,29 @@ class InputShield : public MisbehaviorDetector {
   std::string_view name() const override { return "input_shield"; }
   DetectorVerdict Evaluate(const Observation& observation) override;
 
+  // Batched path: one Rabin-Karp pre-scan per observation against a shared
+  // block+flag pattern table (built once, its cost amortized across the
+  // batch) replaces the serial per-pattern rescans. Verdicts are
+  // bit-identical to the serial loop; only the cost model changes.
+  std::vector<DetectorVerdict> EvaluateBatch(
+      std::span<const Observation> observations) override;
+
   // Bits of entropy per byte of `data` (exposed for tests).
   static double ShannonEntropy(std::span<const u8> data);
 
  private:
+  const PatternScanner& Scanner();
+  // The shared verdict ladder (block pattern > flag pattern > length bound
+  // > entropy), fed the combined block++flag pattern-hit index (or
+  // PatternScanner::kNpos). Both paths classify through this one function,
+  // so serial/batched verdict identity cannot drift.
+  void Classify(const Observation& observation, size_t combined_hit,
+                DetectorVerdict& v) const;
+
   InputShieldConfig config_;
+  // Lazily built over block_patterns ++ flag_patterns (block first, so a
+  // FirstHit below num_block_patterns is a block and above is a flag).
+  std::unique_ptr<PatternScanner> scanner_;
 };
 
 }  // namespace guillotine

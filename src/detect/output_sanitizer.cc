@@ -5,6 +5,24 @@ namespace guillotine {
 OutputSanitizer::OutputSanitizer(OutputSanitizerConfig config)
     : config_(std::move(config)) {}
 
+const PatternScanner& OutputSanitizer::Scanner() {
+  if (scanner_ == nullptr) {
+    scanner_ = PatternScanner::Make(config_.block_patterns, config_.redact_patterns);
+  }
+  return *scanner_;
+}
+
+void OutputSanitizer::Redact(std::string& text, bool& redacted) const {
+  for (const std::string& pattern : config_.redact_patterns) {
+    size_t pos = 0;
+    while ((pos = text.find(pattern, pos)) != std::string::npos) {
+      text.replace(pos, pattern.size(), config_.redaction);
+      pos += config_.redaction.size();
+      redacted = true;
+    }
+  }
+}
+
 DetectorVerdict OutputSanitizer::Evaluate(const Observation& observation) {
   DetectorVerdict v;
   if (observation.kind != ObservationKind::kModelOutput) {
@@ -22,14 +40,7 @@ DetectorVerdict OutputSanitizer::Evaluate(const Observation& observation) {
     }
   }
   bool redacted = false;
-  for (const std::string& pattern : config_.redact_patterns) {
-    size_t pos = 0;
-    while ((pos = text.find(pattern, pos)) != std::string::npos) {
-      text.replace(pos, pattern.size(), config_.redaction);
-      pos += config_.redaction.size();
-      redacted = true;
-    }
-  }
+  Redact(text, redacted);
   if (redacted) {
     v.action = VerdictAction::kRewrite;
     v.score = 0.7;
@@ -37,6 +48,55 @@ DetectorVerdict OutputSanitizer::Evaluate(const Observation& observation) {
     v.rewritten_data = Bytes(text.begin(), text.end());
   }
   return v;
+}
+
+std::vector<DetectorVerdict> OutputSanitizer::EvaluateBatch(
+    std::span<const Observation> observations) {
+  const PatternScanner& scanner = Scanner();
+  std::vector<DetectorVerdict> verdicts(observations.size());
+  size_t outputs = 0;
+  for (const Observation& o : observations) {
+    outputs += o.kind == ObservationKind::kModelOutput ? 1 : 0;
+  }
+  PatternScanner::BuildAmortizer build(scanner.build_cost(), outputs);
+  std::vector<bool> hits;
+  for (size_t i = 0; i < observations.size(); ++i) {
+    const Observation& observation = observations[i];
+    DetectorVerdict& v = verdicts[i];
+    if (observation.kind != ObservationKind::kModelOutput) {
+      continue;
+    }
+    v.cost = build.Take() + PatternScanner::ScanCost(observation.data.size());
+
+    std::string text(observation.data.begin(), observation.data.end());
+    if (!scanner.Scan(text, hits)) {
+      continue;  // clean output: one rolling pass, no per-pattern rescans
+    }
+    for (size_t p = 0; p < config_.block_patterns.size(); ++p) {
+      if (hits[p]) {
+        v.action = VerdictAction::kBlock;
+        v.score = 1.0;
+        v.reason = "output contains blocked pattern '" + config_.block_patterns[p] + "'";
+        break;
+      }
+    }
+    if (v.action == VerdictAction::kBlock) {
+      continue;
+    }
+    // At least one redact pattern occurs: fall back to the serial in-order
+    // replacement loop (replacements can cascade, so positions must come
+    // from the live text), and charge the extra rewrite pass.
+    v.cost += observation.data.size();
+    bool redacted = false;
+    Redact(text, redacted);
+    if (redacted) {
+      v.action = VerdictAction::kRewrite;
+      v.score = 0.7;
+      v.reason = "sensitive content redacted";
+      v.rewritten_data = Bytes(text.begin(), text.end());
+    }
+  }
+  return verdicts;
 }
 
 }  // namespace guillotine

@@ -1,0 +1,117 @@
+#include "src/detect/pattern_scan.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace guillotine {
+
+namespace {
+// Polynomial rolling hash base. Odd and > 256 so byte values spread over
+// the full 64-bit state; collisions are resolved by memcmp anyway.
+constexpr u64 kBase = 1099511628211ULL;
+}  // namespace
+
+u64 PatternScanner::HashWindow(const char* data, size_t length) {
+  u64 h = 0;
+  for (size_t i = 0; i < length; ++i) {
+    h = h * kBase + static_cast<u8>(data[i]);
+  }
+  return h;
+}
+
+std::unique_ptr<PatternScanner> PatternScanner::Make(
+    const std::vector<std::string>& primary, const std::vector<std::string>& secondary) {
+  std::vector<std::string> patterns = primary;
+  patterns.insert(patterns.end(), secondary.begin(), secondary.end());
+  return std::make_unique<PatternScanner>(patterns);
+}
+
+PatternScanner::PatternScanner(const std::vector<std::string>& patterns)
+    : patterns_(patterns) {
+  size_t pattern_bytes = 0;
+  for (u32 i = 0; i < patterns_.size(); ++i) {
+    const std::string& p = patterns_[i];
+    pattern_bytes += p.size();
+    if (p.empty()) {
+      has_empty_pattern_ = true;  // find("") matches at 0; mirror that
+      continue;
+    }
+    auto it = std::find_if(groups_.begin(), groups_.end(),
+                           [&](const LengthGroup& g) { return g.length == p.size(); });
+    if (it == groups_.end()) {
+      LengthGroup group;
+      group.length = p.size();
+      group.high_pow = 1;
+      for (size_t k = 1; k < p.size(); ++k) {
+        group.high_pow *= kBase;
+      }
+      groups_.push_back(std::move(group));
+      it = groups_.end() - 1;
+    }
+    it->entries.push_back({HashWindow(p.data(), p.size()), i});
+  }
+  std::sort(groups_.begin(), groups_.end(),
+            [](const LengthGroup& a, const LengthGroup& b) { return a.length < b.length; });
+  for (LengthGroup& g : groups_) {
+    std::sort(g.entries.begin(), g.entries.end(), [](const Entry& a, const Entry& b) {
+      return a.hash != b.hash ? a.hash < b.hash : a.pattern_index < b.pattern_index;
+    });
+  }
+  // Table build: hash every pattern once plus fixed setup.
+  build_cost_ = 200 + static_cast<Cycles>(pattern_bytes);
+}
+
+bool PatternScanner::Scan(std::string_view text, std::vector<bool>& hits) const {
+  hits.assign(patterns_.size(), false);
+  bool any = false;
+  if (has_empty_pattern_) {
+    for (size_t i = 0; i < patterns_.size(); ++i) {
+      if (patterns_[i].empty()) {
+        hits[i] = true;
+        any = true;
+      }
+    }
+  }
+  for (const LengthGroup& g : groups_) {
+    if (g.length > text.size()) {
+      break;  // groups are ascending; nothing longer fits either
+    }
+    u64 h = HashWindow(text.data(), g.length);
+    for (size_t pos = 0;; ++pos) {
+      // Probe all entries sharing this window hash (sorted, so a binary
+      // search lands on the run).
+      auto it = std::lower_bound(g.entries.begin(), g.entries.end(), h,
+                                 [](const Entry& e, u64 value) { return e.hash < value; });
+      for (; it != g.entries.end() && it->hash == h; ++it) {
+        if (!hits[it->pattern_index] &&
+            std::memcmp(text.data() + pos, patterns_[it->pattern_index].data(),
+                        g.length) == 0) {
+          hits[it->pattern_index] = true;
+          any = true;
+        }
+      }
+      if (pos + g.length >= text.size()) {
+        break;
+      }
+      // Roll the window one byte to the right.
+      h -= g.high_pow * static_cast<u8>(text[pos]);
+      h = h * kBase + static_cast<u8>(text[pos + g.length]);
+    }
+  }
+  return any;
+}
+
+size_t PatternScanner::FirstHit(std::string_view text) const {
+  std::vector<bool> hits;
+  if (!Scan(text, hits)) {
+    return kNpos;
+  }
+  for (size_t i = 0; i < hits.size(); ++i) {
+    if (hits[i]) {
+      return i;
+    }
+  }
+  return kNpos;
+}
+
+}  // namespace guillotine

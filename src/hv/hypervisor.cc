@@ -20,6 +20,8 @@ void ServiceStats::Accumulate(const ServiceStats& pass) {
   batch_depth_max = std::max(batch_depth_max, pass.batch_depth_max);
   forwarded_irqs += pass.forwarded_irqs;
   handoffs_in += pass.handoffs_in;
+  detector_batches += pass.detector_batches;
+  detector_batch_obs += pass.detector_batch_obs;
 }
 
 SoftwareHypervisor::SoftwareHypervisor(Machine& machine, DetectorSuite* detectors,
@@ -171,10 +173,26 @@ void SoftwareHypervisor::TraceIo(int hv_core_id, const PortBinding& binding,
                           static_cast<i64>(slot.payload.size()));
 }
 
-void SoftwareHypervisor::HandleRequest(int hv_core_id, PortBinding& binding,
-                                       const IoSlot& slot, ServiceStats& stats) {
-  HypervisorCore& hv = machine_.hv_core(hv_core_id);
-  RingView resp_ring = machine_.io_dram().ResponseRing(binding.region);
+void SoftwareHypervisor::RejectRequest(int hv_core_id, PortBinding& binding,
+                                       const IoSlot& slot, u32 code,
+                                       std::string_view why, ServiceStats& stats) {
+  (void)hv_core_id;
+  ++stats.blocked;
+  ++binding.rejected;
+  machine_.trace().Record(machine_.clock().now(), TraceCategory::kSecurity, "hv",
+                          "port.reject",
+                          "port=" + std::to_string(binding.port_id) + " " +
+                              std::string(why));
+  IoSlot err;
+  err.opcode = code;  // guests read the status from the opcode field
+  err.tag = slot.tag;
+  PutU32(err.payload, code);
+  machine_.io_dram().ResponseRing(binding.region).Push(err).ok();
+  // Best effort; a full ring just drops the error.
+}
+
+bool SoftwareHypervisor::ValidateRequest(int hv_core_id, PortBinding& binding,
+                                         const IoSlot& slot, ServiceStats& stats) {
   ++stats.requests;
   ++binding.requests;
   if (binding.owner_hv_core != hv_core_id) {
@@ -182,136 +200,66 @@ void SoftwareHypervisor::HandleRequest(int hv_core_id, PortBinding& binding,
     // tripping the port-owner invariant) rather than silently tolerated.
     ++mis_owned_services_;
   }
-  hv.AccountWork(config_.request_base_cost + slot.payload.size() / 8);
+  machine_.hv_core(hv_core_id).AccountWork(config_.request_base_cost +
+                                           slot.payload.size() / 8);
   TraceIo(hv_core_id, binding, /*outbound=*/true, slot);
-
-  auto reject = [&](u32 code, std::string_view why) {
-    ++stats.blocked;
-    ++binding.rejected;
-    machine_.trace().Record(machine_.clock().now(), TraceCategory::kSecurity, "hv",
-                            "port.reject",
-                            "port=" + std::to_string(binding.port_id) + " " +
-                                std::string(why));
-    IoSlot err;
-    err.opcode = code;  // guests read the status from the opcode field
-    err.tag = slot.tag;
-    PutU32(err.payload, code);
-    resp_ring.Push(err).ok();  // best effort; full ring just drops the error
-  };
 
   // Severed (or worse): "Guillotine prevents the model from using any ports".
   if (isolation_ >= IsolationLevel::kSevered) {
-    reject(0xE150, "isolation level severs all ports");
-    return;
+    RejectRequest(hv_core_id, binding, slot, 0xE150, "isolation level severs all ports",
+                  stats);
+    return false;
   }
   if (binding.revoked) {
-    reject(0xE151, "port revoked");
-    return;
+    RejectRequest(hv_core_id, binding, slot, 0xE151, "port revoked", stats);
+    return false;
   }
   if (!binding.rights.can_send || binding.send_suspended) {
-    reject(0xE152, "send right missing or suspended");
-    return;
+    RejectRequest(hv_core_id, binding, slot, 0xE152,
+                  "send right missing or suspended", stats);
+    return false;
   }
   if (!binding.rights.OpcodeAllowed(slot.opcode)) {
-    reject(0xE159, "opcode " + std::to_string(slot.opcode) +
-                       " outside the port's capability");
-    return;
+    RejectRequest(hv_core_id, binding, slot, 0xE159,
+                  "opcode " + std::to_string(slot.opcode) +
+                      " outside the port's capability",
+                  stats);
+    return false;
   }
   if (binding.rights.byte_quota != 0 &&
       binding.quota_used() + slot.payload.size() > binding.rights.byte_quota) {
-    reject(0xE153, "byte quota exhausted");
-    return;
+    RejectRequest(hv_core_id, binding, slot, 0xE153, "byte quota exhausted", stats);
+    return false;
   }
+  return true;
+}
 
-  IoRequest request;
-  request.opcode = slot.opcode;
-  request.tag = slot.tag;
-  request.payload = slot.payload;
+Observation SoftwareHypervisor::MakeTrafficObservation(const PortBinding& binding,
+                                                       u32 opcode, bool outbound,
+                                                       const Bytes& payload) const {
+  Observation obs;
+  obs.kind = ObservationKind::kPortTraffic;
+  obs.time = machine_.clock().now();
+  obs.port_id = binding.port_id;
+  obs.opcode = opcode;
+  obs.outbound = outbound;
+  obs.data = payload;
+  return obs;
+}
 
-  // Detector mediation: outbound traffic.
-  if (detectors_ != nullptr) {
-    Observation obs;
-    obs.kind = ObservationKind::kPortTraffic;
-    obs.time = machine_.clock().now();
-    obs.port_id = binding.port_id;
-    obs.opcode = slot.opcode;
-    obs.outbound = true;
-    obs.data = slot.payload;
-    DetectorVerdict v = detectors_->Evaluate(obs);
-    hv.AccountWork(v.cost);
-    if (v.action == VerdictAction::kEscalate) {
-      ++stats.escalations;
-      if (escalate_) {
-        escalate_(IsolationLevel::kSevered, v.reason);
-      }
-      reject(0xE154, "detector escalation: " + v.reason);
-      return;
-    }
-    if (v.action == VerdictAction::kBlock) {
-      reject(0xE155, "detector block: " + v.reason);
-      return;
-    }
-    if (v.action == VerdictAction::kRewrite && v.rewritten_data.has_value()) {
-      ++stats.rewritten;
-      request.payload = *v.rewritten_data;
-    }
+void SoftwareHypervisor::FinalizeResponse(int hv_core_id, PortBinding& binding,
+                                          IoSlot out, ServiceStats& stats,
+                                          bool account_bytes_in) {
+  if (account_bytes_in) {
+    binding.bytes_in += out.payload.size();
   }
-  binding.bytes_out += request.payload.size();
-
-  Device* dev = machine_.device(binding.device_index);
-  if (dev == nullptr) {
-    reject(0xE156, "device vanished");
-    return;
-  }
-  if (isolation_ >= IsolationLevel::kSevered) {
-    // Unreachable while the severed gate above holds; counted (and trip the
-    // invariant checker) rather than silently forwarded if it ever breaks.
-    ++severed_traffic_;
-  }
-  Cycles service_cycles = 0;
-  IoResponse response = dev->Handle(request, machine_.clock().now(), service_cycles);
-  hv.AccountWork(service_cycles / 4);  // hv overlaps with device; partial charge
-
-  IoSlot out;
-  out.opcode = response.status;
-  out.tag = response.tag;
-  out.payload = std::move(response.payload);
-
-  // Detector mediation + rights on the inbound (device -> model) path.
-  if (!binding.rights.can_recv || binding.recv_suspended) {
-    out.payload.clear();
-    out.opcode = 0xE157;
-  } else if (detectors_ != nullptr && !out.payload.empty()) {
-    Observation obs;
-    obs.kind = ObservationKind::kPortTraffic;
-    obs.time = machine_.clock().now();
-    obs.port_id = binding.port_id;
-    obs.opcode = out.opcode;
-    obs.outbound = false;
-    obs.data = out.payload;
-    DetectorVerdict v = detectors_->Evaluate(obs);
-    hv.AccountWork(v.cost);
-    if (v.action == VerdictAction::kBlock || v.action == VerdictAction::kEscalate) {
-      ++stats.blocked;
-      out.payload.clear();
-      out.opcode = 0xE158;
-      if (v.action == VerdictAction::kEscalate && escalate_) {
-        ++stats.escalations;
-        escalate_(IsolationLevel::kSevered, v.reason);
-      }
-    } else if (v.action == VerdictAction::kRewrite && v.rewritten_data.has_value()) {
-      ++stats.rewritten;
-      out.payload = *v.rewritten_data;
-    }
-  }
-  binding.bytes_in += out.payload.size();
 
   // Truncate payloads that cannot fit the response slot: the guest sees the
   // truncation flag in the opcode field.
   if (out.payload.size() + kSlotHeaderBytes > binding.region.slot_bytes) {
     out.payload.resize(binding.region.slot_bytes - kSlotHeaderBytes);
   }
-  if (resp_ring.Push(out).ok()) {
+  if (machine_.io_dram().ResponseRing(binding.region).Push(out).ok()) {
     ++stats.responses;
     TraceIo(hv_core_id, binding, /*outbound=*/false, out);
     if (config_.raise_completion_irqs) {
@@ -334,6 +282,243 @@ void SoftwareHypervisor::HandleRequest(int hv_core_id, PortBinding& binding,
   }
 }
 
+void SoftwareHypervisor::HandleRequest(int hv_core_id, PortBinding& binding,
+                                       const IoSlot& slot, ServiceStats& stats) {
+  HypervisorCore& hv = machine_.hv_core(hv_core_id);
+  if (!ValidateRequest(hv_core_id, binding, slot, stats)) {
+    return;
+  }
+
+  IoRequest request;
+  request.opcode = slot.opcode;
+  request.tag = slot.tag;
+  request.payload = slot.payload;
+
+  // Detector mediation: outbound traffic.
+  if (detectors_ != nullptr) {
+    DetectorVerdict v = detectors_->Evaluate(
+        MakeTrafficObservation(binding, slot.opcode, /*outbound=*/true, slot.payload));
+    hv.AccountWork(v.cost);
+    if (v.action == VerdictAction::kEscalate) {
+      ++stats.escalations;
+      if (escalate_) {
+        escalate_(IsolationLevel::kSevered, v.reason);
+      }
+      RejectRequest(hv_core_id, binding, slot, 0xE154,
+                    "detector escalation: " + v.reason, stats);
+      return;
+    }
+    if (v.action == VerdictAction::kBlock) {
+      RejectRequest(hv_core_id, binding, slot, 0xE155, "detector block: " + v.reason,
+                    stats);
+      return;
+    }
+    if (v.action == VerdictAction::kRewrite && v.rewritten_data.has_value()) {
+      ++stats.rewritten;
+      request.payload = *v.rewritten_data;
+    }
+  }
+  binding.bytes_out += request.payload.size();
+
+  Device* dev = machine_.device(binding.device_index);
+  if (dev == nullptr) {
+    RejectRequest(hv_core_id, binding, slot, 0xE156, "device vanished", stats);
+    return;
+  }
+  if (isolation_ >= IsolationLevel::kSevered) {
+    // Unreachable while the severed gate above holds; counted (and trip the
+    // invariant checker) rather than silently forwarded if it ever breaks.
+    ++severed_traffic_;
+  }
+  Cycles service_cycles = 0;
+  IoResponse response = dev->Handle(request, machine_.clock().now(), service_cycles);
+  hv.AccountWork(service_cycles / 4);  // hv overlaps with device; partial charge
+
+  IoSlot out;
+  out.opcode = response.status;
+  out.tag = response.tag;
+  out.payload = std::move(response.payload);
+
+  // Detector mediation + rights on the inbound (device -> model) path.
+  if (!binding.rights.can_recv || binding.recv_suspended) {
+    out.payload.clear();
+    out.opcode = 0xE157;
+  } else if (detectors_ != nullptr && !out.payload.empty()) {
+    DetectorVerdict v = detectors_->Evaluate(
+        MakeTrafficObservation(binding, out.opcode, /*outbound=*/false, out.payload));
+    hv.AccountWork(v.cost);
+    if (v.action == VerdictAction::kBlock || v.action == VerdictAction::kEscalate) {
+      ++stats.blocked;
+      out.payload.clear();
+      out.opcode = 0xE158;
+      if (v.action == VerdictAction::kEscalate && escalate_) {
+        ++stats.escalations;
+        escalate_(IsolationLevel::kSevered, v.reason);
+      }
+    } else if (v.action == VerdictAction::kRewrite && v.rewritten_data.has_value()) {
+      ++stats.rewritten;
+      out.payload = *v.rewritten_data;
+    }
+  }
+  FinalizeResponse(hv_core_id, binding, std::move(out), stats);
+}
+
+// The batched pipeline: the same stations as HandleRequest, but every
+// validated request of the pass crosses each station together. Outbound
+// observations are evaluated in one EvaluateBatch whose aggregate cost is
+// charged once; survivors dispatch to their devices; inbound observations
+// batch the same way; then every response delivers. Verdict application is
+// identical per request — the block/rewrite/escalate arms mirror the serial
+// code path by construction.
+void SoftwareHypervisor::RunBatchedPipeline(int hv_core_id,
+                                            std::vector<PendingRequest>& pending,
+                                            ServiceStats& stats) {
+  if (pending.empty()) {
+    return;
+  }
+  HypervisorCore& hv = machine_.hv_core(hv_core_id);
+
+  std::vector<Observation> outbound;
+  outbound.reserve(pending.size());
+  for (const PendingRequest& p : pending) {
+    outbound.push_back(MakeTrafficObservation(*p.binding, p.slot.opcode,
+                                              /*outbound=*/true, p.slot.payload));
+  }
+  VerdictPlan plan = detectors_->EvaluateBatch(outbound);
+  hv.AccountWork(plan.total_cost);  // aggregate cost, charged once per batch
+  ++stats.detector_batches;
+  stats.detector_batch_obs += outbound.size();
+
+  std::vector<PendingResponse> responses;
+  responses.reserve(pending.size());
+  std::vector<Observation> inbound;
+  for (size_t i = 0; i < pending.size(); ++i) {
+    PortBinding& binding = *pending[i].binding;
+    const IoSlot& slot = pending[i].slot;
+    DetectorVerdict& v = plan.verdicts[i];
+    if (v.action == VerdictAction::kEscalate) {
+      ++stats.escalations;
+      if (escalate_) {
+        escalate_(IsolationLevel::kSevered, v.reason);
+      }
+      RejectRequest(hv_core_id, binding, slot, 0xE154,
+                    "detector escalation: " + v.reason, stats);
+      continue;
+    }
+    if (v.action == VerdictAction::kBlock) {
+      RejectRequest(hv_core_id, binding, slot, 0xE155, "detector block: " + v.reason,
+                    stats);
+      continue;
+    }
+    // An escalation earlier in this batch may have severed the ports after
+    // this request was validated; re-check before touching the device so
+    // the severed gate holds mid-batch exactly as it holds mid-pass.
+    if (isolation_ >= IsolationLevel::kSevered) {
+      RejectRequest(hv_core_id, binding, slot, 0xE150,
+                    "isolation level severs all ports", stats);
+      continue;
+    }
+    // Re-check the byte quota against accounting that earlier batch members
+    // have advanced since validation: the pop-time check saw the pass-start
+    // quota_used(), so without this gate a single batch could overshoot the
+    // quota (and trip the quota-corruption assertion) where the serial path
+    // rejects request-by-request.
+    if (binding.rights.byte_quota != 0 &&
+        binding.quota_used() + slot.payload.size() > binding.rights.byte_quota) {
+      RejectRequest(hv_core_id, binding, slot, 0xE153, "byte quota exhausted", stats);
+      continue;
+    }
+    IoRequest request;
+    request.opcode = slot.opcode;
+    request.tag = slot.tag;
+    request.payload = slot.payload;
+    if (v.action == VerdictAction::kRewrite && v.rewritten_data.has_value()) {
+      ++stats.rewritten;
+      request.payload = *v.rewritten_data;
+    }
+    binding.bytes_out += request.payload.size();
+
+    Device* dev = machine_.device(binding.device_index);
+    if (dev == nullptr) {
+      RejectRequest(hv_core_id, binding, slot, 0xE156, "device vanished", stats);
+      continue;
+    }
+    Cycles service_cycles = 0;
+    IoResponse response = dev->Handle(request, machine_.clock().now(), service_cycles);
+    hv.AccountWork(service_cycles / 4);
+
+    PendingResponse pr;
+    pr.binding = &binding;
+    pr.out.opcode = response.status;
+    pr.out.tag = response.tag;
+    pr.out.payload = std::move(response.payload);
+    if (!binding.rights.can_recv || binding.recv_suspended) {
+      pr.out.payload.clear();
+      pr.out.opcode = 0xE157;
+    } else if (!pr.out.payload.empty()) {
+      pr.obs_index = inbound.size();
+      pr.mediated = true;
+      inbound.push_back(MakeTrafficObservation(binding, pr.out.opcode,
+                                               /*outbound=*/false, pr.out.payload));
+    }
+    // Account bytes_in now, not at delivery: later batch members' quota
+    // re-checks must see this response's bytes the way they would under
+    // the serial request-by-request interleaving. Corrected at delivery if
+    // inbound mediation changes the payload.
+    pr.accounted_bytes = pr.out.payload.size();
+    binding.bytes_in += pr.accounted_bytes;
+    responses.push_back(std::move(pr));
+  }
+
+  VerdictPlan inbound_plan;
+  if (!inbound.empty()) {
+    inbound_plan = detectors_->EvaluateBatch(inbound);
+    hv.AccountWork(inbound_plan.total_cost);
+    ++stats.detector_batches;
+    stats.detector_batch_obs += inbound.size();
+  }
+  for (PendingResponse& pr : responses) {
+    // Fail closed once severed: whether an outbound verdict escalated in
+    // the dispatch loop or an inbound verdict escalated earlier in THIS
+    // loop, undelivered responses are refused — a port.response must never
+    // trail an hv.isolation>=Severed event (the severed-ports-dark
+    // invariant). Serial mode would have delivered responses that preceded
+    // an outbound escalation; batched mode trades that delivery for the
+    // stronger containment guarantee (documented on HvConfig).
+    if (isolation_ >= IsolationLevel::kSevered) {
+      pr.binding->bytes_in -= pr.accounted_bytes;  // nothing reaches the model
+      IoSlot slot;
+      slot.tag = pr.out.tag;
+      RejectRequest(hv_core_id, *pr.binding, slot, 0xE150,
+                    "isolation level severs all ports", stats);
+      continue;
+    }
+    if (pr.mediated) {
+      DetectorVerdict& v = inbound_plan.verdicts[pr.obs_index];
+      if (v.action == VerdictAction::kBlock || v.action == VerdictAction::kEscalate) {
+        ++stats.blocked;
+        pr.out.payload.clear();
+        pr.out.opcode = 0xE158;
+        if (v.action == VerdictAction::kEscalate && escalate_) {
+          ++stats.escalations;
+          escalate_(IsolationLevel::kSevered, v.reason);
+        }
+      } else if (v.action == VerdictAction::kRewrite && v.rewritten_data.has_value()) {
+        ++stats.rewritten;
+        pr.out.payload = *v.rewritten_data;
+      }
+      // Mediation changed what the model actually receives; correct the
+      // provisional accounting to the delivered size.
+      if (pr.out.payload.size() != pr.accounted_bytes) {
+        pr.binding->bytes_in -= pr.accounted_bytes;
+        pr.binding->bytes_in += pr.out.payload.size();
+      }
+    }
+    FinalizeResponse(hv_core_id, *pr.binding, std::move(pr.out), stats,
+                     /*account_bytes_in=*/false);
+  }
+}
+
 bool SoftwareHypervisor::SliceExhausted(int hv_core_id, u64 busy_start) const {
   if (config_.service_slice_cycles == 0) {
     return false;
@@ -343,12 +528,21 @@ bool SoftwareHypervisor::SliceExhausted(int hv_core_id, u64 busy_start) const {
 }
 
 void SoftwareHypervisor::ServicePort(int hv_core_id, PortBinding& binding,
-                                     ServiceStats& stats, u64 busy_start) {
+                                     ServiceStats& stats, u64 busy_start,
+                                     std::vector<PendingRequest>* pending) {
   RingView req_ring = machine_.io_dram().RequestRing(binding.region);
   while (!SliceExhausted(hv_core_id, busy_start)) {
     auto slot = req_ring.Pop();
     if (!slot.has_value()) {
       return;  // ring drained
+    }
+    if (pending != nullptr) {
+      // Batched-detector pass: validate + trace now, park the survivor for
+      // the pipeline's per-pass EvaluateBatch.
+      if (ValidateRequest(hv_core_id, binding, *slot, stats)) {
+        pending->push_back({&binding, std::move(*slot)});
+      }
+      continue;
     }
     HandleRequest(hv_core_id, binding, *slot, stats);
   }
@@ -401,6 +595,10 @@ ServiceStats SoftwareHypervisor::ServiceOnce(int hv_core_id, bool poll_all) {
     to_service.insert(to_service.end(), all.begin(), all.end());
   }
   pending_completions_.assign(static_cast<size_t>(machine_.num_model_cores()), 0);
+  // With batching on, popped requests park here until the pass-wide
+  // EvaluateBatch; without detectors there is nothing to batch.
+  const bool batched = detectors_ != nullptr && config_.batch_detector_observations;
+  std::vector<PendingRequest> pending;
   // Dedup while preserving arrival order. Port ids are dense from zero
   // (PortTable::Create), so a flat seen-bitmap does it in O(n) — the old
   // pairwise scan was quadratic in the IRQ burst size.
@@ -435,7 +633,10 @@ ServiceStats SoftwareHypervisor::ServiceOnce(int hv_core_id, bool poll_all) {
       }
       continue;
     }
-    ServicePort(hv_core_id, *binding, stats, busy_start);
+    ServicePort(hv_core_id, *binding, stats, busy_start, batched ? &pending : nullptr);
+  }
+  if (batched) {
+    RunBatchedPipeline(hv_core_id, pending, stats);
   }
   if (config_.raise_completion_irqs && config_.batch_completion_irqs) {
     FlushCompletionBatches(hv_core_id, stats);
@@ -673,6 +874,7 @@ void SoftwareHypervisor::MeasurePlatform(MeasurementRegister& reg) const {
   cfg << "log_hashes=" << config_.log_payload_hashes
       << ";completion_irqs=" << config_.raise_completion_irqs
       << ";batch_irqs=" << config_.batch_completion_irqs
+      << ";batch_detect=" << config_.batch_detector_observations
       << ";slice=" << config_.service_slice_cycles
       << ";base_cost=" << config_.request_base_cost;
   reg.Extend("hv_config", cfg.str());

@@ -37,6 +37,28 @@ struct HvConfig {
   // pass and raise one IRQ per owning model core per pass (batch depth is
   // counted in ServiceStats) instead of one IRQ per response.
   bool batch_completion_irqs = true;
+  // Batch detector observations per service pass: instead of one
+  // DetectorSuite::Evaluate per port request (outbound) and response
+  // (inbound), a pass collects the port-traffic observations of every
+  // request its core services, submits one EvaluateBatch per direction, and
+  // applies the VerdictPlan with the same block/rewrite/escalate semantics
+  // — charging the plan's aggregate cost once, the detector-side mirror of
+  // batch_completion_irqs. Verdicts are bit-identical to the serial path.
+  // Documented mode differences (all bounded by one pass's batch):
+  //   * service_slice_cycles bounds request intake (the pop loop); the
+  //     pipeline then completes detector + device work for everything
+  //     admitted, so a pass may overrun the slice by the admitted batch's
+  //     mediation cost. Leftover ring content still re-arms the IRQ.
+  //   * Per-port response rings carry rejects ahead of successful
+  //     responses within a pass (guests correlate by tag, not position).
+  //   * Escalation severs FAIL CLOSED over the whole batch: once any
+  //     verdict (outbound or inbound) raises isolation to >= Severed, every
+  //     undelivered response of the pass is refused 0xE150 — including
+  //     responses whose device dispatch preceded the escalation, which the
+  //     serial path would have delivered. Devices already dispatched for
+  //     the batch ran either way; no response ever trails the severed
+  //     transition onto a model core.
+  bool batch_detector_observations = false;
   // Busy-cycle budget one hv core may spend per ServiceOnce pass. 0 means
   // unlimited — the pre-async behavior of draining every ring to empty.
   // With a budget, leftover requests stay queued in their rings and the
@@ -73,6 +95,8 @@ struct ServiceStats {
   u64 batch_depth_max = 0;    // deepest single completion batch
   u64 forwarded_irqs = 0;     // doorbells re-steered to the owning hv core
   u64 handoffs_in = 0;        // ports received via ownership handoff
+  u64 detector_batches = 0;   // EvaluateBatch submissions (per direction)
+  u64 detector_batch_obs = 0; // observations carried by those batches
 
   // Folds one pass into a lifetime accumulator (sums counters, maxes the
   // batch depth high-water mark).
@@ -205,14 +229,54 @@ class SoftwareHypervisor {
     bool responded = false;
   };
 
+  // One request popped during a batched pass that survived validation and
+  // waits for its outbound verdict (then device dispatch + inbound verdict).
+  struct PendingRequest {
+    PortBinding* binding = nullptr;
+    IoSlot slot;
+  };
+  // One device response awaiting (possible) inbound mediation + delivery.
+  struct PendingResponse {
+    PortBinding* binding = nullptr;
+    IoSlot out;
+    size_t obs_index = 0;   // into the inbound observation batch
+    bool mediated = false;  // false: deliver as-is (no detectors apply)
+    // bytes_in provisionally accounted at dispatch time (so later batch
+    // members' quota re-checks see it, as they would serially); corrected
+    // at delivery if mediation changes the payload or delivery is refused.
+    size_t accounted_bytes = 0;
+  };
+
   // Drains `binding`'s request ring until empty or the slice budget runs
   // out; a non-empty leftover ring re-arms the core's own IRQ so the work
-  // is revisited next pass even without a poll sweep.
+  // is revisited next pass even without a poll sweep. In batched-detector
+  // mode the popped requests are validated and parked on `pending` instead
+  // of being handled inline.
   void ServicePort(int hv_core_id, PortBinding& binding, ServiceStats& stats,
-                   u64 busy_start);
+                   u64 busy_start, std::vector<PendingRequest>* pending);
   bool SliceExhausted(int hv_core_id, u64 busy_start) const;
   void HandleRequest(int hv_core_id, PortBinding& binding, const IoSlot& slot,
                      ServiceStats& stats);
+  // Shared pieces of the request path (identical semantics in the serial
+  // and batched pipelines):
+  void RejectRequest(int hv_core_id, PortBinding& binding, const IoSlot& slot,
+                     u32 code, std::string_view why, ServiceStats& stats);
+  // Intake counters + trace + rights/isolation/quota gate. Returns false
+  // (after pushing the error response) when the request was rejected.
+  bool ValidateRequest(int hv_core_id, PortBinding& binding, const IoSlot& slot,
+                       ServiceStats& stats);
+  Observation MakeTrafficObservation(const PortBinding& binding, u32 opcode,
+                                     bool outbound, const Bytes& payload) const;
+  // bytes_in accounting (skipped when the batched pipeline accounted it at
+  // dispatch time), slot truncation, response push + trace +
+  // completion-IRQ accounting (or drop).
+  void FinalizeResponse(int hv_core_id, PortBinding& binding, IoSlot out,
+                        ServiceStats& stats, bool account_bytes_in = true);
+  // The batched service pipeline: outbound EvaluateBatch over `pending`,
+  // verdict application, device dispatch, inbound EvaluateBatch over the
+  // responses, delivery. Aggregate plan costs are charged once per batch.
+  void RunBatchedPipeline(int hv_core_id, std::vector<PendingRequest>& pending,
+                          ServiceStats& stats);
   void FlushCompletionBatches(int hv_core_id, ServiceStats& stats);
   void EmitSystemObservation(int hv_core_id);
   void TraceIo(int hv_core_id, const PortBinding& binding, bool outbound,

@@ -1,5 +1,6 @@
 #include "src/hv/service_scheduler.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace guillotine {
@@ -55,7 +56,21 @@ void ServiceScheduler::MaybeRebalance() {
       }
     }
     if (busiest == idlest || max_backlog - min_backlog < config_.backlog_gap_threshold) {
+      if (done == 0) {
+        gap_streak_ = 0;  // the gap closed on its own; disarm the trigger
+      }
       return;
+    }
+    // Hysteresis: the gap must persist for handoff_hysteresis_passes
+    // consecutive passes before the first handoff of a pass fires. A fresh
+    // handoff resets the streak, so a single hot port whose backlog travels
+    // with it must re-earn the move instead of ping-ponging every pass.
+    if (done == 0) {
+      ++gap_streak_;
+      if (gap_streak_ < std::max<u32>(1, config_.handoff_hysteresis_passes)) {
+        return;
+      }
+      gap_streak_ = 0;
     }
     // Move the deepest port of the overloaded core (ties -> lowest id).
     u32 victim = 0;
@@ -94,7 +109,8 @@ std::string ServiceScheduler::StatsDigest() const {
         << " esc=" << s.escalations << " dropped=" << s.dropped_responses
         << " irqs=" << s.completion_irqs << " batches=" << s.irq_batches
         << " depth_max=" << s.batch_depth_max << " fwd=" << s.forwarded_irqs
-        << " handoffs_in=" << s.handoffs_in << "\n";
+        << " handoffs_in=" << s.handoffs_in << " det_batches=" << s.detector_batches
+        << " det_obs=" << s.detector_batch_obs << "\n";
   }
   out << "scheduler passes=" << passes_ << " handoffs=" << handoffs_
       << " mis_owned=" << hv_.mis_owned_services() << "\n";

@@ -32,6 +32,12 @@ struct ServiceSchedulerConfig {
   // At most this many handoffs per pass (one is enough to converge and
   // keeps the audit trail readable under pathological floods).
   u32 max_handoffs_per_pass = 1;
+  // The backlog gap must persist for this many consecutive passes before a
+  // port moves. 1 reproduces the historical hair-trigger behavior; higher
+  // values damp the ping-pong a single overloaded port causes (the port's
+  // backlog follows it to the new core, re-creating the gap there, and
+  // without hysteresis it bounces back every pass).
+  u32 handoff_hysteresis_passes = 1;
 };
 
 class ServiceScheduler {
@@ -44,6 +50,9 @@ class ServiceScheduler {
 
   u64 passes() const { return passes_; }
   u64 handoffs() const { return handoffs_; }
+  // Consecutive passes the backlog gap has exceeded the threshold (resets
+  // on a quiet pass or a handoff); exposed for the hysteresis tests.
+  u32 gap_streak() const { return gap_streak_; }
   const ServiceSchedulerConfig& config() const { return config_; }
 
   // Sum of the request-ring depths of the ports `hv_core_id` currently
@@ -62,6 +71,7 @@ class ServiceScheduler {
   ServiceSchedulerConfig config_;
   u64 passes_ = 0;
   u64 handoffs_ = 0;
+  u32 gap_streak_ = 0;
 };
 
 }  // namespace guillotine

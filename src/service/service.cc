@@ -37,7 +37,10 @@ std::string ServiceReport::Digest() const {
         << " stolen_in=" << s.stolen_in << " stolen_out=" << s.stolen_out
         << " qhw=" << s.queue_high_water << " kv_hits=" << s.kv_hits
         << " kv_misses=" << s.kv_misses << " kv_evictions=" << s.kv_evictions
-        << " kv_hit_rate=" << Fixed(s.kv_hit_rate) << " ";
+        << " kv_hit_rate=" << Fixed(s.kv_hit_rate)
+        << " det_batches=" << s.det_batches << " det_obs=" << s.det_obs
+        << " det_blocked=" << s.det_blocked << " det_rewritten=" << s.det_rewritten
+        << " det_cyc_per_obs=" << Fixed(s.det_cyc_per_obs) << " ";
     AppendPercentiles(out, s.latency);
     out << "\n";
   }
@@ -117,16 +120,20 @@ struct ModelService::Event {
   }
 };
 
-void ModelService::Execute(const InferenceRequest& request, ServiceShard& exec_shard,
-                           size_t replica_index, Cycles now, size_t owner_shard,
-                           RequestOutcome& outcome,
-                           std::vector<Event>& event_heap, u64& event_seq) {
+void ModelService::RunOnReplica(const InferenceRequest& request,
+                                ServiceShard& exec_shard, size_t replica_index,
+                                Cycles now, size_t owner_shard,
+                                RequestOutcome& outcome,
+                                std::vector<Event>& event_heap, u64& event_seq,
+                                const std::string* prompt_override) {
   const Cycles start = std::max(now, request.arrival);
+  const std::string& prompt =
+      prompt_override != nullptr ? *prompt_override : request.prompt;
 
   // KV prefix reuse: cached tokens skip their share of prefill. The toy
   // token count is one token per 4 prompt bytes. Session-less requests
   // carry no reusable prefix and bypass the cache entirely.
-  const size_t tokens = request.prompt.size() / 4 + 1;
+  const size_t tokens = prompt.size() / 4 + 1;
   size_t reused = 0;
   if (request.has_session()) {
     reused = exec_shard.kv_cache().Extend(request.session_id, tokens, start);
@@ -136,7 +143,7 @@ void ModelService::Execute(const InferenceRequest& request, ServiceShard& exec_s
 
   Cycles service_cycles = 0;
   const Result<std::string> result =
-      exec_shard.replica(replica_index)->Infer(request.prompt, service_cycles);
+      exec_shard.replica(replica_index)->Infer(prompt, service_cycles);
   // Prefill is ~60% of service time; reuse shaves that fraction.
   service_cycles -= static_cast<Cycles>(0.6 * reuse_frac *
                                         static_cast<double>(service_cycles));
@@ -152,17 +159,141 @@ void ModelService::Execute(const InferenceRequest& request, ServiceShard& exec_s
   outcome.done = done;
   outcome.completion = result.ok() ? *result : result.status().ToString();
 
-  ShardStats& stats = exec_shard.stats();
-  if (result.ok()) {
-    ++stats.completed;
-    stats.latency.Add(static_cast<double>(done - request.arrival));
-  } else {
-    ++stats.failed;
-  }
-
   event_heap.push_back(
       Event{done, event_seq++, Event::kReplicaFree, exec_shard.index(), replica_index});
   std::push_heap(event_heap.begin(), event_heap.end());
+}
+
+void ModelService::AccountOutcome(ServiceShard& exec_shard,
+                                  const InferenceRequest& request,
+                                  const RequestOutcome& outcome) {
+  ShardStats& stats = exec_shard.stats();
+  if (outcome.ok) {
+    ++stats.completed;
+    stats.latency.Add(static_cast<double>(outcome.done - request.arrival));
+  } else {
+    ++stats.failed;
+  }
+}
+
+void ModelService::Execute(const InferenceRequest& request, ServiceShard& exec_shard,
+                           size_t replica_index, Cycles now, size_t owner_shard,
+                           RequestOutcome& outcome,
+                           std::vector<Event>& event_heap, u64& event_seq) {
+  RunOnReplica(request, exec_shard, replica_index, now, owner_shard, outcome,
+               event_heap, event_seq, /*prompt_override=*/nullptr);
+  AccountOutcome(exec_shard, request, outcome);
+}
+
+void ModelService::ExecuteMediated(std::vector<MediatedItem> group,
+                                   ServiceShard& exec_shard, Cycles now,
+                                   const std::vector<size_t>& owners,
+                                   std::vector<RequestOutcome>& outcomes,
+                                   const InferenceRequest* requests_base,
+                                   std::vector<Event>& event_heap, u64& event_seq) {
+  if (group.empty()) {
+    return;
+  }
+  ShardStats& stats = exec_shard.stats();
+  auto index_of = [&](const InferenceRequest* r) {
+    return static_cast<size_t>(r - requests_base);
+  };
+
+  // Input-shield pass: one batch over every request dispatched this step.
+  std::vector<Observation> inputs(group.size());
+  for (size_t i = 0; i < group.size(); ++i) {
+    inputs[i].kind = ObservationKind::kModelInput;
+    inputs[i].time = now;
+    inputs[i].data = ToBytes(group[i].request->prompt);
+  }
+  VerdictPlan input_plan = config_.detectors->EvaluateBatch(inputs);
+  ++stats.det_batches;
+  stats.det_obs += inputs.size();
+  stats.det_cost += input_plan.total_cost;
+
+  struct Survivor {
+    size_t group_index = 0;
+    std::string prompt;       // populated only when the input pass rewrote it
+    bool rewritten = false;
+  };
+  std::vector<Survivor> survivors;
+  survivors.reserve(group.size());
+  for (size_t i = 0; i < group.size(); ++i) {
+    const DetectorVerdict& v = input_plan.verdicts[i];
+    const size_t req_index = index_of(group[i].request);
+    RequestOutcome& outcome = outcomes[req_index];
+    if (v.action == VerdictAction::kBlock || v.action == VerdictAction::kEscalate) {
+      // Blocked before touching a replica: release the booked replica and
+      // fail the request in place.
+      exec_shard.set_busy_until(group[i].replica_index, group[i].prior_busy_until);
+      outcome.owner_shard = owners[req_index];
+      outcome.ran_shard = exec_shard.index();
+      outcome.stolen = exec_shard.index() != owners[req_index];
+      outcome.ok = false;
+      outcome.start = std::max(now, group[i].request->arrival);
+      outcome.done = outcome.start;
+      outcome.completion = "input blocked: " + v.reason;
+      ++stats.failed;
+      ++stats.det_blocked;
+      continue;
+    }
+    Survivor s;
+    s.group_index = i;
+    if (v.action == VerdictAction::kRewrite && v.rewritten_data.has_value()) {
+      s.prompt = ToString(*v.rewritten_data);
+      s.rewritten = true;
+      ++stats.det_rewritten;
+    }
+    survivors.push_back(std::move(s));
+  }
+
+  for (const Survivor& s : survivors) {
+    const MediatedItem& item = group[s.group_index];
+    const size_t req_index = index_of(item.request);
+    RunOnReplica(*item.request, exec_shard, item.replica_index, now,
+                 owners[req_index], outcomes[req_index], event_heap, event_seq,
+                 s.rewritten ? &s.prompt : nullptr);
+  }
+
+  // Output pass: one batch over the step's successful completions.
+  std::vector<size_t> output_group;  // survivor indices with ok completions
+  std::vector<Observation> outputs;
+  for (size_t i = 0; i < survivors.size(); ++i) {
+    const size_t req_index = index_of(group[survivors[i].group_index].request);
+    if (outcomes[req_index].ok) {
+      Observation obs;
+      obs.kind = ObservationKind::kModelOutput;
+      obs.time = now;
+      obs.data = ToBytes(outcomes[req_index].completion);
+      outputs.push_back(std::move(obs));
+      output_group.push_back(i);
+    }
+  }
+  if (!outputs.empty()) {
+    VerdictPlan output_plan = config_.detectors->EvaluateBatch(outputs);
+    ++stats.det_batches;
+    stats.det_obs += outputs.size();
+    stats.det_cost += output_plan.total_cost;
+    for (size_t o = 0; o < output_group.size(); ++o) {
+      const DetectorVerdict& v = output_plan.verdicts[o];
+      const size_t req_index =
+          index_of(group[survivors[output_group[o]].group_index].request);
+      RequestOutcome& outcome = outcomes[req_index];
+      if (v.action == VerdictAction::kBlock || v.action == VerdictAction::kEscalate) {
+        outcome.ok = false;
+        outcome.completion = "output blocked: " + v.reason;
+        ++stats.det_blocked;
+      } else if (v.action == VerdictAction::kRewrite && v.rewritten_data.has_value()) {
+        outcome.completion = ToString(*v.rewritten_data);
+        ++stats.det_rewritten;
+      }
+    }
+  }
+
+  for (const Survivor& s : survivors) {
+    const MediatedItem& item = group[s.group_index];
+    AccountOutcome(exec_shard, *item.request, outcomes[index_of(item.request)]);
+  }
 }
 
 ServiceReport ModelService::RunAll(std::vector<InferenceRequest> requests) {
@@ -243,13 +374,40 @@ ServiceReport ModelService::RunAll(std::vector<InferenceRequest> requests) {
   std::make_heap(events.begin(), events.end());
 
   auto dispatch = [&](ServiceShard& s, Cycles now) {
-    while (!s.queue_empty()) {
-      const auto idle = s.IdleReplica(now);
-      if (!idle.has_value()) {
-        return;
+    if (config_.detectors == nullptr) {
+      while (!s.queue_empty()) {
+        const auto idle = s.IdleReplica(now);
+        if (!idle.has_value()) {
+          return;
+        }
+        const InferenceRequest* r = s.PopFront();
+        Execute(*r, s, *idle, now, owner_of(r), outcome_of(r), events, seq);
       }
-      const InferenceRequest* r = s.PopFront();
-      Execute(*r, s, *idle, now, owner_of(r), outcome_of(r), events, seq);
+      return;
+    }
+    // Mediated: gather the step's dispatch group (every queued request an
+    // idle replica can take right now, replicas booked in selection order),
+    // then run it through one batched input pass / output pass. A blocked
+    // request releases its replica, which the next group re-offers.
+    while (!s.queue_empty() && s.IdleReplica(now).has_value()) {
+      std::vector<MediatedItem> group;
+      while (!s.queue_empty()) {
+        const auto idle = s.IdleReplica(now);
+        if (!idle.has_value()) {
+          break;
+        }
+        MediatedItem item;
+        item.request = s.PopFront();
+        item.replica_index = *idle;
+        item.prior_busy_until = s.busy_until(*idle);
+        // Tentative booking so the next pick skips this replica; the real
+        // completion horizon (or the restored prior value) lands in
+        // ExecuteMediated.
+        s.set_busy_until(*idle, now + 1);
+        group.push_back(std::move(item));
+      }
+      ExecuteMediated(std::move(group), s, now, owner, report.outcomes,
+                      requests.data(), events, seq);
     }
   };
 
@@ -281,7 +439,18 @@ ServiceReport ModelService::RunAll(std::vector<InferenceRequest> requests) {
       }
       ++thief.stats().stolen_in;
       ++shards_[v]->stats().stolen_out;
-      Execute(*r, thief, replica_index, now, owner_of(r), outcome_of(r), events, seq);
+      if (config_.detectors != nullptr) {
+        // Stolen work is mediated like any dispatch, as a group of one.
+        MediatedItem item;
+        item.request = r;
+        item.replica_index = replica_index;
+        item.prior_busy_until = thief.busy_until(replica_index);
+        thief.set_busy_until(replica_index, now + 1);
+        ExecuteMediated({std::move(item)}, thief, now, owner, report.outcomes,
+                        requests.data(), events, seq);
+      } else {
+        Execute(*r, thief, replica_index, now, owner_of(r), outcome_of(r), events, seq);
+      }
       return;
     }
   };
@@ -306,6 +475,37 @@ ServiceReport ModelService::RunAll(std::vector<InferenceRequest> requests) {
     const Event e = events.back();
     events.pop_back();
     if (e.kind == Event::kArrival) {
+      if (config_.detectors != nullptr) {
+        // Mediated mode coalesces every arrival of this instant into one
+        // event-loop step, so the input-shield pass batches over the whole
+        // step's dispatch group instead of degenerating to singletons.
+        // (Arrival events carry the lowest sequence numbers, so consecutive
+        // heap tops at this timestamp are exactly this instant's arrivals.)
+        std::vector<size_t> touched;
+        const InferenceRequest* first = &requests[e.index];
+        shards_[owner_of(first)]->Enqueue(first);
+        touched.push_back(owner_of(first));
+        while (!events.empty() && events.front().kind == Event::kArrival &&
+               events.front().time == e.time) {
+          std::pop_heap(events.begin(), events.end());
+          const Event next = events.back();
+          events.pop_back();
+          const InferenceRequest* r = &requests[next.index];
+          shards_[owner_of(r)]->Enqueue(r);
+          touched.push_back(owner_of(r));
+        }
+        std::sort(touched.begin(), touched.end());
+        touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+        for (const size_t idx : touched) {
+          ServiceShard& s = *shards_[idx];
+          dispatch(s, e.time);
+          if (!s.queue_empty() &&
+              s.Backlog(e.time) > config_.steal_backlog_threshold) {
+            offer_steals(e.time);
+          }
+        }
+        continue;
+      }
       const InferenceRequest* r = &requests[e.index];
       ServiceShard& s = *shards_[owner_of(r)];
       s.Enqueue(r);
@@ -339,6 +539,10 @@ ServiceReport ModelService::RunAll(std::vector<InferenceRequest> requests) {
     const u64 total = stats.kv_hits + stats.kv_misses;
     stats.kv_hit_rate =
         total == 0 ? 0.0 : static_cast<double>(stats.kv_hits) / static_cast<double>(total);
+    stats.det_cyc_per_obs = stats.det_obs == 0
+                                ? 0.0
+                                : static_cast<double>(stats.det_cost) /
+                                      static_cast<double>(stats.det_obs);
     kv_hits += stats.kv_hits;
     kv_misses += stats.kv_misses;
     report.completed += stats.completed;

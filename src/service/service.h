@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/common/histogram.h"
+#include "src/detect/detector.h"
 #include "src/service/shard.h"
 
 namespace guillotine {
@@ -30,6 +31,15 @@ struct ModelServiceConfig {
   bool work_stealing = true;        // session-less rebalancing between shards
   size_t steal_backlog_threshold = 4;  // victim backlog that justifies a steal
   size_t virtual_nodes = 16;        // consistent-hash points per shard
+  // Optional service-level mediation suite (non-owning; content detectors —
+  // input shield / output sanitizer — are the ones that see these
+  // observation kinds). When set, every event-loop dispatch group runs one
+  // batched input-shield pass before touching replicas and one batched
+  // output pass over its completions; blocked requests fail without
+  // consuming replica time, rewrites land in the prompt/completion.
+  // Null (the default) leaves the scheduler byte-identical to the
+  // pre-mediation service.
+  DetectorSuite* detectors = nullptr;
 };
 
 // Per-request audit record: where the request was routed, where it actually
@@ -104,6 +114,29 @@ class ModelService {
                size_t replica_index, Cycles now, size_t owner_shard,
                RequestOutcome& outcome,
                std::vector<Event>& event_heap, u64& event_seq);
+  // Execute, split for the batched detector passes: RunOnReplica performs
+  // the KV/replica/event work (with an optionally rewritten prompt) and
+  // AccountOutcome folds the result into the shard stats — deferred in
+  // batched mode until the output pass has settled ok/failed.
+  void RunOnReplica(const InferenceRequest& request, ServiceShard& exec_shard,
+                    size_t replica_index, Cycles now, size_t owner_shard,
+                    RequestOutcome& outcome, std::vector<Event>& event_heap,
+                    u64& event_seq, const std::string* prompt_override);
+  static void AccountOutcome(ServiceShard& exec_shard, const InferenceRequest& request,
+                             const RequestOutcome& outcome);
+  // One mediated dispatch group on `exec_shard`: batched input-shield pass,
+  // replica execution for the survivors, batched output pass, then stats.
+  // `group` pairs queue-popped requests with the replica booked for each.
+  struct MediatedItem {
+    const InferenceRequest* request = nullptr;
+    size_t replica_index = 0;
+    Cycles prior_busy_until = 0;  // restored if the input pass blocks it
+  };
+  void ExecuteMediated(std::vector<MediatedItem> group, ServiceShard& exec_shard,
+                       Cycles now, const std::vector<size_t>& owners,
+                       std::vector<RequestOutcome>& outcomes,
+                       const InferenceRequest* requests_base,
+                       std::vector<Event>& event_heap, u64& event_seq);
 
   ModelServiceConfig config_;
   std::vector<std::unique_ptr<ServiceShard>> shards_;

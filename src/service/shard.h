@@ -63,6 +63,16 @@ struct ShardStats {
   u64 kv_misses = 0;
   u64 kv_evictions = 0;
   double kv_hit_rate = 0.0;
+  // Service-level detector mediation (only populated when the service runs
+  // with a DetectorSuite): the input-shield pass batches over every request
+  // this shard dispatched in one event-loop step, the output pass over the
+  // step's completions.
+  u64 det_batches = 0;        // EvaluateBatch submissions (input + output)
+  u64 det_obs = 0;            // observations across those batches
+  u64 det_blocked = 0;        // requests failed by an input/output verdict
+  u64 det_rewritten = 0;      // prompts/completions rewritten in place
+  u64 det_cost = 0;           // aggregate simulated detector cycles
+  double det_cyc_per_obs = 0.0;  // amortized cost, computed at aggregation
   Histogram latency;  // cycles, completed requests this shard executed
 };
 

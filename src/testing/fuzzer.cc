@@ -85,9 +85,10 @@ std::vector<int> PickVotes(Rng& rng, int num_admins) {
 }
 
 Scenario FromSteps(const std::string& name, const std::vector<ScenarioStep>& steps,
-                   u32 hv_cores) {
+                   u32 hv_cores, bool detector_batching) {
   Scenario scenario(name);
   scenario.WithHvCores(hv_cores);
+  scenario.WithDetectorBatching(detector_batching);
   for (const ScenarioStep& step : steps) {
     scenario.Append(step);
   }
@@ -121,6 +122,14 @@ Scenario ScenarioFuzzer::Generate(u64 seed) const {
   // handoffs are all exercised under the global safety invariants.
   if (rng.NextBool(0.34)) {
     scenario.WithHvCores(rng.NextBool(0.5) ? 2 : 4);
+  }
+
+  // And a third runs the per-pass batched detector pipeline, so amortized
+  // verdict application (block/rewrite/escalate from a VerdictPlan) faces
+  // the same invariants as the serial path. Independent of the core-count
+  // draw: single- and multi-core batched deployments both appear.
+  if (rng.NextBool(0.34)) {
+    scenario.WithDetectorBatching(true);
   }
 
   if (rng.NextBool(0.7)) {
@@ -199,7 +208,8 @@ Scenario ScenarioFuzzer::Shrink(const Scenario& scenario) {
     }
     --budget;
     ScenarioRunner runner(config_.runner);
-    const Scenario s = FromSteps(scenario.name(), candidate, scenario.hv_cores());
+    const Scenario s = FromSteps(scenario.name(), candidate, scenario.hv_cores(),
+                                 scenario.detector_batching());
     const ScenarioResult r = runner.Run(s);
     InvariantContext ctx;
     ctx.scenario = &s;
@@ -260,7 +270,8 @@ Scenario ScenarioFuzzer::Shrink(const Scenario& scenario) {
       }
     }
   }
-  return FromSteps(scenario.name() + "-min", steps, scenario.hv_cores());
+  return FromSteps(scenario.name() + "-min", steps, scenario.hv_cores(),
+                   scenario.detector_batching());
 }
 
 std::string ScenarioFuzzer::ReproScript(

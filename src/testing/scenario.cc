@@ -143,6 +143,11 @@ Scenario& Scenario::WithHvCores(u32 hv_cores) {
   return *this;
 }
 
+Scenario& Scenario::WithDetectorBatching(bool batched) {
+  detector_batching_ = batched;
+  return *this;
+}
+
 // ---------------------------------------------------------------------------
 // Scenario scripts
 // ---------------------------------------------------------------------------
@@ -346,6 +351,9 @@ Result<std::string> SerializeScenarioScript(const Scenario& scenario) {
   if (scenario.hv_cores() != 0) {
     out << " hv_cores=" << scenario.hv_cores();
   }
+  if (scenario.detector_batching()) {
+    out << " detector_batch=1";
+  }
   out << "\n";
   for (const ScenarioStep& step : scenario.steps()) {
     switch (step.kind) {
@@ -463,6 +471,10 @@ Result<Scenario> ParseScenarioScript(std::string_view script) {
         GLL_ASSIGN_OR_RETURN(u64 n, ParseNumber(cores->value, line_no));
         GLL_ASSIGN_OR_RETURN(u32 narrowed, NarrowNumber<u32>(n, line_no));
         scenario.WithHvCores(narrowed);
+      }
+      if (const ScriptToken* batch = find("detector_batch"); batch != nullptr) {
+        GLL_ASSIGN_OR_RETURN(u64 n, ParseNumber(batch->value, line_no));
+        scenario.WithDetectorBatching(n != 0);
       }
       saw_header = true;
     } else if (verb == "host_model") {
@@ -617,6 +629,9 @@ ScenarioResult ScenarioRunner::Run(const Scenario& scenario) {
   DeploymentConfig deployment = config_.deployment;
   if (scenario.hv_cores() > 0) {
     deployment.machine.num_hv_cores = static_cast<int>(scenario.hv_cores());
+  }
+  if (scenario.detector_batching()) {
+    deployment.hv.batch_detector_observations = true;
   }
   system_ = std::make_unique<GuillotineSystem>(deployment);
   exfil_payloads_.clear();

@@ -104,6 +104,13 @@ class Scenario {
   Scenario& WithHvCores(u32 hv_cores);
   u32 hv_cores() const { return hv_cores_; }
 
+  // Runs the deployment with per-pass batched detector observations
+  // (HvConfig::batch_detector_observations). The fuzzer flips this on for a
+  // third of the corpus so the batched pipeline rides every global safety
+  // invariant; serialized on the script header line like hv_cores.
+  Scenario& WithDetectorBatching(bool batched);
+  bool detector_batching() const { return detector_batching_; }
+
   const std::string& name() const { return name_; }
   const std::vector<ScenarioStep>& steps() const { return steps_; }
 
@@ -111,6 +118,7 @@ class Scenario {
   std::string name_;
   std::vector<ScenarioStep> steps_;
   u32 hv_cores_ = 0;
+  bool detector_batching_ = false;
 };
 
 // ---- Scenario scripts ----

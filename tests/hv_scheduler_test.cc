@@ -112,6 +112,71 @@ TEST(ServiceSchedulerTest, RebalanceHandsOffTheBacklogHeavyPort) {
   EXPECT_EQ(driver.hv.mis_owned_services(), 0u);
 }
 
+// Ping-pong regression: a SINGLE overloaded port is the pathological case —
+// its backlog travels with it on every handoff, so the gap re-opens on the
+// receiving core and a hair-trigger scheduler bounces the port between the
+// same two cores every pass. Hysteresis requires the gap to persist for
+// `handoff_hysteresis_passes` consecutive passes, damping the bounce.
+TEST(ServiceSchedulerTest, HysteresisDampsSinglePortPingPong) {
+  const u32 passes = 12;
+  struct RunResult {
+    u64 handoffs = 0;
+    std::vector<PortHandoffRecord> log;
+  };
+  auto run = [&](u32 hysteresis) {
+    ServiceSchedulerConfig config;
+    config.backlog_gap_threshold = 4;
+    config.handoff_hysteresis_passes = hysteresis;
+    // One port, tiny slice: the ring never drains, the gap never closes.
+    Driver driver(2, 1, /*slice=*/1'000, config);
+    driver.OfferAndPump(/*port0_rate=*/24, passes);
+    return RunResult{driver.scheduler.handoffs(), driver.hv.handoff_log()};
+  };
+  const RunResult twitchy = run(1);
+  const RunResult damped = run(3);
+  // Without hysteresis the port bounces nearly every pass; with it, a move
+  // needs three consecutive over-gap passes, so at most a third can fire.
+  EXPECT_GT(twitchy.handoffs, passes / 2);
+  EXPECT_GT(damped.handoffs, 0u);  // still rebalances eventually
+  EXPECT_LE(damped.handoffs, twitchy.handoffs / 2);
+  // Every damped handoff is separated from the previous one by at least the
+  // hysteresis span worth of scheduler time (OfferAndPump advances the
+  // clock 20k per pass).
+  for (size_t i = 1; i < damped.log.size(); ++i) {
+    EXPECT_GE(damped.log[i].at - damped.log[i - 1].at, 3u * 20'000u)
+        << "handoff " << i << " fired before the gap re-earned the move";
+  }
+}
+
+TEST(ServiceSchedulerTest, HysteresisStreakResetsWhenGapCloses) {
+  ServiceSchedulerConfig config;
+  config.backlog_gap_threshold = 4;
+  config.handoff_hysteresis_passes = 3;
+  Driver driver(2, 1, /*slice=*/1'000, config);
+  // Stage backlog on core 0's only port without ringing doorbells: the
+  // IRQ-driven passes service nothing, so the gap stays open and two
+  // passes arm the streak without firing.
+  const PortBinding* binding = driver.hv.FindPort(driver.ports[0]);
+  RingView ring = driver.machine.io_dram().RequestRing(binding->region);
+  for (u64 tag = 1; tag <= 10; ++tag) {
+    IoSlot slot;
+    slot.opcode = static_cast<u32>(StorageOpcode::kInfo);
+    slot.tag = tag;
+    ASSERT_TRUE(ring.Push(slot).ok());
+  }
+  driver.scheduler.RunPass(/*poll_all=*/false);
+  driver.scheduler.RunPass(/*poll_all=*/false);
+  EXPECT_EQ(driver.scheduler.handoffs(), 0u);
+  EXPECT_EQ(driver.scheduler.gap_streak(), 2u);
+  // The gap closes on its own (the guest cancels its requests): the streak
+  // disarms instead of carrying over to the next overload.
+  while (ring.Pop().has_value()) {
+  }
+  driver.scheduler.RunPass(/*poll_all=*/false);
+  EXPECT_EQ(driver.scheduler.gap_streak(), 0u);
+  EXPECT_EQ(driver.scheduler.handoffs(), 0u);
+}
+
 TEST(ServiceSchedulerTest, RebalanceCanBeDisabled) {
   ServiceSchedulerConfig config;
   config.rebalance = false;

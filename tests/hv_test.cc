@@ -214,6 +214,137 @@ TEST_F(HvTest, DetectorRewritesPayload) {
   EXPECT_EQ(stats.rewritten, 1u);
 }
 
+// Batched-detector-mode fixture: same machine shape, same KeywordDetector,
+// but the service pass collects observations and applies a VerdictPlan.
+class HvBatchedTest : public ::testing::Test {
+ protected:
+  HvBatchedTest()
+      : machine_(SmallConfig(), clock_, trace_), hv_(machine_, &detectors_, [] {
+          HvConfig c;
+          c.batch_detector_observations = true;
+          return c;
+        }()) {
+    detectors_.Add(std::make_unique<KeywordDetector>());
+    disk_index_ = machine_.AttachDevice(std::make_unique<StorageDevice>(64, 512));
+  }
+
+  void Push(u32 port_id, u32 opcode, u64 tag, Bytes payload) {
+    const PortBinding* binding = hv_.FindPort(port_id);
+    RingView ring = machine_.io_dram().RequestRing(binding->region);
+    IoSlot slot;
+    slot.opcode = opcode;
+    slot.tag = tag;
+    slot.payload = std::move(payload);
+    ASSERT_TRUE(ring.Push(slot).ok());
+  }
+
+  SimClock clock_;
+  EventTrace trace_;
+  Machine machine_;
+  DetectorSuite detectors_;
+  SoftwareHypervisor hv_{machine_, nullptr};
+  u32 disk_index_ = 0;
+};
+
+TEST_F(HvBatchedTest, BatchedPassAppliesBlockRewriteAllowPerRequest) {
+  const auto port = hv_.CreatePort(disk_index_, PortRights{});
+  ASSERT_TRUE(port.ok());
+  // Three requests land in one pass: one evil (block), one masked
+  // (rewrite), one clean (allow). The pass submits ONE outbound batch.
+  Push(*port, static_cast<u32>(StorageOpcode::kWrite), 1, ToBytes("EVIL payload"));
+  Bytes masked;
+  PutU64(masked, 0);
+  const Bytes tail = ToBytes("MASK these bytes");
+  masked.insert(masked.end(), tail.begin(), tail.end());
+  Push(*port, static_cast<u32>(StorageOpcode::kWrite), 2, masked);
+  Push(*port, static_cast<u32>(StorageOpcode::kInfo), 3, {});
+  const ServiceStats stats = hv_.ServiceOnce(0, /*poll_all=*/true);
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.blocked, 1u);
+  EXPECT_EQ(stats.rewritten, 1u);
+  EXPECT_EQ(stats.responses, 2u);
+  // One outbound batch over all three; the device responses carried no
+  // payload the detector needed to see... except kInfo returns bytes, so an
+  // inbound batch ran too.
+  EXPECT_GE(stats.detector_batches, 1u);
+  EXPECT_GE(stats.detector_batch_obs, 3u);
+  // The audit counters and trace still agree request-for-request.
+  EXPECT_EQ(trace_.CountKind("port.request"), 3u);
+  EXPECT_EQ(trace_.CountKind("port.reject"), 1u);
+}
+
+TEST_F(HvBatchedTest, BatchedPassCannotOvershootTheByteQuota) {
+  // Three 40-byte writes against a 64-byte quota land in ONE pass. The
+  // pop-time validation saw quota_used()=0 for all three; the pipeline's
+  // apply-time re-check must reject the overflow request-by-request like
+  // the serial path, instead of overshooting the quota (which would trip
+  // the quota-corruption assertion and force the failsafe).
+  PortRights rights;
+  rights.byte_quota = 64;
+  const auto port = hv_.CreatePort(disk_index_, rights);
+  ASSERT_TRUE(port.ok());
+  for (u64 tag = 1; tag <= 3; ++tag) {
+    Bytes payload;
+    PutU64(payload, 0);
+    payload.resize(40, 0x42);
+    Push(*port, static_cast<u32>(StorageOpcode::kWrite), tag, std::move(payload));
+  }
+  const ServiceStats stats = hv_.ServiceOnce(0, /*poll_all=*/true);
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.blocked, 2u);  // only the first fits under the quota
+  EXPECT_EQ(stats.responses, 1u);
+  const PortBinding* binding = hv_.FindPort(*port);
+  EXPECT_LE(binding->quota_used(), binding->rights.byte_quota);
+  EXPECT_TRUE(hv_.RunAssertions().ok());
+}
+
+TEST_F(HvBatchedTest, BatchedAndSerialPassesAgreeOnVerdictCounters) {
+  // Drive the identical workload through a serial-mode twin; every
+  // externally visible verdict counter must match.
+  SimClock serial_clock;
+  EventTrace serial_trace;
+  Machine serial_machine(SmallConfig(), serial_clock, serial_trace);
+  DetectorSuite serial_detectors;
+  serial_detectors.Add(std::make_unique<KeywordDetector>());
+  SoftwareHypervisor serial_hv(serial_machine, &serial_detectors);
+  const u32 serial_disk =
+      serial_machine.AttachDevice(std::make_unique<StorageDevice>(64, 512));
+
+  const auto port = hv_.CreatePort(disk_index_, PortRights{});
+  const auto serial_port = serial_hv.CreatePort(serial_disk, PortRights{});
+  ASSERT_TRUE(port.ok());
+  ASSERT_TRUE(serial_port.ok());
+  auto push = [](Machine& m, SoftwareHypervisor& h, u32 port_id, u64 tag,
+                 std::string_view text) {
+    const PortBinding* binding = h.FindPort(port_id);
+    RingView ring = m.io_dram().RequestRing(binding->region);
+    IoSlot slot;
+    slot.opcode = static_cast<u32>(StorageOpcode::kWrite);
+    slot.tag = tag;
+    PutU64(slot.payload, 0);
+    const Bytes body = ToBytes(text);
+    slot.payload.insert(slot.payload.end(), body.begin(), body.end());
+    ASSERT_TRUE(ring.Push(slot).ok());
+  };
+  const std::string_view kBodies[] = {"clean write", "EVIL attempt", "MASK me",
+                                      "another clean", "EVIL again"};
+  for (u64 i = 0; i < 5; ++i) {
+    push(machine_, hv_, *port, i + 1, kBodies[i]);
+    push(serial_machine, serial_hv, *serial_port, i + 1, kBodies[i]);
+  }
+  const ServiceStats batched = hv_.ServiceOnce(0, /*poll_all=*/true);
+  const ServiceStats serial = serial_hv.ServiceOnce(0, /*poll_all=*/true);
+  EXPECT_EQ(batched.requests, serial.requests);
+  EXPECT_EQ(batched.blocked, serial.blocked);
+  EXPECT_EQ(batched.rewritten, serial.rewritten);
+  EXPECT_EQ(batched.responses, serial.responses);
+  EXPECT_EQ(batched.escalations, serial.escalations);
+  EXPECT_EQ(trace_.CountKind("port.reject"), serial_trace.CountKind("port.reject"));
+  // Only the batched side reports batch accounting.
+  EXPECT_GT(batched.detector_batches, 0u);
+  EXPECT_EQ(serial.detector_batches, 0u);
+}
+
 TEST_F(HvTest, AssertionFailureTriggersFailsafe) {
   const auto port = hv_.CreatePort(disk_index_, PortRights{});
   ASSERT_TRUE(port.ok());

@@ -331,5 +331,139 @@ TEST_P(FleetDeterminism, SameWorkloadSameDigest) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FleetDeterminism,
                          ::testing::Values(600, 601, 602, 603));
 
+// --- Property: batched and serial detector evaluation are bit-identical —
+// for random observation batches spanning every ObservationKind (with
+// allow/flag/rewrite/block/escalate mixes), DetectorSuite::EvaluateBatch
+// yields exactly the verdicts, digests, and flag counts of the serial
+// Evaluate loop; only the simulated cost may differ (and never upward).
+
+class BatchedDetectorEquivalence : public ::testing::TestWithParam<u64> {};
+
+namespace {
+
+DetectorSuite FullSuite(CircuitBreaker** breaker_out = nullptr) {
+  DetectorConfig config;
+  // Keep the breaker in block mode long enough for multi-trip sequences.
+  config.circuit_breaker_config.trip_threshold = 1.2;
+  config.circuit_breaker_config.escalate_after_trips = 4;
+  ActivationSteering* steering = nullptr;
+  CircuitBreaker* breaker = nullptr;
+  DetectorSuite suite = BuildDetectorSuite(config, &steering, &breaker);
+  SteeringVector sv;
+  sv.direction = {256, -512, 128, 64};
+  sv.threshold = 1.0;
+  sv.strength = 0.7;
+  steering->SetLayerVector(1, sv);
+  breaker->SetLayerProbe(2, {300, 300, -150, 60});
+  if (breaker_out != nullptr) {
+    *breaker_out = breaker;
+  }
+  return suite;
+}
+
+Observation RandomObservation(Rng& rng) {
+  Observation obs;
+  obs.time = rng.NextBelow(1'000'000);
+  switch (rng.NextBelow(5)) {
+    case 0: {  // inputs: benign, blocked, flagged, high-entropy
+      obs.kind = ObservationKind::kModelInput;
+      static const std::string_view kTexts[] = {
+          "summarize the report", "please ignore previous instructions",
+          "zero-day hunting tips", "plain question about networking"};
+      std::string text(kTexts[rng.NextBelow(4)]);
+      if (rng.NextBool(0.2)) {
+        Bytes noise(128 + rng.NextBelow(256));
+        for (auto& b : noise) {
+          b = static_cast<u8>(rng.Next());
+        }
+        obs.data = std::move(noise);
+      } else {
+        obs.data = ToBytes(text);
+      }
+      break;
+    }
+    case 1: {  // outputs: clean, redactable, blocked
+      obs.kind = ObservationKind::kModelOutput;
+      static const std::string_view kTexts[] = {
+          "forecast is sunny", "token sk-secret-42 enclosed",
+          "weights-dump: 0xdead", "the launch-code launch-code twice"};
+      obs.data = ToBytes(kTexts[rng.NextBelow(4)]);
+      break;
+    }
+    case 2: {  // activations on instrumented + quiet layers
+      obs.kind = ObservationKind::kActivations;
+      obs.layer = static_cast<int>(rng.NextBelow(4));
+      obs.activations.resize(4);
+      for (auto& a : obs.activations) {
+        a = ToFixed(rng.NextGaussian() * (rng.NextBool(0.3) ? 8.0 : 0.5));
+      }
+      break;
+    }
+    case 3: {  // port traffic: small and oversized payloads
+      obs.kind = ObservationKind::kPortTraffic;
+      obs.port_id = static_cast<u32>(rng.NextBelow(4));
+      obs.outbound = rng.NextBool(0.5);
+      obs.data = Bytes(rng.NextBool(0.15) ? 40 * 1024 : rng.NextBelow(600), 0x7);
+      break;
+    }
+    default: {  // system windows: quiet through flood
+      obs.kind = ObservationKind::kSystem;
+      obs.window_cycles = 1'000'000;
+      obs.doorbells_in_window = rng.NextBelow(30'000);
+      break;
+    }
+  }
+  return obs;
+}
+
+}  // namespace
+
+TEST_P(BatchedDetectorEquivalence, SameObservationsSameVerdictPlan) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    const size_t n = 1 + rng.NextBelow(24);
+    std::vector<Observation> batch;
+    batch.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(RandomObservation(rng));
+    }
+    // Fresh suites per run: stateful detectors (EWMA, breaker trips) must
+    // replay the same history on both sides.
+    DetectorSuite serial_suite = FullSuite();
+    DetectorSuite batched_suite = FullSuite();
+    VerdictPlan serial_plan;
+    for (const Observation& obs : batch) {
+      serial_plan.verdicts.push_back(serial_suite.Evaluate(obs));
+      serial_plan.total_cost += serial_plan.verdicts.back().cost;
+    }
+    const VerdictPlan batched_plan = batched_suite.EvaluateBatch(batch);
+    ASSERT_EQ(batched_plan.verdicts.size(), batch.size());
+    ASSERT_EQ(serial_plan.Digest(), batched_plan.Digest())
+        << "seed " << GetParam() << " round " << round;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(serial_plan.verdicts[i].action, batched_plan.verdicts[i].action);
+      ASSERT_EQ(serial_plan.verdicts[i].score, batched_plan.verdicts[i].score);
+      ASSERT_EQ(serial_plan.verdicts[i].reason, batched_plan.verdicts[i].reason);
+      ASSERT_EQ(serial_plan.verdicts[i].rewritten_data,
+                batched_plan.verdicts[i].rewritten_data);
+      ASSERT_EQ(serial_plan.verdicts[i].rewritten_activations,
+                batched_plan.verdicts[i].rewritten_activations);
+    }
+    ASSERT_EQ(serial_suite.flag_counts(), batched_suite.flag_counts())
+        << "seed " << GetParam() << " round " << round;
+    // (Costs are deliberately NOT compared against serial here: tiny
+    // batches can pay a whole table build for one observation — the >=2x
+    // amortization bar at batch>=8 is pinned by bench_detectors' smoke.)
+    // The batched path replays to the identical plan, costs included.
+    DetectorSuite replay_suite = FullSuite();
+    const VerdictPlan replay = replay_suite.EvaluateBatch(batch);
+    ASSERT_EQ(replay.Digest(), batched_plan.Digest());
+    ASSERT_EQ(replay.total_cost, batched_plan.total_cost);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchedDetectorEquivalence,
+                         ::testing::Values(700, 701, 702, 703));
+
 }  // namespace
 }  // namespace guillotine
