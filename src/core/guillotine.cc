@@ -1,6 +1,7 @@
 #include "src/core/guillotine.h"
 
 #include "src/machine/accelerator.h"
+#include "src/machine/control_channel.h"
 #include "src/machine/nic.h"
 #include "src/machine/storage.h"
 #include "src/model/tokenizer.h"
@@ -80,6 +81,32 @@ Status GuillotineSystem::AttachDefaultDevices(RagStore* rag_store) {
   GLL_ASSIGN_OR_RETURN(u32 rag_port,
                        hv_.CreatePort(rag_index, PortRights{}, 0, 1024, 16));
   rag_port_ = rag_port;
+
+  // Containment path: three kill-class control channels, created after the
+  // bulk devices so the bulk port ids (0-3) and their round-robin hv-core
+  // ownership stay stable. The escalation channel feeds the console's
+  // restrict-only path — the same 3-of-7 vote detector escalations take.
+  const u32 console_index =
+      machine_.AttachDevice(std::make_unique<ControlChannelDevice>("console-channel"));
+  const u32 heartbeat_index = machine_.AttachDevice(
+      std::make_unique<ControlChannelDevice>("heartbeat-channel"));
+  const u32 escalation_index = machine_.AttachDevice(
+      std::make_unique<ControlChannelDevice>(
+          "hv-escalation", [this](IsolationLevel level, std::string reason) {
+            console_.EscalateFromHypervisor(level, std::move(reason)).ok();
+          }));
+  GLL_ASSIGN_OR_RETURN(u32 console_port,
+                       hv_.CreatePort(console_index, PortRights{}, 0, 256, 16,
+                                      PriorityClass::kKill));
+  console_port_ = console_port;
+  GLL_ASSIGN_OR_RETURN(u32 heartbeat_port,
+                       hv_.CreatePort(heartbeat_index, PortRights{}, 0, 64, 16,
+                                      PriorityClass::kKill));
+  heartbeat_port_ = heartbeat_port;
+  GLL_ASSIGN_OR_RETURN(u32 escalation_port,
+                       hv_.CreatePort(escalation_index, PortRights{}, 0, 256, 16,
+                                      PriorityClass::kKill));
+  escalation_port_ = escalation_port;
   return OkStatus();
 }
 

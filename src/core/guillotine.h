@@ -118,12 +118,18 @@ class GuillotineSystem {
 
   // ---- Devices ----
   // Attaches NIC + storage + accelerator + RAG store and opens one port per
-  // device. Returns OK when all ports were created.
+  // device, then the three kill-class control channels (console liveness,
+  // heartbeat keepalive, hv-escalation) on PriorityClass::kKill ports.
+  // Returns OK when all ports were created.
   Status AttachDefaultDevices(RagStore* rag_store = nullptr);
   std::optional<u32> nic_port() const { return nic_port_; }
   std::optional<u32> storage_port() const { return storage_port_; }
   std::optional<u32> accel_port() const { return accel_port_; }
   std::optional<u32> rag_port() const { return rag_port_; }
+  // Kill-class containment-path ports.
+  std::optional<u32> console_port() const { return console_port_; }
+  std::optional<u32> heartbeat_port() const { return heartbeat_port_; }
+  std::optional<u32> escalation_port() const { return escalation_port_; }
 
   // ---- Attestation ----
   // Builds a verifier that trusts the platform's current golden measurement
@@ -181,6 +187,9 @@ class GuillotineSystem {
   std::optional<u32> storage_port_;
   std::optional<u32> accel_port_;
   std::optional<u32> rag_port_;
+  std::optional<u32> console_port_;
+  std::optional<u32> heartbeat_port_;
+  std::optional<u32> escalation_port_;
   std::unique_ptr<RagStore> default_rag_;
 };
 

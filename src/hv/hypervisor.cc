@@ -22,7 +22,22 @@ void ServiceStats::Accumulate(const ServiceStats& pass) {
   handoffs_in += pass.handoffs_in;
   detector_batches += pass.detector_batches;
   detector_batch_obs += pass.detector_batch_obs;
+  kill_requests += pass.kill_requests;
+  bulk_requests += pass.bulk_requests;
+  kill_serviced += pass.kill_serviced;
+  bulk_serviced += pass.bulk_serviced;
+  kill_deferred += pass.kill_deferred;
+  bulk_deferred += pass.bulk_deferred;
 }
+
+namespace {
+// Guarded counter decrement: accounting corrections must never wrap a u64
+// when an intervening policy (probation clamps, an operator accounting
+// reset) shrank the counter below what was provisionally added.
+void SubtractClamped(u64& counter, u64 amount) {
+  counter -= std::min(counter, amount);
+}
+}  // namespace
 
 SoftwareHypervisor::SoftwareHypervisor(Machine& machine, DetectorSuite* detectors,
                                        HvConfig config)
@@ -42,7 +57,7 @@ const ServiceStats& SoftwareHypervisor::core_lifetime_stats(int hv_core_id) cons
 
 Result<u32> SoftwareHypervisor::CreatePort(u32 device_index, PortRights rights,
                                            int owner_core, u32 slot_bytes,
-                                           u32 slot_count) {
+                                           u32 slot_count, PriorityClass priority) {
   Device* dev = machine_.device(device_index);
   if (dev == nullptr) {
     return NotFound("no device at index " + std::to_string(device_index));
@@ -52,17 +67,24 @@ Result<u32> SoftwareHypervisor::CreatePort(u32 device_index, PortRights rights,
   }
   GLL_ASSIGN_OR_RETURN(u32 port_id,
                        ports_.Create(machine_.io_dram(), device_index, dev->type(),
-                                     rights, owner_core, slot_bytes, slot_count));
+                                     rights, owner_core, slot_bytes, slot_count,
+                                     priority));
   // Servicing ownership is dealt round-robin across the hv complex; the
   // doorbell affinity map steers the LAPIC path to the same core.
   const int owner_hv = static_cast<int>(port_id) % machine_.num_hv_cores();
   ports_.Find(port_id)->owner_hv_core = owner_hv;
   machine_.SetPortAffinity(port_id, owner_hv);
+  if (priority == PriorityClass::kKill) {
+    // A doorbell flood that drains the LAPIC token bucket must not be able
+    // to coalesce the containment path's own doorbell away.
+    machine_.SetPortThrottleExempt(port_id, true);
+  }
   machine_.trace().Record(machine_.clock().now(), TraceCategory::kPortIo, "hv",
                           "port.create",
                           "port=" + std::to_string(port_id) + " device=" +
                               std::string(DeviceTypeName(dev->type())) +
-                              " owner_hv=" + std::to_string(owner_hv),
+                              " owner_hv=" + std::to_string(owner_hv) +
+                              " class=" + std::string(PriorityClassName(priority)),
                           static_cast<i64>(port_id));
   return port_id;
 }
@@ -107,6 +129,20 @@ Status SoftwareHypervisor::RevokePort(u32 port_id) {
   GLL_RETURN_IF_ERROR(ports_.Revoke(port_id));
   machine_.trace().Record(machine_.clock().now(), TraceCategory::kPortIo, "hv",
                           "port.revoke", "port=" + std::to_string(port_id));
+  return OkStatus();
+}
+
+Status SoftwareHypervisor::ResetPortAccounting(u32 port_id) {
+  PortBinding* binding = ports_.Find(port_id);
+  if (binding == nullptr) {
+    return NotFound("no such port");
+  }
+  binding->bytes_out = 0;
+  binding->bytes_in = 0;
+  binding->requests = 0;
+  binding->rejected = 0;
+  machine_.trace().Record(machine_.clock().now(), TraceCategory::kPortIo, "hv",
+                          "port.accounting_reset", "port=" + std::to_string(port_id));
   return OkStatus();
 }
 
@@ -195,6 +231,11 @@ bool SoftwareHypervisor::ValidateRequest(int hv_core_id, PortBinding& binding,
                                          const IoSlot& slot, ServiceStats& stats) {
   ++stats.requests;
   ++binding.requests;
+  if (binding.priority == PriorityClass::kKill) {
+    ++stats.kill_requests;
+  } else {
+    ++stats.bulk_requests;
+  }
   if (binding.owner_hv_core != hv_core_id) {
     // Unreachable while ServiceOnce's ownership gate holds; counted (and
     // tripping the port-owner invariant) rather than silently tolerated.
@@ -250,6 +291,18 @@ Observation SoftwareHypervisor::MakeTrafficObservation(const PortBinding& bindin
 void SoftwareHypervisor::FinalizeResponse(int hv_core_id, PortBinding& binding,
                                           IoSlot out, ServiceStats& stats,
                                           bool account_bytes_in) {
+  // Fail closed when a device callback (e.g. a control channel's escalate)
+  // raised isolation to >= Severed mid-request: no response may trail an
+  // hv.isolation>=Severed event onto a model core (the severed-ports-dark
+  // invariant). The serial path needs this gate just as the batched
+  // pipeline's delivery loop does.
+  if (isolation_ >= IsolationLevel::kSevered) {
+    IoSlot refused;
+    refused.tag = out.tag;
+    RejectRequest(hv_core_id, binding, refused, 0xE150,
+                  "isolation level severs all ports", stats);
+    return;
+  }
   if (account_bytes_in) {
     binding.bytes_in += out.payload.size();
   }
@@ -261,6 +314,11 @@ void SoftwareHypervisor::FinalizeResponse(int hv_core_id, PortBinding& binding,
   }
   if (machine_.io_dram().ResponseRing(binding.region).Push(out).ok()) {
     ++stats.responses;
+    if (binding.priority == PriorityClass::kKill) {
+      ++stats.kill_serviced;
+    } else {
+      ++stats.bulk_serviced;
+    }
     TraceIo(hv_core_id, binding, /*outbound=*/false, out);
     if (config_.raise_completion_irqs) {
       if (config_.batch_completion_irqs &&
@@ -486,7 +544,11 @@ void SoftwareHypervisor::RunBatchedPipeline(int hv_core_id,
     // an outbound escalation; batched mode trades that delivery for the
     // stronger containment guarantee (documented on HvConfig).
     if (isolation_ >= IsolationLevel::kSevered) {
-      pr.binding->bytes_in -= pr.accounted_bytes;  // nothing reaches the model
+      // Nothing reaches the model; back out the provisional accounting.
+      // Clamped: a mid-batch escalation's policy may have reset or clamped
+      // the counter below what dispatch added, and the correction must not
+      // wrap it to ~0ULL.
+      SubtractClamped(pr.binding->bytes_in, pr.accounted_bytes);
       IoSlot slot;
       slot.tag = pr.out.tag;
       RejectRequest(hv_core_id, *pr.binding, slot, 0xE150,
@@ -508,9 +570,10 @@ void SoftwareHypervisor::RunBatchedPipeline(int hv_core_id,
         pr.out.payload = *v.rewritten_data;
       }
       // Mediation changed what the model actually receives; correct the
-      // provisional accounting to the delivered size.
+      // provisional accounting to the delivered size (clamped for the same
+      // reason as the severed arm above).
       if (pr.out.payload.size() != pr.accounted_bytes) {
-        pr.binding->bytes_in -= pr.accounted_bytes;
+        SubtractClamped(pr.binding->bytes_in, pr.accounted_bytes);
         pr.binding->bytes_in += pr.out.payload.size();
       }
     }
@@ -529,9 +592,10 @@ bool SoftwareHypervisor::SliceExhausted(int hv_core_id, u64 busy_start) const {
 
 void SoftwareHypervisor::ServicePort(int hv_core_id, PortBinding& binding,
                                      ServiceStats& stats, u64 busy_start,
-                                     std::vector<PendingRequest>* pending) {
+                                     std::vector<PendingRequest>* pending,
+                                     bool bypass_slice) {
   RingView req_ring = machine_.io_dram().RequestRing(binding.region);
-  while (!SliceExhausted(hv_core_id, busy_start)) {
+  while (bypass_slice || !SliceExhausted(hv_core_id, busy_start)) {
     auto slot = req_ring.Pop();
     if (!slot.has_value()) {
       return;  // ring drained
@@ -551,6 +615,11 @@ void SoftwareHypervisor::ServicePort(int hv_core_id, PortBinding& binding,
   // pass. Poll passes re-arm too — the IRQ is consumed-and-merged next
   // pass either way, so nothing strands in mixed poll/IRQ regimes.
   if (!req_ring.empty()) {
+    if (binding.priority == PriorityClass::kKill) {
+      ++stats.kill_deferred;  // unreachable with bypass_slice; invariant-proved
+    } else {
+      ++stats.bulk_deferred;
+    }
     machine_.hv_core(hv_core_id).InjectIrq(binding.port_id);
   }
 }
@@ -601,11 +670,21 @@ ServiceStats SoftwareHypervisor::ServiceOnce(int hv_core_id, bool poll_all) {
   std::vector<PendingRequest> pending;
   // Dedup while preserving arrival order. Port ids are dense from zero
   // (PortTable::Create), so a flat seen-bitmap does it in O(n) — the old
-  // pairwise scan was quadratic in the IRQ burst size.
+  // pairwise scan was quadratic in the IRQ burst size. Classification
+  // happens here; servicing below runs every kill-class port before any
+  // bulk port, regardless of arrival order.
   std::vector<u8> seen(ports_.size(), 0);
+  std::vector<PortBinding*> kill_ports;
+  std::vector<PortBinding*> bulk_ports;
   for (size_t i = 0; i < to_service.size(); ++i) {
     const u32 port_id = to_service[i];
     const bool from_irq = i < irq_count;
+    // Bounds gate BEFORE the bitmap: a forwarded/stale IRQ can carry an id
+    // at or past the table size this pass sized `seen` for, and indexing
+    // with it is UB even when Find would return null right after.
+    if (port_id >= seen.size()) {
+      continue;
+    }
     PortBinding* binding = ports_.Find(port_id);
     if (binding == nullptr) {
       continue;  // stale IRQ for a port that never existed
@@ -625,11 +704,34 @@ ServiceStats SoftwareHypervisor::ServiceOnce(int hv_core_id, bool poll_all) {
       }
       continue;
     }
+    if (binding->priority == PriorityClass::kKill) {
+      kill_ports.push_back(binding);
+    } else {
+      bulk_ports.push_back(binding);
+    }
+  }
+  // Kill-class first, and past the slice: a containment doorbell is
+  // serviced even when the pass budget is gone (its cost still lands in
+  // busy_cycles), so no flood can add a pass of latency to the kill path.
+  for (PortBinding* binding : kill_ports) {
+    if (SliceExhausted(hv_core_id, busy_start)) {
+      machine_.trace().Record(machine_.clock().now(), TraceCategory::kPortIo, "hv",
+                              "port.priority",
+                              "port=" + std::to_string(binding->port_id) +
+                                  " kill-class slice bypass hv=" +
+                                  std::to_string(hv_core_id),
+                              static_cast<i64>(binding->port_id));
+    }
+    ServicePort(hv_core_id, *binding, stats, busy_start,
+                batched ? &pending : nullptr, /*bypass_slice=*/true);
+  }
+  for (PortBinding* binding : bulk_ports) {
     if (SliceExhausted(hv_core_id, busy_start)) {
       // Out of budget before even touching this port; keep its doorbell
       // armed for whatever is still queued so later passes revisit it.
       if (!machine_.io_dram().RequestRing(binding->region).empty()) {
-        hv.InjectIrq(port_id);
+        ++stats.bulk_deferred;
+        hv.InjectIrq(binding->port_id);
       }
       continue;
     }

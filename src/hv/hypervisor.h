@@ -97,6 +97,17 @@ struct ServiceStats {
   u64 handoffs_in = 0;        // ports received via ownership handoff
   u64 detector_batches = 0;   // EvaluateBatch submissions (per direction)
   u64 detector_batch_obs = 0; // observations carried by those batches
+  // Per-priority-class accounting. Requests split by the class of the port
+  // they arrived on; serviced counts successfully delivered responses;
+  // deferred counts ports whose ring work was pushed to a later pass by the
+  // slice budget. kill_deferred is zero by construction (kill-class rings
+  // bypass the slice) — the kill-path-not-starved invariant proves it.
+  u64 kill_requests = 0;
+  u64 bulk_requests = 0;
+  u64 kill_serviced = 0;
+  u64 bulk_serviced = 0;
+  u64 kill_deferred = 0;
+  u64 bulk_deferred = 0;
 
   // Folds one pass into a lifetime accumulator (sums counters, maxes the
   // batch depth high-water mark).
@@ -126,10 +137,19 @@ class SoftwareHypervisor {
   const HvConfig& config() const { return config_; }
 
   // ---- Ports ----
+  // `priority` kKill marks a containment-path port: serviced before any
+  // bulk work within a pass, slice-bypass, LAPIC-throttle-exempt doorbells,
+  // and never moved by the rebalancer.
   Result<u32> CreatePort(u32 device_index, PortRights rights, int owner_core = 0,
-                         u32 slot_bytes = 256, u32 slot_count = 16);
+                         u32 slot_bytes = 256, u32 slot_count = 16,
+                         PriorityClass priority = PriorityClass::kBulk);
   Status RevokePort(u32 port_id);
   Status SuspendPort(u32 port_id, bool suspend_send, bool suspend_recv);
+  // Audit-epoch reset: zeroes a port's byte/request counters (operator
+  // tooling rebaselining between audit windows, or a containment routine
+  // wiping accounting at escalation time). In-flight batched corrections
+  // are clamped against it, never wrapped (see RunBatchedPipeline).
+  Status ResetPortAccounting(u32 port_id);
   const PortBinding* FindPort(u32 port_id) const { return ports_.Find(port_id); }
   Result<PortGuestInfo> PortInfo(u32 port_id) const;
   const PortTable& ports() const { return ports_; }
@@ -251,9 +271,12 @@ class SoftwareHypervisor {
   // out; a non-empty leftover ring re-arms the core's own IRQ so the work
   // is revisited next pass even without a poll sweep. In batched-detector
   // mode the popped requests are validated and parked on `pending` instead
-  // of being handled inline.
+  // of being handled inline. `bypass_slice` (kill-class ports) drains the
+  // ring to empty regardless of the budget — the cycles are still accounted,
+  // the deferral just never happens.
   void ServicePort(int hv_core_id, PortBinding& binding, ServiceStats& stats,
-                   u64 busy_start, std::vector<PendingRequest>* pending);
+                   u64 busy_start, std::vector<PendingRequest>* pending,
+                   bool bypass_slice = false);
   bool SliceExhausted(int hv_core_id, u64 busy_start) const;
   void HandleRequest(int hv_core_id, PortBinding& binding, const IoSlot& slot,
                      ServiceStats& stats);

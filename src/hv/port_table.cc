@@ -4,9 +4,19 @@
 
 namespace guillotine {
 
+std::string_view PriorityClassName(PriorityClass c) {
+  switch (c) {
+    case PriorityClass::kBulk:
+      return "bulk";
+    case PriorityClass::kKill:
+      return "kill";
+  }
+  return "unknown";
+}
+
 Result<u32> PortTable::Create(IoDram& io_dram, u32 device_index, DeviceType type,
                               PortRights rights, int owner_core, u32 slot_bytes,
-                              u32 slot_count) {
+                              u32 slot_count, PriorityClass priority) {
   const u32 port_id = next_port_id_;
   GLL_ASSIGN_OR_RETURN(PortRegion region,
                        io_dram.AllocatePortRegion(port_id, slot_bytes, slot_count));
@@ -16,6 +26,7 @@ Result<u32> PortTable::Create(IoDram& io_dram, u32 device_index, DeviceType type
   binding.device_index = device_index;
   binding.device_type = type;
   binding.owner_core = owner_core;
+  binding.priority = priority;
   binding.rights = rights;
   binding.region = region;
   bindings_[port_id] = binding;

@@ -8,6 +8,7 @@
 
 #include <map>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "src/common/status.h"
@@ -38,6 +39,19 @@ struct PortRights {
   }
 };
 
+// Servicing priority of a port. The kill path (control console, heartbeat,
+// hv-escalation doorbells) must win *while the system is being flooded* —
+// KILLBENCH's external-kill-switch feasibility condition — so kill-class
+// rings are serviced before any bulk work within a pass, kill-class
+// doorbells bypass both the LAPIC token bucket and service_slice_cycles
+// deferral, and the rebalancer never hands a kill port to a backlogged core.
+enum class PriorityClass : u8 {
+  kBulk = 0,  // inference / NIC / storage traffic
+  kKill = 1,  // containment-path traffic with guaranteed service
+};
+
+std::string_view PriorityClassName(PriorityClass c);
+
 struct PortBinding {
   u32 port_id = 0;
   u32 device_index = 0;
@@ -47,6 +61,9 @@ struct PortBinding {
   // only this core drains the rings. Assigned round-robin at CreatePort and
   // moved by explicit ownership handoffs (SoftwareHypervisor::HandoffPort).
   int owner_hv_core = 0;
+  // Servicing priority; assigned at CreatePort and preserved across
+  // ownership handoffs (the class belongs to the port, not the core).
+  PriorityClass priority = PriorityClass::kBulk;
   PortRights rights;
   PortRegion region;
 
@@ -84,7 +101,8 @@ class PortTable {
   // from zero (they index the doorbell page).
   Result<u32> Create(IoDram& io_dram, u32 device_index, DeviceType type,
                      PortRights rights, int owner_core, u32 slot_bytes,
-                     u32 slot_count);
+                     u32 slot_count,
+                     PriorityClass priority = PriorityClass::kBulk);
 
   PortBinding* Find(u32 port_id);
   const PortBinding* Find(u32 port_id) const;

@@ -14,7 +14,11 @@ u64 ServiceScheduler::CoreBacklog(int hv_core_id) const {
   u64 backlog = 0;
   for (u32 port_id : hv_.ports().PortIds()) {
     const PortBinding* binding = hv_.ports().Find(port_id);
-    if (binding->owner_hv_core != hv_core_id) {
+    if (binding->owner_hv_core != hv_core_id || binding->revoked) {
+      // Revoked ports are skipped by victim selection too; counting their
+      // (never-again-serviced) backlog here made a core whose queues were
+      // all revoked look busiest, arm the hysteresis streak, then yield no
+      // victim.
       continue;
     }
     backlog += machine.io_dram().RequestRing(binding->region).size();
@@ -62,23 +66,29 @@ void ServiceScheduler::MaybeRebalance() {
       return;
     }
     // Hysteresis: the gap must persist for handoff_hysteresis_passes
-    // consecutive passes before the first handoff of a pass fires. A fresh
-    // handoff resets the streak, so a single hot port whose backlog travels
-    // with it must re-earn the move instead of ping-ponging every pass.
+    // consecutive passes before the first handoff of a pass fires. The
+    // streak is only consumed when a handoff actually fires (below), so a
+    // persistent gap with a momentarily empty victim set keeps its earned
+    // streak instead of re-earning the full span; a fresh handoff resets
+    // it, so a single hot port whose backlog travels with it must re-earn
+    // the move instead of ping-ponging every pass.
     if (done == 0) {
       ++gap_streak_;
       if (gap_streak_ < std::max<u32>(1, config_.handoff_hysteresis_passes)) {
         return;
       }
-      gap_streak_ = 0;
     }
     // Move the deepest port of the overloaded core (ties -> lowest id).
+    // Kill-class ports never move: rebalancing exists to spread bulk
+    // backlog, and handing the containment path to the core it is fleeing
+    // would put the kill doorbell behind the very flood it must beat.
     u32 victim = 0;
     u64 victim_depth = 0;
     bool found = false;
     for (u32 port_id : hv_.ports().PortIds()) {
       const PortBinding* binding = hv_.ports().Find(port_id);
-      if (binding->owner_hv_core != busiest || binding->revoked) {
+      if (binding->owner_hv_core != busiest || binding->revoked ||
+          binding->priority == PriorityClass::kKill) {
         continue;
       }
       const u64 depth = machine.io_dram().RequestRing(binding->region).size();
@@ -95,6 +105,7 @@ void ServiceScheduler::MaybeRebalance() {
                     "rebalance: backlog " + std::to_string(max_backlog) + " vs " +
                         std::to_string(min_backlog))
         .ok();
+    gap_streak_ = 0;
     ++handoffs_;
   }
 }
@@ -110,7 +121,11 @@ std::string ServiceScheduler::StatsDigest() const {
         << " irqs=" << s.completion_irqs << " batches=" << s.irq_batches
         << " depth_max=" << s.batch_depth_max << " fwd=" << s.forwarded_irqs
         << " handoffs_in=" << s.handoffs_in << " det_batches=" << s.detector_batches
-        << " det_obs=" << s.detector_batch_obs << "\n";
+        << " det_obs=" << s.detector_batch_obs
+        << " kill_req=" << s.kill_requests << " kill_svc=" << s.kill_serviced
+        << " kill_def=" << s.kill_deferred << " bulk_req=" << s.bulk_requests
+        << " bulk_svc=" << s.bulk_serviced << " bulk_def=" << s.bulk_deferred
+        << "\n";
   }
   out << "scheduler passes=" << passes_ << " handoffs=" << handoffs_
       << " mis_owned=" << hv_.mis_owned_services() << "\n";

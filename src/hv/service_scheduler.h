@@ -12,7 +12,10 @@
 // another's by more than the configured gap, the busiest port of the most
 // backlogged core is handed off to the least loaded one through an explicit
 // ownership-handoff record (SoftwareHypervisor::HandoffPort), which
-// re-steers its doorbell IRQs and lands in the audit trace.
+// re-steers its doorbell IRQs and lands in the audit trace. Rebalancing is
+// priority-aware: kill-class ports (PriorityClass::kKill) are never chosen
+// as victims, so the containment path cannot be handed onto a core drowning
+// in bulk backlog.
 #ifndef SRC_HV_SERVICE_SCHEDULER_H_
 #define SRC_HV_SERVICE_SCHEDULER_H_
 

@@ -22,6 +22,7 @@ enum class DeviceType : u32 {
   kStorage = 2,
   kAccelerator = 3,
   kRagStore = 4,
+  kControlChannel = 5,  // containment-path endpoints (kill-class ports)
 };
 
 std::string_view DeviceTypeName(DeviceType t);

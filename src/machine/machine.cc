@@ -59,14 +59,31 @@ void Machine::SetPortAffinity(u32 port_id, int hv_core_id) {
   port_affinity_[port_id] = hv_core_id;
 }
 
+void Machine::SetPortThrottleExempt(u32 port_id, bool exempt) {
+  if (exempt) {
+    throttle_exempt_.insert(port_id);
+  } else {
+    throttle_exempt_.erase(port_id);
+  }
+}
+
 void Machine::OnDoorbell(u32 port_id, int core_id) {
   const auto it = port_affinity_.find(port_id);
   const int hv_id = it == port_affinity_.end() ? 0 : it->second;
-  const bool delivered = hv_cores_[static_cast<size_t>(hv_id)]->DeliverDoorbell(
-      port_id, clock_.now());
+  const bool exempt = throttle_exempt_.count(port_id) > 0;
+  bool delivered = true;
+  if (exempt) {
+    // Kill-class path: straight to the pending queue, no token bucket. A
+    // flood that exhausts the bucket cannot silence the containment channel.
+    hv_cores_[static_cast<size_t>(hv_id)]->InjectIrq(port_id);
+  } else {
+    delivered = hv_cores_[static_cast<size_t>(hv_id)]->DeliverDoorbell(
+        port_id, clock_.now());
+  }
   std::ostringstream detail;
   detail << "port=" << port_id << " from=modelcore" << core_id
-         << (delivered ? " delivered" : " throttled");
+         << (delivered ? (exempt ? " delivered kill-priority" : " delivered")
+                       : " throttled");
   trace_.Record(clock_.now(), TraceCategory::kInterrupt, "machine", "doorbell",
                 detail.str(), static_cast<i64>(port_id));
 }

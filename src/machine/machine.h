@@ -8,6 +8,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -49,6 +50,11 @@ class Machine {
   // --- Doorbell routing ---
   // Maps a port's doorbell interrupts to a hypervisor core (default core 0).
   void SetPortAffinity(u32 port_id, int hv_core_id);
+  // Exempts a port's doorbells from the LAPIC token bucket: they are
+  // injected directly instead of rate-limited. The software hypervisor sets
+  // this for kill-class ports — a saturating doorbell flood must not be able
+  // to coalesce the containment path's own doorbell away.
+  void SetPortThrottleExempt(u32 port_id, bool exempt);
 
   // --- Execution ---
   // Advances every running model core by up to `quantum` cycles and moves
@@ -94,6 +100,7 @@ class Machine {
   std::vector<std::unique_ptr<HypervisorCore>> hv_cores_;
   std::vector<std::unique_ptr<Device>> devices_;
   std::map<u32, int> port_affinity_;
+  std::set<u32> throttle_exempt_;
 
   bool board_powered_ = true;
   bool tamper_seal_intact_ = true;

@@ -12,6 +12,8 @@ std::string_view DeviceTypeName(DeviceType t) {
       return "accelerator";
     case DeviceType::kRagStore:
       return "rag_store";
+    case DeviceType::kControlChannel:
+      return "control";
   }
   return "unknown";
 }

@@ -85,10 +85,11 @@ std::vector<int> PickVotes(Rng& rng, int num_admins) {
 }
 
 Scenario FromSteps(const std::string& name, const std::vector<ScenarioStep>& steps,
-                   u32 hv_cores, bool detector_batching) {
+                   u32 hv_cores, bool detector_batching, bool priority_traffic) {
   Scenario scenario(name);
   scenario.WithHvCores(hv_cores);
   scenario.WithDetectorBatching(detector_batching);
+  scenario.WithPriorityTraffic(priority_traffic);
   for (const ScenarioStep& step : steps) {
     scenario.Append(step);
   }
@@ -130,6 +131,14 @@ Scenario ScenarioFuzzer::Generate(u64 seed) const {
   // draw: single- and multi-core batched deployments both appear.
   if (rng.NextBool(0.34)) {
     scenario.WithDetectorBatching(true);
+  }
+
+  // And a third rides kill-class console pings alongside every doorbell
+  // flood, so mixed-priority storms face the kill-path-not-starved
+  // invariant (and the other eleven) across every core-count / batching
+  // combination the two draws above produce.
+  if (rng.NextBool(0.34)) {
+    scenario.WithPriorityTraffic(true);
   }
 
   if (rng.NextBool(0.7)) {
@@ -209,7 +218,8 @@ Scenario ScenarioFuzzer::Shrink(const Scenario& scenario) {
     --budget;
     ScenarioRunner runner(config_.runner);
     const Scenario s = FromSteps(scenario.name(), candidate, scenario.hv_cores(),
-                                 scenario.detector_batching());
+                                 scenario.detector_batching(),
+                                 scenario.priority_traffic());
     const ScenarioResult r = runner.Run(s);
     InvariantContext ctx;
     ctx.scenario = &s;
@@ -271,7 +281,7 @@ Scenario ScenarioFuzzer::Shrink(const Scenario& scenario) {
     }
   }
   return FromSteps(scenario.name() + "-min", steps, scenario.hv_cores(),
-                   scenario.detector_batching());
+                   scenario.detector_batching(), scenario.priority_traffic());
 }
 
 std::string ScenarioFuzzer::ReproScript(

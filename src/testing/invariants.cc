@@ -478,6 +478,37 @@ void CheckPortOwnerServiced(const InvariantContext& ctx,
   }
 }
 
+// The containment path's latency claim rests on kill-class traffic never
+// waiting behind bulk work: a kill-class doorbell that arrives armed is
+// drained in the same servicing pass, so the hypervisor's kill_deferred
+// counter must stay zero forever. The per-class split must also account
+// for every request and response exactly — a classification leak would let
+// kill traffic ride the bulk (deferrable) path unnoticed.
+void CheckKillPathNotStarved(const InvariantContext& ctx,
+                             const InvariantChecker::ViolateFn& violate) {
+  if (ctx.system == nullptr) {
+    return;
+  }
+  const ServiceStats& stats = ctx.system->hv().lifetime_stats();
+  if (stats.kill_deferred != 0) {
+    violate(std::to_string(stats.kill_deferred) +
+            " kill-class request(s) deferred past a servicing pass "
+            "(slice budget must never starve the containment path)");
+  }
+  if (stats.kill_requests + stats.bulk_requests != stats.requests) {
+    violate("per-class request split (" + std::to_string(stats.kill_requests) +
+            " kill + " + std::to_string(stats.bulk_requests) +
+            " bulk) does not sum to " + std::to_string(stats.requests) +
+            " total requests");
+  }
+  if (stats.kill_serviced + stats.bulk_serviced != stats.responses) {
+    violate("per-class service split (" + std::to_string(stats.kill_serviced) +
+            " kill + " + std::to_string(stats.bulk_serviced) +
+            " bulk) does not sum to " + std::to_string(stats.responses) +
+            " total responses");
+  }
+}
+
 }  // namespace
 
 InvariantChecker InvariantChecker::Default(QuorumPolicy safety_floor) {
@@ -537,6 +568,11 @@ InvariantChecker InvariantChecker::Default(QuorumPolicy safety_floor) {
                    "every request is serviced by its port's owning hv core",
                    [](const InvariantContext& ctx, const ViolateFn& violate) {
                      CheckPortOwnerServiced(ctx, violate);
+                   });
+  checker.Register("kill-path-not-starved",
+                   "kill-class doorbells are never deferred by the slice budget",
+                   [](const InvariantContext& ctx, const ViolateFn& violate) {
+                     CheckKillPathNotStarved(ctx, violate);
                    });
   return checker;
 }

@@ -23,6 +23,9 @@
 //   port-owner-serviced   every port request is serviced by the hv core
 //                         that owned the port at service time, and every
 //                         ownership handoff is in the audit trace
+//   kill-path-not-starved kill-class doorbells are never deferred by the
+//                         service-slice budget, and the per-class request/
+//                         serviced counters sum to the totals
 //
 // Adding an invariant: call Register with a name and a function that walks
 // the InvariantContext and calls `violate(detail)` for each breach (see

@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "src/machine/control_channel.h"
 #include "src/machine/nic.h"
 #include "src/model/attacks.h"
 
@@ -145,6 +146,11 @@ Scenario& Scenario::WithHvCores(u32 hv_cores) {
 
 Scenario& Scenario::WithDetectorBatching(bool batched) {
   detector_batching_ = batched;
+  return *this;
+}
+
+Scenario& Scenario::WithPriorityTraffic(bool enabled) {
+  priority_traffic_ = enabled;
   return *this;
 }
 
@@ -354,6 +360,9 @@ Result<std::string> SerializeScenarioScript(const Scenario& scenario) {
   if (scenario.detector_batching()) {
     out << " detector_batch=1";
   }
+  if (scenario.priority_traffic()) {
+    out << " priority=1";
+  }
   out << "\n";
   for (const ScenarioStep& step : scenario.steps()) {
     switch (step.kind) {
@@ -475,6 +484,10 @@ Result<Scenario> ParseScenarioScript(std::string_view script) {
       if (const ScriptToken* batch = find("detector_batch"); batch != nullptr) {
         GLL_ASSIGN_OR_RETURN(u64 n, ParseNumber(batch->value, line_no));
         scenario.WithDetectorBatching(n != 0);
+      }
+      if (const ScriptToken* prio = find("priority"); prio != nullptr) {
+        GLL_ASSIGN_OR_RETURN(u64 n, ParseNumber(prio->value, line_no));
+        scenario.WithPriorityTraffic(n != 0);
       }
       saw_header = true;
     } else if (verb == "host_model") {
@@ -636,6 +649,7 @@ ScenarioResult ScenarioRunner::Run(const Scenario& scenario) {
   system_ = std::make_unique<GuillotineSystem>(deployment);
   exfil_payloads_.clear();
   next_tag_ = 1;
+  priority_traffic_ = scenario.priority_traffic();
 
   ScenarioResult result;
   result.name = scenario.name();
@@ -720,12 +734,49 @@ void ScenarioRunner::Execute(const ScenarioStep& step, StepOutcome& outcome) {
         return totals;
       };
       const auto [delivered_before, suppressed_before] = lapic_totals();
+      // Mixed-priority flood: stage kill-class console pings so the bulk
+      // doorbell storm races the containment path — the kill-path-not-
+      // starved invariant then holds the run to zero kill-class deferrals.
+      u32 kill_pings = 0;
+      u64 kill_served_before = 0;
+      const PortBinding* kill_binding = nullptr;
+      if (priority_traffic_ && sys.console_port().has_value()) {
+        kill_binding = sys.hv().FindPort(*sys.console_port());
+      }
+      if (kill_binding != nullptr) {
+        kill_served_before = sys.hv().lifetime_stats().kill_serviced;
+        RingView kill_ring = sys.machine().io_dram().RequestRing(kill_binding->region);
+        for (int i = 0; i < 3; ++i) {
+          IoSlot ping;
+          ping.opcode = static_cast<u32>(ControlOpcode::kPing);
+          ping.tag = next_tag_++;
+          ping.payload = ToBytes("liveness");
+          if (kill_ring.Push(ping).ok()) {
+            ++kill_pings;
+          }
+        }
+        // The doorbell: kill ports are LAPIC-throttle-exempt, so ring the
+        // owner's pending queue directly (the machine path a model-core
+        // store would take).
+        sys.machine().hv_core(kill_binding->owner_hv_core)
+            .InjectIrq(kill_binding->port_id);
+      }
       const AttackProgram flood =
           BuildDoorbellFlood(config_.deployment.code_base, config_.attack_scratch,
                              *info, static_cast<u32>(step.amount));
       const Result<RunState> state =
           sys.RunGuestProgram(0, flood.code, flood.code_base, flood.entry,
                               config_.flood_budget_cycles);
+      u64 kill_served = 0;
+      if (kill_binding != nullptr) {
+        // One explicit pass in case the flood budget expired before the
+        // guest's last quantum got serviced, then drain the echoes.
+        sys.hv().ServiceOnce(kill_binding->owner_hv_core, /*poll_all=*/true);
+        kill_served = sys.hv().lifetime_stats().kill_serviced - kill_served_before;
+        RingView echoes = sys.machine().io_dram().ResponseRing(kill_binding->region);
+        while (echoes.Pop().has_value()) {
+        }
+      }
       const auto [delivered_after, suppressed_after] = lapic_totals();
       const u64 delivered = delivered_after - delivered_before;
       const u64 suppressed = suppressed_after - suppressed_before;
@@ -734,6 +785,9 @@ void ScenarioRunner::Execute(const ScenarioStep& step, StepOutcome& outcome) {
       std::ostringstream detail;
       detail << "doorbells=" << step.amount << " delivered=" << delivered
              << " coalesced=" << suppressed;
+      if (kill_binding != nullptr) {
+        detail << " kill_pings=" << kill_pings << " kill_served=" << kill_served;
+      }
       if (!state.ok()) {
         detail << " state=" << state.status().ToString();
       }

@@ -111,6 +111,14 @@ class Scenario {
   Scenario& WithDetectorBatching(bool batched);
   bool detector_batching() const { return detector_batching_; }
 
+  // Rides kill-class control traffic (console pings on the kKill port)
+  // alongside every flood_interrupts step, so mixed-priority floods face
+  // the kill-path-not-starved invariant. The fuzzer flips this on for a
+  // third of the corpus; serialized on the script header line (priority=1)
+  // like hv_cores and detector_batch.
+  Scenario& WithPriorityTraffic(bool enabled);
+  bool priority_traffic() const { return priority_traffic_; }
+
   const std::string& name() const { return name_; }
   const std::vector<ScenarioStep>& steps() const { return steps_; }
 
@@ -119,6 +127,7 @@ class Scenario {
   std::vector<ScenarioStep> steps_;
   u32 hv_cores_ = 0;
   bool detector_batching_ = false;
+  bool priority_traffic_ = false;
 };
 
 // ---- Scenario scripts ----
@@ -199,6 +208,7 @@ class ScenarioRunner {
   std::unique_ptr<GuillotineSystem> system_;
   std::vector<Bytes> exfil_payloads_;
   u32 next_tag_ = 1;
+  bool priority_traffic_ = false;  // from the scenario, for flood steps
 };
 
 }  // namespace guillotine

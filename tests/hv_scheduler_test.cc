@@ -6,6 +6,7 @@
 
 #include "src/core/guillotine.h"
 #include "src/hv/service_scheduler.h"
+#include "src/machine/control_channel.h"
 #include "src/machine/storage.h"
 #include "src/testing/invariants.h"
 #include "src/testing/scenario.h"
@@ -235,6 +236,156 @@ TEST(ServiceSchedulerTest, StatsDigestRendersEveryCore) {
   EXPECT_NE(digest.find("hv1 req="), std::string::npos);
   EXPECT_NE(digest.find("scheduler passes=1"), std::string::npos);
   EXPECT_NE(digest.find("mis_owned=0"), std::string::npos);
+  // The per-class split rides the digest so bench reruns pin it too.
+  EXPECT_NE(digest.find("kill_req="), std::string::npos);
+  EXPECT_NE(digest.find("bulk_req="), std::string::npos);
+  EXPECT_NE(digest.find("kill_def=0"), std::string::npos);
+}
+
+// --- Priority-class servicing ---
+
+// Adds a kill-class port to a Driver's machine; with 1 hv core it lands on
+// core 0, with 2 it lands on port_id % 2 like every other port.
+u32 AddKillPort(Driver& driver) {
+  const u32 dev =
+      driver.machine.AttachDevice(std::make_unique<StorageDevice>(64, 512));
+  return *driver.hv.CreatePort(dev, PortRights{}, 0, /*slot_bytes=*/64,
+                               /*slot_count=*/64, PriorityClass::kKill);
+}
+
+void StageRequests(Driver& driver, u32 port_id, u32 count, bool doorbell) {
+  const PortBinding* binding = driver.hv.FindPort(port_id);
+  RingView ring = driver.machine.io_dram().RequestRing(binding->region);
+  for (u32 r = 0; r < count; ++r) {
+    IoSlot slot;
+    slot.opcode = static_cast<u32>(StorageOpcode::kInfo);
+    slot.tag = driver.tag++;
+    ASSERT_TRUE(ring.Push(slot).ok());
+    if (doorbell) {
+      driver.machine.hv_core(binding->owner_hv_core)
+          .DeliverDoorbell(binding->port_id, driver.clock.now());
+    }
+  }
+}
+
+TEST(PrioritySchedulingTest, KillPortServicedFirstWithinPass) {
+  Driver driver(1, 1, /*slice=*/0);
+  const u32 kill = AddKillPort(driver);  // port id 1, same core as bulk port 0
+  // Bulk rings its doorbell FIRST — arrival order must not matter.
+  StageRequests(driver, driver.ports[0], 1, /*doorbell=*/true);
+  StageRequests(driver, kill, 1, /*doorbell=*/true);
+  driver.scheduler.RunPass(/*poll_all=*/false);
+
+  const auto requests = driver.trace.OfKind("port.request");
+  ASSERT_EQ(requests.size(), 2u);
+  EXPECT_NE(requests[0]->detail.find("port=1 "), std::string::npos)
+      << "kill-class port must be drained before any bulk work: "
+      << requests[0]->detail;
+  EXPECT_NE(requests[1]->detail.find("port=0 "), std::string::npos);
+  const ServiceStats& stats = driver.hv.lifetime_stats();
+  EXPECT_EQ(stats.kill_requests, 1u);
+  EXPECT_EQ(stats.bulk_requests, 1u);
+  EXPECT_EQ(stats.kill_serviced, 1u);
+  EXPECT_EQ(stats.bulk_serviced, 1u);
+  EXPECT_EQ(stats.kill_deferred, 0u);
+}
+
+TEST(PrioritySchedulingTest, KillClassBypassesSliceButStillPaysForIt) {
+  // A 1-cycle slice is exhausted by the first serviced request: bulk work
+  // defers, but BOTH kill ports drain fully — the second one past an
+  // already-blown budget, which must leave a port.priority trace decision
+  // and still land its cost in busy_cycles.
+  Driver driver(1, 1, /*slice=*/1);
+  const u32 kill_a = AddKillPort(driver);
+  const u32 kill_b = AddKillPort(driver);
+  StageRequests(driver, driver.ports[0], 4, /*doorbell=*/true);
+  StageRequests(driver, kill_a, 2, /*doorbell=*/true);
+  StageRequests(driver, kill_b, 2, /*doorbell=*/true);
+  driver.scheduler.RunPass(/*poll_all=*/false);
+
+  const ServiceStats& stats = driver.hv.lifetime_stats();
+  EXPECT_EQ(stats.kill_serviced, 4u);  // every kill request, both ports
+  EXPECT_EQ(stats.kill_deferred, 0u);
+  EXPECT_EQ(stats.bulk_serviced, 0u);  // budget was gone before bulk ran
+  EXPECT_GE(stats.bulk_deferred, 1u);
+  EXPECT_GE(driver.trace.CountKind("port.priority"), 1u);
+  // Bypass is not a free lunch: the drained kill work is accounted.
+  EXPECT_GT(driver.machine.hv_core(0).busy_cycles(), 0u);
+  // The deferred bulk backlog is still ring-queued for later passes.
+  const PortBinding* bulk = driver.hv.FindPort(driver.ports[0]);
+  EXPECT_EQ(driver.machine.io_dram().RequestRing(bulk->region).size(), 4u);
+}
+
+TEST(PrioritySchedulingTest, PriorityPreservedAcrossHandoff) {
+  Driver driver(2, 2, /*slice=*/0);
+  const u32 kill = AddKillPort(driver);  // port id 2 -> hv core 0
+  ASSERT_EQ(driver.hv.FindPort(kill)->owner_hv_core, 0);
+  ASSERT_TRUE(driver.hv.HandoffPort(kill, 1, "maintenance drain").ok());
+  const PortBinding* binding = driver.hv.FindPort(kill);
+  EXPECT_EQ(binding->owner_hv_core, 1);
+  EXPECT_EQ(binding->priority, PriorityClass::kKill);
+  // And the new owner still services it ahead of its own bulk port.
+  StageRequests(driver, driver.ports[1], 1, /*doorbell=*/true);
+  StageRequests(driver, kill, 1, /*doorbell=*/true);
+  driver.scheduler.RunPass(/*poll_all=*/false);
+  EXPECT_EQ(driver.hv.core_lifetime_stats(1).kill_serviced, 1u);
+  EXPECT_EQ(driver.hv.mis_owned_services(), 0u);
+}
+
+TEST(PrioritySchedulingTest, RebalanceNeverMovesKillPorts) {
+  ServiceSchedulerConfig config;
+  config.backlog_gap_threshold = 4;
+  config.handoff_hysteresis_passes = 1;
+  Driver driver(2, 2, /*slice=*/1'000, config);
+  const u32 kill = AddKillPort(driver);  // port id 2 -> hv core 0
+  // The kill port is the deepest (indeed only) backlog on the busiest core:
+  // the old victim scan would have picked it.
+  StageRequests(driver, kill, 12, /*doorbell=*/false);
+  for (int pass = 0; pass < 4; ++pass) {
+    driver.scheduler.RunPass(/*poll_all=*/false);
+  }
+  EXPECT_EQ(driver.scheduler.handoffs(), 0u);
+  EXPECT_EQ(driver.hv.FindPort(kill)->owner_hv_core, 0);
+  EXPECT_TRUE(driver.hv.handoff_log().empty());
+}
+
+// Satellite regression: CoreBacklog counted revoked ports' (never-again
+// serviced) backlog, making a core whose queues were all revoked look
+// permanently overloaded.
+TEST(ServiceSchedulerTest, CoreBacklogSkipsRevokedPorts) {
+  Driver driver(2, 2, /*slice=*/0);
+  StageRequests(driver, driver.ports[0], 3, /*doorbell=*/false);
+  EXPECT_EQ(driver.scheduler.CoreBacklog(0), 3u);
+  ASSERT_TRUE(driver.hv.RevokePort(driver.ports[0]).ok());
+  EXPECT_EQ(driver.scheduler.CoreBacklog(0), 0u);
+}
+
+// Satellite regression: MaybeRebalance zeroed gap_streak_ before the victim
+// search, so a persistent gap whose only deep port was unmovable (kill-class
+// here, momentarily-revoked in the original report) re-earned the full
+// hysteresis span every pass and the eventual movable backlog waited three
+// extra passes for relief.
+TEST(ServiceSchedulerTest, GapStreakSurvivesVictimlessPass) {
+  ServiceSchedulerConfig config;
+  config.backlog_gap_threshold = 4;
+  config.handoff_hysteresis_passes = 3;
+  Driver driver(2, 2, /*slice=*/1'000, config);
+  const u32 kill = AddKillPort(driver);  // port id 2 -> hv core 0
+  StageRequests(driver, kill, 12, /*doorbell=*/false);
+  for (int pass = 0; pass < 4; ++pass) {
+    driver.scheduler.RunPass(/*poll_all=*/false);
+  }
+  // Four over-gap passes, no victim (kill ports are unmovable): the streak
+  // must have kept its earned span instead of resetting at the search.
+  EXPECT_EQ(driver.scheduler.handoffs(), 0u);
+  EXPECT_EQ(driver.scheduler.gap_streak(), 4u);
+  // The moment a movable bulk backlog appears, relief is immediate — the
+  // very next pass fires the handoff instead of re-earning three passes.
+  StageRequests(driver, driver.ports[0], 6, /*doorbell=*/false);
+  driver.scheduler.RunPass(/*poll_all=*/false);
+  EXPECT_EQ(driver.scheduler.handoffs(), 1u);
+  EXPECT_EQ(driver.hv.FindPort(driver.ports[0])->owner_hv_core, 1);
+  EXPECT_EQ(driver.hv.FindPort(kill)->owner_hv_core, 0);
 }
 
 // --- Facade level: a deployment with a multi-core hv complex ---
@@ -297,6 +448,104 @@ TEST(MultiHvCoreSystemTest, ScenarioWithHvCoresRoundTripsAndStaysContained) {
   const auto violations = InvariantChecker::Default().Check(ctx);
   EXPECT_TRUE(violations.empty()) << RenderViolations(violations);
   // Replays are digest-identical at the overridden core count.
+  EXPECT_EQ(result.trace_hash, runner.Run(*parsed).trace_hash);
+}
+
+TEST(MultiHvCoreSystemTest, DefaultDeploymentOpensKillClassControlPorts) {
+  DeploymentConfig config;
+  config.machine.num_model_cores = 1;
+  config.machine.num_hv_cores = 2;
+  config.machine.model_dram_bytes = 1 << 20;
+  config.machine.io_dram_bytes = 512 * 1024;
+  config.console.heartbeat.timeout = ~0ULL >> 1;
+  GuillotineSystem sys(config);
+  ASSERT_TRUE(sys.AttachDefaultDevices().ok());
+
+  // The three containment-path channels ride kill-class ports, created
+  // after the bulk device ports so ids 0-3 (and their round-robin
+  // ownership) are unchanged.
+  ASSERT_TRUE(sys.console_port().has_value());
+  ASSERT_TRUE(sys.heartbeat_port().has_value());
+  ASSERT_TRUE(sys.escalation_port().has_value());
+  for (const u32 port : {*sys.console_port(), *sys.heartbeat_port(),
+                         *sys.escalation_port()}) {
+    EXPECT_EQ(sys.hv().FindPort(port)->priority, PriorityClass::kKill);
+    EXPECT_EQ(sys.hv().FindPort(port)->device_type, DeviceType::kControlChannel);
+  }
+  EXPECT_EQ(sys.hv().FindPort(*sys.nic_port())->priority, PriorityClass::kBulk);
+  // The audit trail names the class at creation.
+  size_t kill_creates = 0;
+  for (const TraceEvent& e : sys.trace().events()) {
+    if (e.kind == "port.create" &&
+        e.detail.find("class=kill") != std::string::npos) {
+      ++kill_creates;
+    }
+  }
+  EXPECT_EQ(kill_creates, 3u);
+}
+
+TEST(MultiHvCoreSystemTest, EscalationPortDrivesConsoleRestriction) {
+  DeploymentConfig config;
+  config.machine.num_model_cores = 1;
+  config.machine.num_hv_cores = 2;
+  config.machine.model_dram_bytes = 1 << 20;
+  config.machine.io_dram_bytes = 512 * 1024;
+  config.console.heartbeat.timeout = ~0ULL >> 1;
+  GuillotineSystem sys(config);
+  ASSERT_TRUE(sys.AttachDefaultDevices().ok());
+
+  // A kEscalate request on the hv-escalation channel reaches the console's
+  // restrict-only path through the regular pump — no side channel.
+  const PortBinding* esc = sys.hv().FindPort(*sys.escalation_port());
+  RingView req = sys.machine().io_dram().RequestRing(esc->region);
+  IoSlot slot;
+  slot.opcode = static_cast<u32>(ControlOpcode::kEscalate);
+  slot.tag = 1;
+  slot.payload.push_back(static_cast<u8>(IsolationLevel::kSevered));
+  ASSERT_TRUE(req.Push(slot).ok());
+  sys.machine().hv_core(esc->owner_hv_core).InjectIrq(esc->port_id);
+  sys.PumpOnce();
+  EXPECT_GE(sys.console().level(), IsolationLevel::kSevered);
+  EXPECT_GE(sys.hv().isolation(), IsolationLevel::kSevered);
+  EXPECT_EQ(sys.hv().lifetime_stats().kill_requests, 1u);
+  EXPECT_EQ(sys.hv().lifetime_stats().kill_deferred, 0u);
+}
+
+TEST(MultiHvCoreSystemTest, PriorityHeaderRoundTripsAndFloodKeepsKillPathLive) {
+  Scenario scenario("mixed-priority-flood");
+  scenario.WithHvCores(2)
+      .WithPriorityTraffic(true)
+      .FloodInterrupts(600)
+      .FloodInterrupts(600);
+
+  // The priority override rides the script header and round-trips.
+  const auto script = SerializeScenarioScript(scenario);
+  ASSERT_TRUE(script.ok());
+  EXPECT_NE(script->find("priority=1"), std::string::npos);
+  const auto parsed = ParseScenarioScript(*script);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->priority_traffic());
+
+  ScenarioRunner runner;
+  const ScenarioResult result = runner.Run(scenario);
+  // The flood step raced kill-class console pings against the doorbell
+  // storm, and every one of them got served.
+  const StepOutcome* flood = result.Find("flood_interrupts");
+  ASSERT_NE(flood, nullptr);
+  EXPECT_NE(flood->detail.find("kill_pings="), std::string::npos);
+  EXPECT_GT(runner.system().hv().lifetime_stats().kill_serviced, 0u);
+  EXPECT_EQ(runner.system().hv().lifetime_stats().kill_deferred, 0u);
+
+  // The full default suite — including kill-path-not-starved — holds.
+  const InvariantChecker checker = InvariantChecker::Default();
+  EXPECT_EQ(checker.invariants().size(), 12u);
+  InvariantContext ctx;
+  ctx.scenario = &scenario;
+  ctx.result = &result;
+  ctx.system = &runner.system();
+  const auto violations = checker.Check(ctx);
+  EXPECT_TRUE(violations.empty()) << RenderViolations(violations);
+  // Replays are digest-identical with priority traffic on.
   EXPECT_EQ(result.trace_hash, runner.Run(*parsed).trace_hash);
 }
 

@@ -6,6 +6,7 @@
 #include "src/detect/input_shield.h"
 #include "src/detect/output_sanitizer.h"
 #include "src/hv/hypervisor.h"
+#include "src/machine/control_channel.h"
 #include "src/machine/storage.h"
 #include "src/model/guest_lib.h"
 
@@ -343,6 +344,127 @@ TEST_F(HvBatchedTest, BatchedAndSerialPassesAgreeOnVerdictCounters) {
   // Only the batched side reports batch accounting.
   EXPECT_GT(batched.detector_batches, 0u);
   EXPECT_EQ(serial.detector_batches, 0u);
+}
+
+// --- Priority classes and the containment path ---
+
+// A test-only detector that escalates on any port payload containing
+// "BREAKGLASS" (the keyword detector above never escalates).
+class BreakGlassDetector : public MisbehaviorDetector {
+ public:
+  std::string_view name() const override { return "breakglass"; }
+  DetectorVerdict Evaluate(const Observation& obs) override {
+    DetectorVerdict v;
+    if (obs.kind != ObservationKind::kPortTraffic) {
+      return v;
+    }
+    v.cost = 10;
+    if (ToString(obs.data).find("BREAKGLASS") != std::string::npos) {
+      v.action = VerdictAction::kEscalate;
+      v.reason = "break glass";
+    }
+    return v;
+  }
+};
+
+// Satellite regression: the per-pass IRQ dedup bitmap is sized to the port
+// table, but a forwarded or stale IRQ can carry an id at or past that size;
+// it must be range-gated before indexing, not after Find.
+TEST_F(HvTest, StaleIrqBeyondPortTableIsIgnored) {
+  const auto port = hv_.CreatePort(disk_index_, PortRights{});
+  ASSERT_TRUE(port.ok());
+  machine_.hv_core(0).InjectIrq(1234);
+  const ServiceStats stats = hv_.ServiceOnce(0, /*poll_all=*/false);
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.forwarded_irqs, 0u);
+  EXPECT_TRUE(hv_.RunAssertions().ok());
+}
+
+TEST_F(HvTest, ControlChannelEchoesPingsAndAcksHeartbeats) {
+  auto channel = std::make_unique<ControlChannelDevice>("console-channel");
+  ControlChannelDevice* raw = channel.get();
+  const u32 dev = machine_.AttachDevice(std::move(channel));
+  const auto port = hv_.CreatePort(dev, PortRights{}, 0, /*slot_bytes=*/256,
+                                   /*slot_count=*/16, PriorityClass::kKill);
+  ASSERT_TRUE(port.ok());
+  EXPECT_EQ(hv_.FindPort(*port)->priority, PriorityClass::kKill);
+  EXPECT_EQ(hv_.FindPort(*port)->device_type, DeviceType::kControlChannel);
+
+  const ServiceStats stats = PushAndService(
+      *port, static_cast<u32>(ControlOpcode::kPing), 1, ToBytes("liveness"));
+  EXPECT_EQ(stats.kill_requests, 1u);
+  EXPECT_EQ(stats.kill_serviced, 1u);
+  EXPECT_EQ(stats.bulk_requests, 0u);
+  const auto pong = PopResponse(*port);
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->opcode, 0u);
+  EXPECT_EQ(ToString(pong->payload), "liveness");  // echo proves liveness
+
+  PushAndService(*port, static_cast<u32>(ControlOpcode::kHeartbeat), 2, {});
+  EXPECT_EQ(raw->pings(), 1u);
+  EXPECT_EQ(raw->heartbeats(), 1u);
+}
+
+TEST_F(HvTest, EscalationChannelSeversAndRefusesItsOwnResponse) {
+  auto channel = std::make_unique<ControlChannelDevice>(
+      "hv-escalation", [this](IsolationLevel level, std::string reason) {
+        EXPECT_EQ(level, IsolationLevel::kSevered);
+        EXPECT_EQ(reason, "weights exfil detected");
+        hv_.ApplySoftwareIsolation(level);
+      });
+  ControlChannelDevice* raw = channel.get();
+  const u32 dev = machine_.AttachDevice(std::move(channel));
+  const auto port = hv_.CreatePort(dev, PortRights{}, 0, /*slot_bytes=*/256,
+                                   /*slot_count=*/16, PriorityClass::kKill);
+  ASSERT_TRUE(port.ok());
+
+  Bytes payload;
+  payload.push_back(static_cast<u8>(IsolationLevel::kSevered));
+  const Bytes reason = ToBytes("weights exfil detected");
+  payload.insert(payload.end(), reason.begin(), reason.end());
+  const ServiceStats stats = PushAndService(
+      *port, static_cast<u32>(ControlOpcode::kEscalate), 7, payload);
+  EXPECT_EQ(raw->escalations(), 1u);
+  EXPECT_EQ(hv_.isolation(), IsolationLevel::kSevered);
+  // The escalation's own ack is refused at delivery: by the time the
+  // response would reach the model the ports are severed, and
+  // severed-ports-dark holds even for the request that caused the severing.
+  EXPECT_EQ(stats.responses, 0u);
+  EXPECT_EQ(stats.blocked, 1u);
+  EXPECT_EQ(stats.kill_serviced, 0u);
+  const auto refused = PopResponse(*port);
+  ASSERT_TRUE(refused.has_value());
+  EXPECT_EQ(refused->opcode, 0xE150u);
+  EXPECT_EQ(trace_.CountKind("port.response"), 0u);
+}
+
+// Satellite regression: the batched pipeline's severed/mediation corrections
+// subtract provisionally accounted bytes_in; an escalation handler that
+// resets port accounting mid-batch used to make that subtraction wrap the
+// u64 to ~0.
+TEST_F(HvBatchedTest, MidBatchEscalationKeepsBytesInSane) {
+  detectors_.Add(std::make_unique<BreakGlassDetector>());
+  const auto port = hv_.CreatePort(disk_index_, PortRights{});
+  ASSERT_TRUE(port.ok());
+  hv_.set_escalation_handler([this, &port](IsolationLevel level, std::string) {
+    hv_.ApplySoftwareIsolation(level);
+    // The containment routine wipes the audit epoch at escalation time —
+    // below what the in-flight batch provisionally added.
+    EXPECT_TRUE(hv_.ResetPortAccounting(*port).ok());
+  });
+  // Request 1 dispatches first and provisionally accounts its response
+  // bytes; request 2 escalates mid-batch, severing the ports and resetting
+  // the accounting before request 1's delivery is backed out.
+  Push(*port, static_cast<u32>(StorageOpcode::kInfo), 1, {});
+  Push(*port, static_cast<u32>(StorageOpcode::kWrite), 2, ToBytes("BREAKGLASS"));
+  const ServiceStats stats = hv_.ServiceOnce(0, /*poll_all=*/true);
+  EXPECT_EQ(stats.escalations, 1u);
+  EXPECT_EQ(hv_.isolation(), IsolationLevel::kSevered);
+  EXPECT_EQ(stats.responses, 0u);  // nothing reaches the model once severed
+  const PortBinding* binding = hv_.FindPort(*port);
+  EXPECT_EQ(binding->bytes_in, 0u);  // clamped, not wrapped to ~0ULL
+  EXPECT_TRUE(hv_.RunAssertions().ok());
+  EXPECT_GE(trace_.CountKind("port.accounting_reset"), 1u);
 }
 
 TEST_F(HvTest, AssertionFailureTriggersFailsafe) {
