@@ -71,6 +71,28 @@ inline std::vector<u64> FlagList(int argc, char** argv, const char* prefix) {
   return values;
 }
 
+// Comma-separated string list flag (e.g. "--traffic=poisson,bursty");
+// returns empty when the flag is absent so callers can fall back to their
+// sweep defaults.
+inline std::vector<std::string> FlagStrList(int argc, char** argv,
+                                            const char* prefix) {
+  std::vector<std::string> values;
+  const size_t prefix_len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, prefix_len) != 0) {
+      continue;
+    }
+    std::stringstream stream(argv[i] + prefix_len);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+      if (!token.empty()) {
+        values.push_back(token);
+      }
+    }
+  }
+  return values;
+}
+
 inline void BenchHeader(const std::string& experiment_id, const std::string& claim) {
   std::printf("=== %s ===\n", experiment_id.c_str());
   std::printf("claim: %s\n\n", claim.c_str());

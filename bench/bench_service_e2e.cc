@@ -14,9 +14,17 @@
 // count x arrival rate at fixed offered load. Throughput should scale with
 // shards while session affinity keeps the KV hit rate pinned to the
 // 1-shard serial baseline. Flags:
+// Part three is the open-world sweep (E8c): RunContinuous driven by a
+// seeded TrafficSource, swept over traffic shape x shard count, with a
+// mid-run elastic resize (down at 40% of the stream, back up at 70%).
+// Every cell runs twice from scratch; '=' in the digest column means the
+// two ContinuousReport digests were byte-identical, '!' flags divergence
+// and the binary exits nonzero. Flags:
 //   --shards=1,2,4     shard counts to sweep (default 1,2,4 + 8 in full mode)
 //   --spacing=20000    arrival spacings (cycles between arrivals) to sweep
+//   --traffic=poisson,bursty,diurnal   shapes for the open-world sweep
 #include <cstring>
+#include <memory>
 #include <sstream>
 
 #include "bench/bench_common.h"
@@ -202,9 +210,99 @@ void RunShardSweep(const std::vector<u64>& shard_counts,
       "and work-stealing moves only session-less one-shots");
 }
 
-void Run(const std::vector<u64>& shard_counts, const std::vector<u64>& spacings) {
+// E8c: the open-world loop under each traffic shape. Returns the number of
+// cells whose rerun digest diverged (0 on a healthy scheduler).
+int RunTrafficSweep(const std::vector<std::string>& shape_names,
+                    const std::vector<u64>& shard_counts) {
+  BenchHeader("E8c / open-world traffic sweep",
+              "the continuous service loop sustains every arrival shape at "
+              "bounded memory, survives a mid-run elastic resize, and is "
+              "byte-deterministic: rerunning a cell from scratch reproduces "
+              "the identical report digest");
+
+  Rng rng(21);
+  const MlpModel model = MlpModel::Random({16, 32, 8}, rng);
+  const u64 kArrivals = Smoked<u64>(20'000, 600);
+
+  TextTable table({"shape", "shards", "completed", "failed", "stolen",
+                   "remapped", "dropped", "kv_hit_rate", "p999_lat_kcyc",
+                   "req_per_Gcycle", "digest"});
+  int divergences = 0;
+
+  for (const std::string& shape_name : shape_names) {
+    const auto shape = TrafficShapeFromName(shape_name);
+    if (!shape.has_value()) {
+      std::printf("unknown traffic shape '%s'\n", shape_name.c_str());
+      ++divergences;
+      continue;
+    }
+    for (const u64 shards : shard_counts) {
+      auto run_once = [&]() -> ContinuousReport {
+        ModelServiceConfig config;
+        config.num_shards = shards;
+        config.kv.total_blocks = 96;
+        ModelService service(config);
+        std::vector<std::unique_ptr<NativeReplica>> replicas;
+        for (u64 s = 0; s < shards; ++s) {
+          replicas.push_back(std::make_unique<NativeReplica>(
+              model, "native-" + std::to_string(s)));
+          service.AddReplica(replicas.back().get(), s);
+        }
+        TrafficConfig tc;
+        tc.shape = *shape;
+        tc.seed = BenchSeed() ^ (0x5EEDULL + shards);
+        TrafficSource source(tc);
+        ContinuousConfig cc;
+        cc.max_arrivals = kArrivals;
+        if (shards > 1) {
+          // Shrink to half the fleet mid-stream, then scale back up: both
+          // handover directions in every multi-shard cell.
+          TrafficResize down;
+          down.after_arrivals = kArrivals * 2 / 5;
+          down.active_shards = static_cast<size_t>(shards) / 2;
+          TrafficResize up;
+          up.after_arrivals = kArrivals * 7 / 10;
+          up.active_shards = static_cast<size_t>(shards);
+          cc.resizes.push_back(down);
+          cc.resizes.push_back(up);
+        }
+        return service.RunContinuous(source, cc);
+      };
+
+      const ContinuousReport report = run_once();
+      const ContinuousReport rerun = run_once();
+      const bool identical = report.Digest() == rerun.Digest();
+      if (!identical) {
+        ++divergences;
+      }
+      table.AddRow(
+          {shape_name, std::to_string(shards), std::to_string(report.completed),
+           std::to_string(report.failed), std::to_string(report.stolen),
+           std::to_string(report.remapped_sessions),
+           std::to_string(report.kv_dropped),
+           TextTable::Num(report.kv_hit_rate, 3),
+           TextTable::Num(report.latency.Percentile(99.9) / 1e3, 1),
+           TextTable::Num(report.throughput_per_gcycle(), 2),
+           identical ? "=" : "!"});
+    }
+  }
+
+  table.Print();
+  BenchFooter(
+      divergences == 0
+          ? "every cell's rerun digest is byte-identical ('='): the "
+            "open-world loop, the seeded arrival process, and the elastic "
+            "resize handover are all deterministic"
+          : "DIGEST DIVERGENCE ('!' rows): the continuous loop is no longer "
+            "deterministic across reruns — this is a scheduler bug");
+  return divergences;
+}
+
+int Run(const std::vector<u64>& shard_counts, const std::vector<u64>& spacings,
+        const std::vector<std::string>& traffic_shapes) {
   RunSandboxCostTable();
   RunShardSweep(shard_counts, spacings);
+  return RunTrafficSweep(traffic_shapes, shard_counts);
 }
 
 }  // namespace
@@ -225,6 +323,12 @@ int main(int argc, char** argv) {
                    ? std::vector<guillotine::u64>{5'000}
                    : std::vector<guillotine::u64>{5'000, 20'000, 80'000};
   }
-  guillotine::Run(shards, spacings);
-  return 0;
+  std::vector<std::string> traffic =
+      guillotine::FlagStrList(argc, argv, "--traffic=");
+  if (traffic.empty()) {
+    traffic = guillotine::SmokeMode()
+                  ? std::vector<std::string>{"poisson", "bursty"}
+                  : std::vector<std::string>{"poisson", "bursty", "diurnal"};
+  }
+  return guillotine::Run(shards, spacings, traffic) == 0 ? 0 : 1;
 }

@@ -13,6 +13,13 @@ void Histogram::Add(double v) {
   sorted_valid_ = false;
 }
 
+void Histogram::Merge(const Histogram& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  sorted_valid_ = false;
+}
+
 void Histogram::SortIfNeeded() const {
   if (!sorted_valid_) {
     sorted_ = values_;
@@ -50,8 +57,11 @@ double Histogram::Percentile(double p) const {
     return 0.0;
   }
   const double clamped = std::clamp(p, 0.0, 100.0);
-  const size_t rank = static_cast<size_t>(
-      std::ceil(clamped / 100.0 * static_cast<double>(sorted_.size())));
+  // Nearest-rank with an epsilon guard: p/100*n accumulates enough float
+  // error that e.g. p=99.9 over n=1000 lands at 999.0000000000001 and
+  // ceil() would skip the exact-rank sample for the max.
+  const double exact = clamped * static_cast<double>(sorted_.size()) / 100.0;
+  const size_t rank = static_cast<size_t>(std::ceil(exact - 1e-9));
   const size_t idx = rank == 0 ? 0 : rank - 1;
   return sorted_[std::min(idx, sorted_.size() - 1)];
 }

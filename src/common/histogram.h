@@ -15,6 +15,8 @@ class Histogram {
   Histogram() = default;
 
   void Add(double v);
+  // Folds another histogram's samples in (union of the two multisets).
+  void Merge(const Histogram& other);
 
   size_t count() const { return values_.size(); }
   double min() const;

@@ -10,6 +10,7 @@ std::string_view KvOpName(KvOp op) {
     case KvOp::kEvict: return "evict";
     case KvOp::kDrop: return "drop";
     case KvOp::kClear: return "clear";
+    case KvOp::kAdopt: return "adopt";
   }
   return "?";
 }
@@ -74,6 +75,39 @@ size_t KvCache::Extend(u32 session, size_t tokens, Cycles now) {
   s.tokens = std::min(target_tokens, affordable_blocks * config_.block_tokens);
   Audit(KvOp::kExtend, session, before, static_cast<i64>(blocks_in_use_));
   return reused;
+}
+
+size_t KvCache::Adopt(u32 session, size_t tokens, Cycles now) {
+  if (tokens == 0) {
+    return CachedTokens(session);
+  }
+  auto [it, inserted] = sessions_.try_emplace(session);
+  Session& s = it->second;
+  if (inserted) {
+    s.lru_it = lru_.insert(lru_.end(), session);
+  } else {
+    // Defensive: the session already lives here (the caller should have
+    // dropped it from exactly one source). Treat the transfer as a touch so
+    // state is merged, never duplicated.
+    lru_.splice(lru_.end(), lru_, s.lru_it);
+  }
+  s.last_use = now;
+  const size_t target_tokens = std::max(s.tokens, tokens);
+  const size_t target_blocks =
+      (target_tokens + config_.block_tokens - 1) / config_.block_tokens;
+  while (blocks_in_use_ - s.blocks + target_blocks > config_.total_blocks) {
+    if (!EvictOneExcept(session)) {
+      break;
+    }
+  }
+  const size_t affordable_blocks =
+      std::min(target_blocks, config_.total_blocks - (blocks_in_use_ - s.blocks));
+  const i64 before = static_cast<i64>(blocks_in_use_);
+  blocks_in_use_ = blocks_in_use_ - s.blocks + affordable_blocks;
+  s.blocks = affordable_blocks;
+  s.tokens = std::min(target_tokens, affordable_blocks * config_.block_tokens);
+  Audit(KvOp::kAdopt, session, before, static_cast<i64>(blocks_in_use_));
+  return s.tokens;
 }
 
 size_t KvCache::CachedTokens(u32 session) const {

@@ -34,6 +34,7 @@ enum class KvOp {
   kEvict,       // LRU victim removed under pressure
   kDrop,        // explicit per-session release
   kClear,       // whole-cache reset
+  kAdopt,       // session state transferred in during an elastic resize
 };
 
 std::string_view KvOpName(KvOp op);
@@ -60,8 +61,21 @@ class KvCache {
   // Tokens currently cached for `session` (0 if evicted/unknown).
   size_t CachedTokens(u32 session) const;
 
+  // Installs `tokens` tokens for `session` transferred from another shard's
+  // cache during an elastic resize. Allocation goes through the same audited
+  // eviction path as Extend, but handover is not request traffic: no
+  // hit/miss counters move. The caller must Drop the session from the source
+  // cache first — adopt-without-drop would silently duplicate state, which
+  // the KV-handover rule forbids. Returns the tokens actually resident
+  // afterwards (capacity pressure can truncate the transfer).
+  size_t Adopt(u32 session, size_t tokens, Cycles now);
+
   void Drop(u32 session);
   void Clear();
+
+  // Sessions currently resident (the bounded-memory metric the open-world
+  // loop reports a high-water mark for).
+  size_t resident_sessions() const { return sessions_.size(); }
 
   size_t blocks_in_use() const { return blocks_in_use_; }
   size_t capacity_blocks() const { return config_.total_blocks; }

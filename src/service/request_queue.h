@@ -27,6 +27,34 @@ struct InferenceRequest {
   bool has_session() const { return session_id != kNoSession; }
 };
 
+// Per-request audit record: where the request was routed, where it actually
+// ran, and how it fared. The affinity and work-stealing tests (and the
+// detector-verdict service invariant) are asserted against this trace.
+struct RequestOutcome {
+  u64 id = 0;
+  u32 session_id = kNoSession;
+  size_t owner_shard = 0;  // routing decision (affinity / placement)
+  size_t ran_shard = 0;    // executing shard (differs only when stolen)
+  size_t replica = 0;      // replica index within ran_shard
+  bool stolen = false;
+  bool ok = false;         // false: blocked by detectors or replica error
+  Cycles start = 0;
+  Cycles done = 0;
+  std::string completion;  // replica output when ok, error text otherwise
+};
+
+// The unit the sharded scheduler actually queues: a request plus its routing
+// decision and in-place outcome. Slots live in stable storage owned by the
+// event loop (a deque in RunAll / a bounded retire-from-the-front pool in
+// RunContinuous), so shard queues can hold raw pointers and the open-world
+// loop can recycle finished slots without invalidating queued ones.
+struct RequestSlot {
+  InferenceRequest request;
+  RequestOutcome outcome;
+  size_t owner = 0;   // owning shard per the routing decision
+  bool done = false;  // outcome finalized (completed, failed, or blocked)
+};
+
 struct InferenceResponse {
   u64 id = 0;
   bool ok = false;

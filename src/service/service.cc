@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <deque>
 #include <sstream>
+#include <utility>
 
 namespace guillotine {
 
@@ -21,6 +23,20 @@ void AppendPercentiles(std::ostringstream& out, const Histogram& h) {
       << " p999=" << Fixed(h.Percentile(99.9), "%.3f");
 }
 
+void AppendShardLine(std::ostringstream& out, const ShardStats& s) {
+  out << "shard " << s.shard << " replicas=" << s.replicas
+      << " completed=" << s.completed << " failed=" << s.failed
+      << " stolen_in=" << s.stolen_in << " stolen_out=" << s.stolen_out
+      << " qhw=" << s.queue_high_water << " kv_hits=" << s.kv_hits
+      << " kv_misses=" << s.kv_misses << " kv_evictions=" << s.kv_evictions
+      << " kv_hit_rate=" << Fixed(s.kv_hit_rate)
+      << " det_batches=" << s.det_batches << " det_obs=" << s.det_obs
+      << " det_blocked=" << s.det_blocked << " det_rewritten=" << s.det_rewritten
+      << " det_cyc_per_obs=" << Fixed(s.det_cyc_per_obs) << " ";
+  AppendPercentiles(out, s.latency);
+  out << "\n";
+}
+
 }  // namespace
 
 std::string ServiceReport::Digest() const {
@@ -32,17 +48,7 @@ std::string ServiceReport::Digest() const {
   AppendPercentiles(out, latency);
   out << "\n";
   for (const ShardStats& s : shards) {
-    out << "shard " << s.shard << " replicas=" << s.replicas
-        << " completed=" << s.completed << " failed=" << s.failed
-        << " stolen_in=" << s.stolen_in << " stolen_out=" << s.stolen_out
-        << " qhw=" << s.queue_high_water << " kv_hits=" << s.kv_hits
-        << " kv_misses=" << s.kv_misses << " kv_evictions=" << s.kv_evictions
-        << " kv_hit_rate=" << Fixed(s.kv_hit_rate)
-        << " det_batches=" << s.det_batches << " det_obs=" << s.det_obs
-        << " det_blocked=" << s.det_blocked << " det_rewritten=" << s.det_rewritten
-        << " det_cyc_per_obs=" << Fixed(s.det_cyc_per_obs) << " ";
-    AppendPercentiles(out, s.latency);
-    out << "\n";
+    AppendShardLine(out, s);
   }
   for (const RequestOutcome& o : outcomes) {
     out << "req id=" << o.id << " session=" << o.session_id
@@ -50,6 +56,26 @@ std::string ServiceReport::Digest() const {
         << " replica=" << o.replica << " stolen=" << (o.stolen ? 1 : 0)
         << " ok=" << (o.ok ? 1 : 0) << " start=" << o.start
         << " done=" << o.done << "\n";
+  }
+  return out.str();
+}
+
+std::string ContinuousReport::Digest() const {
+  std::ostringstream out;
+  out << "continuous arrivals=" << arrivals << " completed=" << completed
+      << " failed=" << failed << " stolen=" << stolen
+      << " makespan=" << makespan << " kv_hit_rate=" << Fixed(kv_hit_rate)
+      << " distinct_sessions=" << distinct_sessions
+      << " peak_resident=" << peak_resident_sessions
+      << " peak_live=" << peak_live_requests
+      << " resizes=" << resizes_applied
+      << " remapped=" << remapped_sessions << " migrated=" << kv_migrated
+      << " dropped=" << kv_dropped << " requeued=" << requeued << "\n";
+  out << "latency ";
+  AppendPercentiles(out, latency);
+  out << "\n";
+  for (const ShardStats& s : shards) {
+    AppendShardLine(out, s);
   }
   return out.str();
 }
@@ -62,6 +88,7 @@ ModelService::ModelService(ModelServiceConfig config) : config_(std::move(config
   for (size_t i = 0; i < config_.num_shards; ++i) {
     shards_.push_back(std::make_unique<ServiceShard>(i, config_.kv));
   }
+  active_shards_ = shards_.size();
 }
 
 void ModelService::AddReplica(InferenceReplica* replica) {
@@ -82,14 +109,18 @@ size_t ModelService::num_replicas() const {
   return n;
 }
 
-void ModelService::RebuildRing() const {
+std::vector<size_t> ModelService::EligibleShards() const {
   std::vector<size_t> eligible;
-  for (const auto& s : shards_) {
-    if (s->num_replicas() > 0) {
-      eligible.push_back(s->index());
+  for (size_t i = 0; i < active_shards_ && i < shards_.size(); ++i) {
+    if (shards_[i]->num_replicas() > 0) {
+      eligible.push_back(i);
     }
   }
-  ring_ = std::make_unique<SessionHashRing>(eligible, config_.virtual_nodes);
+  return eligible;
+}
+
+void ModelService::RebuildRing() const {
+  ring_ = std::make_unique<SessionHashRing>(EligibleShards(), config_.virtual_nodes);
   ring_stale_ = false;
 }
 
@@ -100,6 +131,51 @@ size_t ModelService::OwnerShard(u32 session_id) const {
   return ring_->Owner(session_id);
 }
 
+Result<ResizeReport> ModelService::SetActiveShards(size_t n, Cycles now) {
+  if (n == 0) {
+    return InvalidArgument("SetActiveShards: active shard count must be >= 1");
+  }
+  n = std::min(n, shards_.size());
+  bool any_replicas = false;
+  for (size_t i = 0; i < n; ++i) {
+    any_replicas = any_replicas || shards_[i]->num_replicas() > 0;
+  }
+  if (!any_replicas) {
+    return FailedPrecondition(
+        "SetActiveShards: no replicas in the first " + std::to_string(n) +
+        " shards; the session ring would be empty");
+  }
+  active_shards_ = n;
+  ring_stale_ = true;
+  RebuildRing();
+
+  ResizeReport resize;
+  resize.active_shards = n;
+  // KV handover for every resident session the new ring remaps. Shards are
+  // scanned in index order and sessions coldest-first (LruOrder), so the
+  // handover order — and the eviction pressure adoption creates on the
+  // receiving caches — is deterministic. Drop-before-adopt: at every
+  // instant exactly one shard holds a session's state.
+  for (auto& s : shards_) {
+    for (u32 session : s->kv_cache().LruOrder()) {
+      const size_t owner = ring_->Owner(session);
+      if (owner == s->index()) {
+        continue;
+      }
+      ++resize.remapped_sessions;
+      const size_t tokens = s->kv_cache().CachedTokens(session);
+      s->kv_cache().Drop(session);
+      if (config_.kv_handover == ModelServiceConfig::KvHandover::kMigrate) {
+        shards_[owner]->kv_cache().Adopt(session, tokens, now);
+        ++resize.kv_migrated;
+      } else {
+        ++resize.kv_dropped;
+      }
+    }
+  }
+  return resize;
+}
+
 // The global event loop is a min-heap of (time, seq): request arrivals get
 // their seq from arrival order, completions from issue order, so every heap
 // pop is totally ordered and two runs of the same workload replay the exact
@@ -108,8 +184,9 @@ struct ModelService::Event {
   Cycles time = 0;
   u64 seq = 0;
   enum Kind { kArrival = 0, kReplicaFree } kind = kArrival;
-  size_t index = 0;    // kArrival: request index; kReplicaFree: shard index
-  size_t replica = 0;  // kReplicaFree only
+  RequestSlot* slot = nullptr;  // kArrival only
+  size_t shard = 0;             // kReplicaFree only
+  size_t replica = 0;           // kReplicaFree only
 
   // std::push_heap builds a max-heap; invert so the top is the earliest.
   bool operator<(const Event& other) const {
@@ -120,12 +197,36 @@ struct ModelService::Event {
   }
 };
 
-void ModelService::RunOnReplica(const InferenceRequest& request,
-                                ServiceShard& exec_shard, size_t replica_index,
-                                Cycles now, size_t owner_shard,
-                                RequestOutcome& outcome,
-                                std::vector<Event>& event_heap, u64& event_seq,
+// Shared mutable state of one event-loop drive (RunAll batch or
+// RunContinuous stream): the heap, the sequence counter, and the routing
+// set of active shards that hold replicas.
+struct ModelService::LoopCtx {
+  std::vector<Event> events;  // heap via Event::operator<
+  u64 seq = 0;
+  std::vector<size_t> eligible;   // active shards with >= 1 replica
+  size_t sessionless_cursor = 0;  // round-robin deal for one-shot requests
+  u64 finalized = 0;              // slots whose outcome has settled
+  Cycles makespan = 0;            // latest outcome.done seen
+};
+
+void ModelService::RouteSlot(RequestSlot& slot, LoopCtx& ctx) const {
+  // Routing: sessions pin to their consistent-hash owner; session-less
+  // requests are dealt round-robin over eligible shards (static placement —
+  // the stealing path does the dynamic balancing).
+  if (slot.request.has_session()) {
+    slot.owner = ring_->Owner(slot.request.session_id);
+  } else {
+    slot.owner = ctx.eligible[ctx.sessionless_cursor];
+    ctx.sessionless_cursor = (ctx.sessionless_cursor + 1) % ctx.eligible.size();
+  }
+  slot.outcome.owner_shard = slot.owner;
+  slot.outcome.ran_shard = slot.owner;
+}
+
+void ModelService::RunOnReplica(RequestSlot& slot, ServiceShard& exec_shard,
+                                size_t replica_index, Cycles now, LoopCtx& ctx,
                                 const std::string* prompt_override) {
+  const InferenceRequest& request = slot.request;
   const Cycles start = std::max(now, request.arrival);
   const std::string& prompt =
       prompt_override != nullptr ? *prompt_override : request.prompt;
@@ -150,61 +251,57 @@ void ModelService::RunOnReplica(const InferenceRequest& request,
   const Cycles done = start + service_cycles;
   exec_shard.set_busy_until(replica_index, done);
 
-  outcome.owner_shard = owner_shard;
+  RequestOutcome& outcome = slot.outcome;
+  outcome.owner_shard = slot.owner;
   outcome.ran_shard = exec_shard.index();
   outcome.replica = replica_index;
-  outcome.stolen = exec_shard.index() != owner_shard;
+  outcome.stolen = exec_shard.index() != slot.owner;
   outcome.ok = result.ok();
   outcome.start = start;
   outcome.done = done;
   outcome.completion = result.ok() ? *result : result.status().ToString();
 
-  event_heap.push_back(
-      Event{done, event_seq++, Event::kReplicaFree, exec_shard.index(), replica_index});
-  std::push_heap(event_heap.begin(), event_heap.end());
+  ctx.events.push_back(Event{done, ctx.seq++, Event::kReplicaFree, nullptr,
+                             exec_shard.index(), replica_index});
+  std::push_heap(ctx.events.begin(), ctx.events.end());
 }
 
-void ModelService::AccountOutcome(ServiceShard& exec_shard,
-                                  const InferenceRequest& request,
-                                  const RequestOutcome& outcome) {
+void ModelService::AccountOutcome(ServiceShard& exec_shard, RequestSlot& slot,
+                                  LoopCtx& ctx) {
   ShardStats& stats = exec_shard.stats();
-  if (outcome.ok) {
+  if (slot.outcome.ok) {
     ++stats.completed;
-    stats.latency.Add(static_cast<double>(outcome.done - request.arrival));
+    stats.latency.Add(
+        static_cast<double>(slot.outcome.done - slot.request.arrival));
   } else {
     ++stats.failed;
   }
+  slot.done = true;
+  ++ctx.finalized;
+  ctx.makespan = std::max(ctx.makespan, slot.outcome.done);
 }
 
-void ModelService::Execute(const InferenceRequest& request, ServiceShard& exec_shard,
-                           size_t replica_index, Cycles now, size_t owner_shard,
-                           RequestOutcome& outcome,
-                           std::vector<Event>& event_heap, u64& event_seq) {
-  RunOnReplica(request, exec_shard, replica_index, now, owner_shard, outcome,
-               event_heap, event_seq, /*prompt_override=*/nullptr);
-  AccountOutcome(exec_shard, request, outcome);
+void ModelService::Execute(RequestSlot& slot, ServiceShard& exec_shard,
+                           size_t replica_index, Cycles now, LoopCtx& ctx) {
+  RunOnReplica(slot, exec_shard, replica_index, now, ctx,
+               /*prompt_override=*/nullptr);
+  AccountOutcome(exec_shard, slot, ctx);
 }
 
 void ModelService::ExecuteMediated(std::vector<MediatedItem> group,
                                    ServiceShard& exec_shard, Cycles now,
-                                   const std::vector<size_t>& owners,
-                                   std::vector<RequestOutcome>& outcomes,
-                                   const InferenceRequest* requests_base,
-                                   std::vector<Event>& event_heap, u64& event_seq) {
+                                   LoopCtx& ctx) {
   if (group.empty()) {
     return;
   }
   ShardStats& stats = exec_shard.stats();
-  auto index_of = [&](const InferenceRequest* r) {
-    return static_cast<size_t>(r - requests_base);
-  };
 
   // Input-shield pass: one batch over every request dispatched this step.
   std::vector<Observation> inputs(group.size());
   for (size_t i = 0; i < group.size(); ++i) {
     inputs[i].kind = ObservationKind::kModelInput;
     inputs[i].time = now;
-    inputs[i].data = ToBytes(group[i].request->prompt);
+    inputs[i].data = ToBytes(group[i].slot->request.prompt);
   }
   VerdictPlan input_plan = config_.detectors->EvaluateBatch(inputs);
   ++stats.det_batches;
@@ -220,20 +317,20 @@ void ModelService::ExecuteMediated(std::vector<MediatedItem> group,
   survivors.reserve(group.size());
   for (size_t i = 0; i < group.size(); ++i) {
     const DetectorVerdict& v = input_plan.verdicts[i];
-    const size_t req_index = index_of(group[i].request);
-    RequestOutcome& outcome = outcomes[req_index];
+    RequestSlot& slot = *group[i].slot;
     if (v.action == VerdictAction::kBlock || v.action == VerdictAction::kEscalate) {
       // Blocked before touching a replica: release the booked replica and
       // fail the request in place.
       exec_shard.set_busy_until(group[i].replica_index, group[i].prior_busy_until);
-      outcome.owner_shard = owners[req_index];
+      RequestOutcome& outcome = slot.outcome;
+      outcome.owner_shard = slot.owner;
       outcome.ran_shard = exec_shard.index();
-      outcome.stolen = exec_shard.index() != owners[req_index];
+      outcome.stolen = exec_shard.index() != slot.owner;
       outcome.ok = false;
-      outcome.start = std::max(now, group[i].request->arrival);
+      outcome.start = std::max(now, slot.request.arrival);
       outcome.done = outcome.start;
       outcome.completion = "input blocked: " + v.reason;
-      ++stats.failed;
+      AccountOutcome(exec_shard, slot, ctx);
       ++stats.det_blocked;
       continue;
     }
@@ -249,9 +346,7 @@ void ModelService::ExecuteMediated(std::vector<MediatedItem> group,
 
   for (const Survivor& s : survivors) {
     const MediatedItem& item = group[s.group_index];
-    const size_t req_index = index_of(item.request);
-    RunOnReplica(*item.request, exec_shard, item.replica_index, now,
-                 owners[req_index], outcomes[req_index], event_heap, event_seq,
+    RunOnReplica(*item.slot, exec_shard, item.replica_index, now, ctx,
                  s.rewritten ? &s.prompt : nullptr);
   }
 
@@ -259,12 +354,12 @@ void ModelService::ExecuteMediated(std::vector<MediatedItem> group,
   std::vector<size_t> output_group;  // survivor indices with ok completions
   std::vector<Observation> outputs;
   for (size_t i = 0; i < survivors.size(); ++i) {
-    const size_t req_index = index_of(group[survivors[i].group_index].request);
-    if (outcomes[req_index].ok) {
+    RequestSlot& slot = *group[survivors[i].group_index].slot;
+    if (slot.outcome.ok) {
       Observation obs;
       obs.kind = ObservationKind::kModelOutput;
       obs.time = now;
-      obs.data = ToBytes(outcomes[req_index].completion);
+      obs.data = ToBytes(slot.outcome.completion);
       outputs.push_back(std::move(obs));
       output_group.push_back(i);
     }
@@ -276,9 +371,8 @@ void ModelService::ExecuteMediated(std::vector<MediatedItem> group,
     stats.det_cost += output_plan.total_cost;
     for (size_t o = 0; o < output_group.size(); ++o) {
       const DetectorVerdict& v = output_plan.verdicts[o];
-      const size_t req_index =
-          index_of(group[survivors[output_group[o]].group_index].request);
-      RequestOutcome& outcome = outcomes[req_index];
+      RequestOutcome& outcome =
+          group[survivors[output_group[o]].group_index].slot->outcome;
       if (v.action == VerdictAction::kBlock || v.action == VerdictAction::kEscalate) {
         outcome.ok = false;
         outcome.completion = "output blocked: " + v.reason;
@@ -291,8 +385,156 @@ void ModelService::ExecuteMediated(std::vector<MediatedItem> group,
   }
 
   for (const Survivor& s : survivors) {
-    const MediatedItem& item = group[s.group_index];
-    AccountOutcome(exec_shard, *item.request, outcomes[index_of(item.request)]);
+    AccountOutcome(exec_shard, *group[s.group_index].slot, ctx);
+  }
+}
+
+void ModelService::Dispatch(ServiceShard& s, Cycles now, LoopCtx& ctx) {
+  if (config_.detectors == nullptr) {
+    while (!s.queue_empty()) {
+      const auto idle = s.IdleReplica(now);
+      if (!idle.has_value()) {
+        return;
+      }
+      RequestSlot* slot = s.PopFront();
+      Execute(*slot, s, *idle, now, ctx);
+    }
+    return;
+  }
+  // Mediated: gather the step's dispatch group (every queued request an
+  // idle replica can take right now, replicas booked in selection order),
+  // then run it through one batched input pass / output pass. A blocked
+  // request releases its replica, which the next group re-offers.
+  while (!s.queue_empty() && s.IdleReplica(now).has_value()) {
+    std::vector<MediatedItem> group;
+    while (!s.queue_empty()) {
+      const auto idle = s.IdleReplica(now);
+      if (!idle.has_value()) {
+        break;
+      }
+      MediatedItem item;
+      item.slot = s.PopFront();
+      item.replica_index = *idle;
+      item.prior_busy_until = s.busy_until(*idle);
+      // Tentative booking so the next pick skips this replica; the real
+      // completion horizon (or the restored prior value) lands in
+      // ExecuteMediated.
+      s.set_busy_until(*idle, now + 1);
+      group.push_back(std::move(item));
+    }
+    ExecuteMediated(std::move(group), s, now, ctx);
+  }
+}
+
+void ModelService::TrySteal(ServiceShard& thief, size_t replica_index,
+                            Cycles now, LoopCtx& ctx) {
+  if (!config_.work_stealing) {
+    return;
+  }
+  // Victims ordered by backlog (desc), then index (asc); only peers that
+  // StealWorthy approves are worth raiding, and only session-less work may
+  // move (a stolen conversation would forfeit its KV prefix).
+  std::vector<size_t> victims;
+  for (size_t v : ctx.eligible) {
+    if (v == thief.index() || !StealWorthy(*shards_[v], now)) {
+      continue;
+    }
+    victims.push_back(v);
+  }
+  std::sort(victims.begin(), victims.end(), [&](size_t a, size_t b) {
+    const size_t ba = shards_[a]->Backlog(now);
+    const size_t bb = shards_[b]->Backlog(now);
+    return ba != bb ? ba > bb : a < b;
+  });
+  for (size_t v : victims) {
+    RequestSlot* slot = shards_[v]->StealOldestSessionless();
+    if (slot == nullptr) {
+      continue;
+    }
+    ++thief.stats().stolen_in;
+    ++shards_[v]->stats().stolen_out;
+    if (config_.detectors != nullptr) {
+      // Stolen work is mediated like any dispatch, as a group of one.
+      MediatedItem item;
+      item.slot = slot;
+      item.replica_index = replica_index;
+      item.prior_busy_until = thief.busy_until(replica_index);
+      thief.set_busy_until(replica_index, now + 1);
+      ExecuteMediated({std::move(item)}, thief, now, ctx);
+    } else {
+      Execute(*slot, thief, replica_index, now, ctx);
+    }
+    return;
+  }
+}
+
+// Idle-drained shards steal in ascending index order; TrySteal itself picks
+// the most-backlogged victim, so thief order only breaks ties.
+void ModelService::OfferSteals(Cycles now, LoopCtx& ctx) {
+  for (size_t t : ctx.eligible) {
+    ServiceShard& thief = *shards_[t];
+    if (!thief.queue_empty()) {
+      continue;
+    }
+    const auto idle = thief.IdleReplica(now);
+    if (idle.has_value()) {
+      TrySteal(thief, *idle, now, ctx);
+    }
+  }
+}
+
+void ModelService::HandleEvent(const Event& e, LoopCtx& ctx) {
+  if (e.kind == Event::kArrival) {
+    RequestSlot* first = e.slot;
+    ServiceShard& s0 = *shards_[first->owner];
+    s0.Enqueue(first);
+    if (config_.detectors != nullptr) {
+      // Mediated mode coalesces every arrival of this instant into one
+      // event-loop step, so the input-shield pass batches over the whole
+      // step's dispatch group instead of degenerating to singletons.
+      // (Arrival events carry the lowest sequence numbers, so consecutive
+      // heap tops at this timestamp are exactly this instant's arrivals.
+      // The open-world loop never coalesces: TrafficSource arrivals are
+      // strictly increasing, so the peek below can only match pre-routed
+      // batch arrivals.)
+      std::vector<size_t> touched;
+      touched.push_back(first->owner);
+      while (!ctx.events.empty() && ctx.events.front().kind == Event::kArrival &&
+             ctx.events.front().time == e.time) {
+        std::pop_heap(ctx.events.begin(), ctx.events.end());
+        const Event next = ctx.events.back();
+        ctx.events.pop_back();
+        shards_[next.slot->owner]->Enqueue(next.slot);
+        touched.push_back(next.slot->owner);
+      }
+      std::sort(touched.begin(), touched.end());
+      touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+      for (const size_t idx : touched) {
+        ServiceShard& s = *shards_[idx];
+        Dispatch(s, e.time, ctx);
+        if (StealWorthy(s, e.time)) {
+          OfferSteals(e.time, ctx);
+        }
+      }
+      return;
+    }
+    Dispatch(s0, e.time, ctx);
+    // A stealable arrival to a backlogged shard must wake idle peers now:
+    // a fully drained shard has no pending events of its own to steal on.
+    if (StealWorthy(s0, e.time)) {
+      OfferSteals(e.time, ctx);
+    }
+  } else {
+    ServiceShard& s = *shards_[e.shard];
+    Dispatch(s, e.time, ctx);
+    // Re-resolve the idle replica: dispatch above may have re-booked
+    // `e.replica` (two replicas freeing at the same cycle), and stealing
+    // onto a busy replica would double-book it. A shard deactivated by a
+    // mid-run resize drains its in-flight work but never steals new work.
+    const auto idle = s.IdleReplica(e.time);
+    if (s.queue_empty() && idle.has_value() && e.shard < active_shards_) {
+      TrySteal(s, *idle, e.time, ctx);
+    }
   }
 }
 
@@ -301,24 +543,10 @@ ServiceReport ModelService::RunAll(std::vector<InferenceRequest> requests) {
   if (ring_stale_ || ring_ == nullptr) {
     RebuildRing();
   }
-
-  std::vector<size_t> eligible;
+  // Each run starts from a quiet fleet: stats reset, replicas idle. The
+  // KV caches deliberately persist — sessions outlive a single batch.
   for (auto& s : shards_) {
-    // Each run starts from a quiet fleet: stats reset, replicas idle. The
-    // KV caches deliberately persist — sessions outlive a single batch.
-    ShardStats fresh;
-    fresh.shard = s->index();
-    fresh.replicas = s->num_replicas();
-    fresh.kv_hits = s->kv_cache().hits();          // snapshot; delta at end
-    fresh.kv_misses = s->kv_cache().misses();
-    fresh.kv_evictions = s->kv_cache().evictions();
-    s->stats() = fresh;
-    for (size_t r = 0; r < s->num_replicas(); ++r) {
-      s->set_busy_until(r, 0);
-    }
-    if (s->num_replicas() > 0) {
-      eligible.push_back(s->index());
-    }
+    s->BeginRun();
   }
 
   std::sort(requests.begin(), requests.end(),
@@ -326,238 +554,213 @@ ServiceReport ModelService::RunAll(std::vector<InferenceRequest> requests) {
               return a.arrival != b.arrival ? a.arrival < b.arrival : a.id < b.id;
             });
 
-  report.outcomes.resize(requests.size());
-  for (size_t i = 0; i < requests.size(); ++i) {
-    report.outcomes[i].id = requests[i].id;
-    report.outcomes[i].session_id = requests[i].session_id;
+  // Slots live in a deque so shard queues and the event heap can hold
+  // stable pointers for the whole run.
+  std::deque<RequestSlot> slots;
+  for (InferenceRequest& r : requests) {
+    slots.emplace_back();
+    RequestSlot& slot = slots.back();
+    slot.request = std::move(r);
+    slot.outcome.id = slot.request.id;
+    slot.outcome.session_id = slot.request.session_id;
   }
 
-  if (eligible.empty()) {
-    report.failed = requests.size();
-    for (RequestOutcome& o : report.outcomes) {
-      o.completion = "no replicas";
+  LoopCtx ctx;
+  ctx.eligible = EligibleShards();
+  if (ctx.eligible.empty()) {
+    report.failed = slots.size();
+    report.outcomes.reserve(slots.size());
+    for (RequestSlot& slot : slots) {
+      slot.outcome.completion = "no replicas";
+      report.outcomes.push_back(std::move(slot.outcome));
     }
     return report;
   }
 
-  // Routing: sessions pin to their consistent-hash owner; session-less
-  // requests are dealt round-robin over eligible shards (static placement —
-  // the stealing path below does the dynamic balancing).
-  std::vector<size_t> owner(requests.size());
-  size_t sessionless_cursor = 0;
-  for (size_t i = 0; i < requests.size(); ++i) {
-    if (requests[i].has_session()) {
-      owner[i] = ring_->Owner(requests[i].session_id);
-    } else {
-      owner[i] = eligible[sessionless_cursor];
-      sessionless_cursor = (sessionless_cursor + 1) % eligible.size();
-    }
-    report.outcomes[i].owner_shard = owner[i];
-    report.outcomes[i].ran_shard = owner[i];
+  for (RequestSlot& slot : slots) {
+    RouteSlot(slot, ctx);
   }
 
-  // Shard queues hold pointers into `requests` (sorted above, never
-  // resized); the pointer offset recovers the outcome/routing slot.
-  auto outcome_of = [&](const InferenceRequest* r) -> RequestOutcome& {
-    return report.outcomes[static_cast<size_t>(r - requests.data())];
-  };
-  auto owner_of = [&](const InferenceRequest* r) -> size_t {
-    return owner[static_cast<size_t>(r - requests.data())];
-  };
-
-  std::vector<Event> events;
-  events.reserve(requests.size() * 2);
-  u64 seq = 0;
-  for (size_t i = 0; i < requests.size(); ++i) {
-    events.push_back(Event{requests[i].arrival, seq++, Event::kArrival, i, 0});
+  ctx.events.reserve(slots.size() * 2);
+  for (RequestSlot& slot : slots) {
+    ctx.events.push_back(Event{slot.request.arrival, ctx.seq++,
+                               Event::kArrival, &slot, 0, 0});
   }
-  std::make_heap(events.begin(), events.end());
+  std::make_heap(ctx.events.begin(), ctx.events.end());
 
-  auto dispatch = [&](ServiceShard& s, Cycles now) {
-    if (config_.detectors == nullptr) {
-      while (!s.queue_empty()) {
-        const auto idle = s.IdleReplica(now);
-        if (!idle.has_value()) {
-          return;
-        }
-        const InferenceRequest* r = s.PopFront();
-        Execute(*r, s, *idle, now, owner_of(r), outcome_of(r), events, seq);
-      }
-      return;
-    }
-    // Mediated: gather the step's dispatch group (every queued request an
-    // idle replica can take right now, replicas booked in selection order),
-    // then run it through one batched input pass / output pass. A blocked
-    // request releases its replica, which the next group re-offers.
-    while (!s.queue_empty() && s.IdleReplica(now).has_value()) {
-      std::vector<MediatedItem> group;
-      while (!s.queue_empty()) {
-        const auto idle = s.IdleReplica(now);
-        if (!idle.has_value()) {
-          break;
-        }
-        MediatedItem item;
-        item.request = s.PopFront();
-        item.replica_index = *idle;
-        item.prior_busy_until = s.busy_until(*idle);
-        // Tentative booking so the next pick skips this replica; the real
-        // completion horizon (or the restored prior value) lands in
-        // ExecuteMediated.
-        s.set_busy_until(*idle, now + 1);
-        group.push_back(std::move(item));
-      }
-      ExecuteMediated(std::move(group), s, now, owner, report.outcomes,
-                      requests.data(), events, seq);
-    }
-  };
-
-  auto try_steal = [&](ServiceShard& thief, size_t replica_index, Cycles now) {
-    if (!config_.work_stealing) {
-      return;
-    }
-    // Victims ordered by backlog (desc), then index (asc); only peers whose
-    // backlog exceeds the threshold are worth raiding, and only session-less
-    // work may move (a stolen conversation would forfeit its KV prefix).
-    std::vector<size_t> victims;
-    for (size_t v : eligible) {
-      if (v == thief.index() || shards_[v]->queue_empty()) {
-        continue;
-      }
-      if (shards_[v]->Backlog(now) > config_.steal_backlog_threshold) {
-        victims.push_back(v);
-      }
-    }
-    std::sort(victims.begin(), victims.end(), [&](size_t a, size_t b) {
-      const size_t ba = shards_[a]->Backlog(now);
-      const size_t bb = shards_[b]->Backlog(now);
-      return ba != bb ? ba > bb : a < b;
-    });
-    for (size_t v : victims) {
-      const InferenceRequest* r = shards_[v]->StealOldestSessionless();
-      if (r == nullptr) {
-        continue;
-      }
-      ++thief.stats().stolen_in;
-      ++shards_[v]->stats().stolen_out;
-      if (config_.detectors != nullptr) {
-        // Stolen work is mediated like any dispatch, as a group of one.
-        MediatedItem item;
-        item.request = r;
-        item.replica_index = replica_index;
-        item.prior_busy_until = thief.busy_until(replica_index);
-        thief.set_busy_until(replica_index, now + 1);
-        ExecuteMediated({std::move(item)}, thief, now, owner, report.outcomes,
-                        requests.data(), events, seq);
-      } else {
-        Execute(*r, thief, replica_index, now, owner_of(r), outcome_of(r), events, seq);
-      }
-      return;
-    }
-  };
-
-  // Idle-drained shards steal in ascending index order; try_steal itself
-  // picks the most-backlogged victim, so thief order only breaks ties.
-  auto offer_steals = [&](Cycles now) {
-    for (size_t t : eligible) {
-      ServiceShard& thief = *shards_[t];
-      if (!thief.queue_empty()) {
-        continue;
-      }
-      const auto idle = thief.IdleReplica(now);
-      if (idle.has_value()) {
-        try_steal(thief, *idle, now);
-      }
-    }
-  };
-
-  while (!events.empty()) {
-    std::pop_heap(events.begin(), events.end());
-    const Event e = events.back();
-    events.pop_back();
-    if (e.kind == Event::kArrival) {
-      if (config_.detectors != nullptr) {
-        // Mediated mode coalesces every arrival of this instant into one
-        // event-loop step, so the input-shield pass batches over the whole
-        // step's dispatch group instead of degenerating to singletons.
-        // (Arrival events carry the lowest sequence numbers, so consecutive
-        // heap tops at this timestamp are exactly this instant's arrivals.)
-        std::vector<size_t> touched;
-        const InferenceRequest* first = &requests[e.index];
-        shards_[owner_of(first)]->Enqueue(first);
-        touched.push_back(owner_of(first));
-        while (!events.empty() && events.front().kind == Event::kArrival &&
-               events.front().time == e.time) {
-          std::pop_heap(events.begin(), events.end());
-          const Event next = events.back();
-          events.pop_back();
-          const InferenceRequest* r = &requests[next.index];
-          shards_[owner_of(r)]->Enqueue(r);
-          touched.push_back(owner_of(r));
-        }
-        std::sort(touched.begin(), touched.end());
-        touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
-        for (const size_t idx : touched) {
-          ServiceShard& s = *shards_[idx];
-          dispatch(s, e.time);
-          if (!s.queue_empty() &&
-              s.Backlog(e.time) > config_.steal_backlog_threshold) {
-            offer_steals(e.time);
-          }
-        }
-        continue;
-      }
-      const InferenceRequest* r = &requests[e.index];
-      ServiceShard& s = *shards_[owner_of(r)];
-      s.Enqueue(r);
-      dispatch(s, e.time);
-      // A stealable arrival to a backlogged shard must wake idle peers now:
-      // a fully drained shard has no pending events of its own to steal on.
-      if (!s.queue_empty() &&
-          s.Backlog(e.time) > config_.steal_backlog_threshold) {
-        offer_steals(e.time);
-      }
-    } else {
-      ServiceShard& s = *shards_[e.index];
-      dispatch(s, e.time);
-      // Re-resolve the idle replica: dispatch above may have re-booked
-      // `e.replica` (two replicas freeing at the same cycle), and stealing
-      // onto a busy replica would double-book it.
-      const auto idle = s.IdleReplica(e.time);
-      if (s.queue_empty() && idle.has_value()) {
-        try_steal(s, *idle, e.time);
-      }
-    }
+  while (!ctx.events.empty()) {
+    std::pop_heap(ctx.events.begin(), ctx.events.end());
+    const Event e = ctx.events.back();
+    ctx.events.pop_back();
+    HandleEvent(e, ctx);
   }
 
   // ---- Aggregate ----
   u64 kv_hits = 0, kv_misses = 0;
   for (auto& s : shards_) {
-    ShardStats& stats = s->stats();
-    stats.kv_hits = s->kv_cache().hits() - stats.kv_hits;
-    stats.kv_misses = s->kv_cache().misses() - stats.kv_misses;
-    stats.kv_evictions = s->kv_cache().evictions() - stats.kv_evictions;
-    const u64 total = stats.kv_hits + stats.kv_misses;
-    stats.kv_hit_rate =
-        total == 0 ? 0.0 : static_cast<double>(stats.kv_hits) / static_cast<double>(total);
-    stats.det_cyc_per_obs = stats.det_obs == 0
-                                ? 0.0
-                                : static_cast<double>(stats.det_cost) /
-                                      static_cast<double>(stats.det_obs);
+    s->FinalizeRunStats();
+    const ShardStats& stats = s->stats();
     kv_hits += stats.kv_hits;
     kv_misses += stats.kv_misses;
     report.completed += stats.completed;
     report.failed += stats.failed;
     report.stolen += stats.stolen_in;
+    report.latency.Merge(stats.latency);
     report.shards.push_back(stats);
   }
   const u64 kv_total = kv_hits + kv_misses;
   report.kv_hit_rate =
       kv_total == 0 ? 0.0 : static_cast<double>(kv_hits) / static_cast<double>(kv_total);
-  for (size_t i = 0; i < requests.size(); ++i) {
-    const RequestOutcome& o = report.outcomes[i];
-    report.makespan = std::max(report.makespan, o.done);
-    if (o.ok) {
-      report.latency.Add(static_cast<double>(o.done - requests[i].arrival));
+  report.makespan = ctx.makespan;
+  report.outcomes.reserve(slots.size());
+  for (RequestSlot& slot : slots) {
+    report.outcomes.push_back(std::move(slot.outcome));
+  }
+  return report;
+}
+
+ContinuousReport ModelService::RunContinuous(TrafficSource& source,
+                                             const ContinuousConfig& config) {
+  ContinuousReport report;
+  if (ring_stale_ || ring_ == nullptr) {
+    RebuildRing();
+  }
+  for (auto& s : shards_) {
+    s->BeginRun();
+  }
+
+  LoopCtx ctx;
+  ctx.eligible = EligibleShards();
+  if (ctx.eligible.empty()) {
+    return report;
+  }
+
+  // The slot pool is the loop's only per-request state: slots append at the
+  // back as arrivals are generated (one ahead of the event loop) and retire
+  // from the front once finalized, so resident slots track in-flight work,
+  // not stream length.
+  std::deque<RequestSlot> pool;
+  u64 emitted = 0;
+  u64 routed = 0;
+  size_t resize_idx = 0;
+
+  auto emit_next = [&]() {
+    if (emitted >= config.max_arrivals) {
+      return;
+    }
+    pool.emplace_back();
+    RequestSlot& slot = pool.back();
+    slot.request = source.Next();
+    slot.outcome.id = slot.request.id;
+    slot.outcome.session_id = slot.request.session_id;
+    ++emitted;
+    ctx.events.push_back(Event{slot.request.arrival, ctx.seq++,
+                               Event::kArrival, &slot, 0, 0});
+    std::push_heap(ctx.events.begin(), ctx.events.end());
+  };
+
+  auto apply_resize = [&](size_t n, Cycles now) {
+    auto resized = SetActiveShards(n, now);
+    if (!resized.ok()) {
+      // An unsatisfiable step (no replicas in the target prefix) is skipped
+      // rather than crashing the stream; the report shows it never applied.
+      return;
+    }
+    ++report.resizes_applied;
+    report.remapped_sessions += resized->remapped_sessions;
+    report.kv_migrated += resized->kv_migrated;
+    report.kv_dropped += resized->kv_dropped;
+    ctx.eligible = EligibleShards();
+    // Re-route queued work under the new ring: sessioned slots follow their
+    // remapped owner; session-less slots stranded on a deactivated (or
+    // replica-less) shard re-deal. Drain order is shard index then FIFO, so
+    // the requeue is deterministic and per-owner arrival order is kept.
+    std::vector<RequestSlot*> drained;
+    for (auto& s : shards_) {
+      while (!s->queue_empty()) {
+        drained.push_back(s->PopFront());
+      }
+    }
+    for (RequestSlot* slot : drained) {
+      size_t owner = slot->owner;
+      if (slot->request.has_session()) {
+        owner = ring_->Owner(slot->request.session_id);
+      } else if (owner >= active_shards_ ||
+                 shards_[owner]->num_replicas() == 0) {
+        owner = ctx.eligible[ctx.sessionless_cursor];
+        ctx.sessionless_cursor = (ctx.sessionless_cursor + 1) % ctx.eligible.size();
+      }
+      if (owner != slot->owner) {
+        ++report.requeued;
+      }
+      slot->owner = owner;
+      slot->outcome.owner_shard = owner;
+      slot->outcome.ran_shard = owner;
+      shards_[owner]->Enqueue(slot);
+    }
+    for (size_t i : ctx.eligible) {
+      Dispatch(*shards_[i], now, ctx);
+    }
+  };
+
+  emit_next();
+  while (!ctx.events.empty()) {
+    std::pop_heap(ctx.events.begin(), ctx.events.end());
+    const Event e = ctx.events.back();
+    ctx.events.pop_back();
+    if (e.kind == Event::kArrival) {
+      while (resize_idx < config.resizes.size() &&
+             routed >= config.resizes[resize_idx].after_arrivals) {
+        apply_resize(config.resizes[resize_idx].active_shards, e.time);
+        ++resize_idx;
+      }
+      RouteSlot(*e.slot, ctx);
+      ++routed;
+      HandleEvent(e, ctx);
+      emit_next();
+      // Bounded-memory bookkeeping: sample the high-water marks and retire
+      // finalized slots from the pool front.
+      size_t resident = 0;
+      for (const auto& s : shards_) {
+        resident += s->kv_cache().resident_sessions();
+      }
+      report.peak_resident_sessions =
+          std::max(report.peak_resident_sessions, resident);
+      report.peak_live_requests = std::max(
+          report.peak_live_requests, static_cast<size_t>(emitted - ctx.finalized));
+      if (!config.record_outcomes) {
+        while (!pool.empty() && pool.front().done) {
+          pool.pop_front();
+        }
+      }
+    } else {
+      HandleEvent(e, ctx);
+    }
+  }
+
+  // ---- Aggregate ----
+  report.arrivals = emitted;
+  u64 kv_hits = 0, kv_misses = 0;
+  for (auto& s : shards_) {
+    s->FinalizeRunStats();
+    const ShardStats& stats = s->stats();
+    kv_hits += stats.kv_hits;
+    kv_misses += stats.kv_misses;
+    report.completed += stats.completed;
+    report.failed += stats.failed;
+    report.stolen += stats.stolen_in;
+    report.latency.Merge(stats.latency);
+    report.shards.push_back(stats);
+  }
+  const u64 kv_total = kv_hits + kv_misses;
+  report.kv_hit_rate =
+      kv_total == 0 ? 0.0 : static_cast<double>(kv_hits) / static_cast<double>(kv_total);
+  report.makespan = ctx.makespan;
+  report.distinct_sessions = source.distinct_sessions();
+  if (config.record_outcomes) {
+    report.outcomes.reserve(pool.size());
+    for (RequestSlot& slot : pool) {
+      report.outcomes.push_back(std::move(slot.outcome));
     }
   }
   return report;

@@ -12,6 +12,14 @@
 // FIFO onto its least-loaded idle replica, and an idle replica whose shard
 // has drained may steal the oldest *session-less* request from the most
 // backlogged peer (sessioned requests never migrate mid-conversation).
+//
+// Two drive modes share that machinery:
+//   - RunAll: the closed batch — every request known upfront, run to
+//     completion (the E8 comparison harness and the scenario runner).
+//   - RunContinuous: the open world — a TrafficSource feeds an unbounded
+//     arrival stream, sessions are born and die across what used to be
+//     batch boundaries, and the fleet can be resized mid-run
+//     (SetActiveShards) with an audited KV handover for remapped sessions.
 #ifndef SRC_SERVICE_SERVICE_H_
 #define SRC_SERVICE_SERVICE_H_
 
@@ -22,6 +30,7 @@
 #include "src/common/histogram.h"
 #include "src/detect/detector.h"
 #include "src/service/shard.h"
+#include "src/service/traffic.h"
 
 namespace guillotine {
 
@@ -40,22 +49,14 @@ struct ModelServiceConfig {
   // Null (the default) leaves the scheduler byte-identical to the
   // pre-mediation service.
   DetectorSuite* detectors = nullptr;
-};
-
-// Per-request audit record: where the request was routed, where it actually
-// ran, and how it fared. The affinity and work-stealing tests (and the
-// detector-verdict service invariant) are asserted against this trace.
-struct RequestOutcome {
-  u64 id = 0;
-  u32 session_id = kNoSession;
-  size_t owner_shard = 0;  // routing decision (affinity / placement)
-  size_t ran_shard = 0;    // executing shard (differs only when stolen)
-  size_t replica = 0;      // replica index within ran_shard
-  bool stolen = false;
-  bool ok = false;         // false: blocked by detectors or replica error
-  Cycles start = 0;
-  Cycles done = 0;
-  std::string completion;  // replica output when ok, error text otherwise
+  // KV-handover rule for sessions an elastic resize remaps to a new owner:
+  // the entry is always dropped from the old shard first (audited), then
+  // either adopted by the new owner (kMigrate, audited, no hit/miss
+  // traffic) or simply released (kDrop — the next turn re-prefills). Either
+  // way exactly one shard holds a session's state; duplication is never
+  // silent.
+  enum class KvHandover { kMigrate = 0, kDrop };
+  KvHandover kv_handover = KvHandover::kMigrate;
 };
 
 struct ServiceReport {
@@ -81,6 +82,63 @@ struct ServiceReport {
   std::string Digest() const;
 };
 
+// What one elastic resize did: how many resident sessions the new ring
+// remapped, and where their KV state went.
+struct ResizeReport {
+  size_t active_shards = 0;
+  u64 remapped_sessions = 0;
+  u64 kv_migrated = 0;  // sessions whose cache entries moved to the new owner
+  u64 kv_dropped = 0;   // sessions whose entries were released instead
+};
+
+// One scheduled mid-run resize: once `after_arrivals` arrivals have been
+// routed, the fleet shrinks/grows to `active_shards`.
+struct TrafficResize {
+  u64 after_arrivals = 0;
+  size_t active_shards = 1;
+};
+
+struct ContinuousConfig {
+  u64 max_arrivals = 100'000;          // stream length to drive to completion
+  std::vector<TrafficResize> resizes;  // applied in order as the count passes
+  // Per-request outcomes cost memory proportional to the stream; the
+  // open-world loop's whole point is bounded state, so recording is opt-in
+  // (tests only). When off, finished request slots are retired as the
+  // stream advances.
+  bool record_outcomes = false;
+};
+
+struct ContinuousReport {
+  u64 arrivals = 0;
+  u64 completed = 0;
+  u64 failed = 0;
+  u64 stolen = 0;
+  Cycles makespan = 0;
+  double kv_hit_rate = 0.0;
+  Histogram latency;              // cycles, per completed request
+  u64 distinct_sessions = 0;      // ids the source ever minted (unbounded)
+  size_t peak_resident_sessions = 0;  // high-water of sessions resident in KV
+  size_t peak_live_requests = 0;      // high-water of unfinished request slots
+  size_t resizes_applied = 0;
+  u64 remapped_sessions = 0;
+  u64 kv_migrated = 0;
+  u64 kv_dropped = 0;
+  u64 requeued = 0;               // queued requests re-routed by a resize
+  std::vector<ShardStats> shards;
+  std::vector<RequestOutcome> outcomes;  // only when record_outcomes
+
+  double throughput_per_gcycle() const {
+    return makespan == 0 ? 0.0
+                         : static_cast<double>(completed) * 1e9 /
+                               static_cast<double>(makespan);
+  }
+
+  // Canonical rendering of the aggregate fields and per-shard stats (no
+  // per-request lines: the stream is unbounded). Byte-identical across
+  // reruns of the same source config + service config + schedule.
+  std::string Digest() const;
+};
+
 class ModelService {
  public:
   explicit ModelService(ModelServiceConfig config = {});
@@ -96,50 +154,94 @@ class ModelService {
   ServiceShard& shard(size_t i) { return *shards_[i]; }
   const ServiceShard& shard(size_t i) const { return *shards_[i]; }
 
-  // Owning shard for a session under the current fleet shape (only shards
-  // holding at least one replica participate in routing). Stable across
-  // service instances with identical configuration.
+  // Shards currently participating in routing: indices [0, active_shards).
+  // Construction activates every shard; SetActiveShards resizes the prefix.
+  size_t active_shards() const { return active_shards_; }
+
+  // Elastic resize: activate exactly the first `n` shards (clamped to the
+  // provisioned count) and run the KV handover for every resident session
+  // the new ring remaps. Refuses n == 0 and prefixes with no replicas —
+  // either would leave the session ring empty and strand all sessioned
+  // traffic on a phantom shard 0. Replicas already mid-request on
+  // deactivated shards drain naturally; RunContinuous additionally
+  // re-routes their queued work.
+  Result<ResizeReport> SetActiveShards(size_t n, Cycles now);
+
+  // Owning shard for a session under the current fleet shape (only active
+  // shards holding at least one replica participate in routing). Stable
+  // across service instances with identical configuration.
   size_t OwnerShard(u32 session_id) const;
 
   // Drives every request (sorted by arrival) to completion through the
   // sharded event loop described above.
   ServiceReport RunAll(std::vector<InferenceRequest> requests);
 
+  // Open-world mode: pulls `config.max_arrivals` requests from `source`
+  // (lazily, one ahead of the event loop), applies the scheduled resizes as
+  // the stream passes their thresholds, and drains to completion. Memory
+  // stays bounded regardless of stream length: finished slots retire,
+  // session state is LRU-bounded by the per-shard caches, and the report
+  // carries aggregates only (unless record_outcomes).
+  ContinuousReport RunContinuous(TrafficSource& source,
+                                 const ContinuousConfig& config);
+
  private:
-  void RebuildRing() const;
-  // Runs `request` on `replica` of `shard` starting at `now`; fills in the
-  // outcome and pushes the completion event.
   struct Event;
-  void Execute(const InferenceRequest& request, ServiceShard& exec_shard,
-               size_t replica_index, Cycles now, size_t owner_shard,
-               RequestOutcome& outcome,
-               std::vector<Event>& event_heap, u64& event_seq);
+  struct LoopCtx;  // event heap + seq + eligible-shard set, see service.cc
+  struct MediatedItem {
+    RequestSlot* slot = nullptr;
+    size_t replica_index = 0;
+    Cycles prior_busy_until = 0;  // restored if the input pass blocks it
+  };
+
+  void RebuildRing() const;
+  // Active shards holding at least one replica, ascending.
+  std::vector<size_t> EligibleShards() const;
+  // The one steal predicate every call site shares: a victim is worth
+  // raiding iff it has queued work *and* its backlog clears the threshold.
+  // wake-idle (arrival and replica-free paths) and try_steal previously
+  // duplicated this comparison; one helper means a shard can't be stealable
+  // at one site and not another in the same cycle.
+  bool StealWorthy(const ServiceShard& victim, Cycles now) const {
+    return !victim.queue_empty() &&
+           victim.Backlog(now) > config_.steal_backlog_threshold;
+  }
+
+  // Routes `slot` under the current ring (sessions pin to their
+  // consistent-hash owner; session-less requests deal round-robin over
+  // eligible shards) and stamps the owner into the outcome.
+  void RouteSlot(RequestSlot& slot, LoopCtx& ctx) const;
+  // Drains `s`'s queue onto idle replicas (batched through the detector
+  // passes when mediation is on).
+  void Dispatch(ServiceShard& s, Cycles now, LoopCtx& ctx);
+  void TrySteal(ServiceShard& thief, size_t replica_index, Cycles now,
+                LoopCtx& ctx);
+  void OfferSteals(Cycles now, LoopCtx& ctx);
+  // Runs `slot` on `replica_index` of `exec_shard` starting at `now`; fills
+  // the outcome and pushes the completion event.
+  void Execute(RequestSlot& slot, ServiceShard& exec_shard,
+               size_t replica_index, Cycles now, LoopCtx& ctx);
   // Execute, split for the batched detector passes: RunOnReplica performs
   // the KV/replica/event work (with an optionally rewritten prompt) and
   // AccountOutcome folds the result into the shard stats — deferred in
   // batched mode until the output pass has settled ok/failed.
-  void RunOnReplica(const InferenceRequest& request, ServiceShard& exec_shard,
-                    size_t replica_index, Cycles now, size_t owner_shard,
-                    RequestOutcome& outcome, std::vector<Event>& event_heap,
-                    u64& event_seq, const std::string* prompt_override);
-  static void AccountOutcome(ServiceShard& exec_shard, const InferenceRequest& request,
-                             const RequestOutcome& outcome);
+  void RunOnReplica(RequestSlot& slot, ServiceShard& exec_shard,
+                    size_t replica_index, Cycles now, LoopCtx& ctx,
+                    const std::string* prompt_override);
+  static void AccountOutcome(ServiceShard& exec_shard, RequestSlot& slot,
+                             LoopCtx& ctx);
   // One mediated dispatch group on `exec_shard`: batched input-shield pass,
   // replica execution for the survivors, batched output pass, then stats.
   // `group` pairs queue-popped requests with the replica booked for each.
-  struct MediatedItem {
-    const InferenceRequest* request = nullptr;
-    size_t replica_index = 0;
-    Cycles prior_busy_until = 0;  // restored if the input pass blocks it
-  };
-  void ExecuteMediated(std::vector<MediatedItem> group, ServiceShard& exec_shard,
-                       Cycles now, const std::vector<size_t>& owners,
-                       std::vector<RequestOutcome>& outcomes,
-                       const InferenceRequest* requests_base,
-                       std::vector<Event>& event_heap, u64& event_seq);
+  void ExecuteMediated(std::vector<MediatedItem> group,
+                       ServiceShard& exec_shard, Cycles now, LoopCtx& ctx);
+  // Handles one popped event (arrival: enqueue + dispatch + steal wake;
+  // replica-free: dispatch + drained-shard steal).
+  void HandleEvent(const Event& e, LoopCtx& ctx);
 
   ModelServiceConfig config_;
   std::vector<std::unique_ptr<ServiceShard>> shards_;
+  size_t active_shards_ = 0;         // routing prefix; see SetActiveShards
   size_t next_round_robin_ = 0;      // AddReplica dealing cursor
   mutable std::unique_ptr<SessionHashRing> ring_;  // lazily rebuilt
   mutable bool ring_stale_ = true;

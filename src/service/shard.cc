@@ -6,6 +6,7 @@ namespace guillotine {
 
 SessionHashRing::SessionHashRing(const std::vector<size_t>& shards,
                                  size_t virtual_nodes) {
+  virtual_nodes = std::max<size_t>(virtual_nodes, 1);
   points_.reserve(shards.size() * virtual_nodes);
   for (size_t shard : shards) {
     for (size_t v = 0; v < virtual_nodes; ++v) {

@@ -33,14 +33,20 @@ class SessionHashRing {
  public:
   // `shards` lists the shard indices participating in routing (shards with
   // no replicas are left off the ring so sessions never strand).
+  // `virtual_nodes` is clamped to >= 1: a zero-vnode ring would silently
+  // route every session to shard 0 while the listed shards starve.
   SessionHashRing(const std::vector<size_t>& shards, size_t virtual_nodes);
 
   // Owning shard for a session (first ring point clockwise of the session's
   // hash). Undefined input `kNoSession` is still mapped deterministically;
-  // callers route session-less traffic themselves.
+  // callers route session-less traffic themselves. On an empty ring (no
+  // shards listed) this degrades to shard 0; callers that can shrink the
+  // fleet mid-run must check empty() first — ModelService::SetActiveShards
+  // refuses resizes that would leave the ring empty.
   size_t Owner(u32 session_id) const;
 
   size_t num_points() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
 
  private:
   struct Point {
@@ -98,23 +104,23 @@ class ServiceShard {
   const KvCache& kv_cache() const { return kv_cache_; }
 
   // ---- Ready queue (FIFO: arrival order is preserved within a shard) ----
-  void Enqueue(const InferenceRequest* request) {
-    queue_.push_back(request);
+  void Enqueue(RequestSlot* slot) {
+    queue_.push_back(slot);
     stats_.queue_high_water = std::max(stats_.queue_high_water, queue_.size());
   }
-  const InferenceRequest* PopFront() {
-    const InferenceRequest* r = queue_.front();
+  RequestSlot* PopFront() {
+    RequestSlot* s = queue_.front();
     queue_.pop_front();
-    return r;
+    return s;
   }
   // Removes and returns the oldest *session-less* request, for a stealing
   // peer. Sessioned requests are never offered: their KV prefix lives here.
-  const InferenceRequest* StealOldestSessionless() {
+  RequestSlot* StealOldestSessionless() {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (!(*it)->has_session()) {
-        const InferenceRequest* r = *it;
+      if (!(*it)->request.has_session()) {
+        RequestSlot* s = *it;
         queue_.erase(it);
-        return r;
+        return s;
       }
     }
     return nullptr;
@@ -154,6 +160,40 @@ class ServiceShard {
   ShardStats& stats() { return stats_; }
   const ShardStats& stats() const { return stats_; }
 
+  // ---- Per-run stat accounting ----
+  // Stats are true per-run deltas: BeginRun zeroes the counters and records
+  // the KV counters' current values as a private baseline (they deliberately
+  // persist across runs — sessions outlive a batch), FinalizeRunStats folds
+  // the baselined deltas in. Keeping baselines *out* of the ShardStats
+  // fields means a mid-run reader never sees raw cumulative snapshots, and
+  // back-to-back runs on the same service stay additive instead of
+  // double-counting (or underflowing) the cache counters.
+  void BeginRun() {
+    ShardStats fresh;
+    fresh.shard = index_;
+    fresh.replicas = replicas_.size();
+    stats_ = std::move(fresh);
+    kv_hits_base_ = kv_cache_.hits();
+    kv_misses_base_ = kv_cache_.misses();
+    kv_evictions_base_ = kv_cache_.evictions();
+    for (ReplicaState& r : replicas_) {
+      r.busy_until = 0;
+    }
+  }
+  void FinalizeRunStats() {
+    stats_.kv_hits = kv_cache_.hits() - kv_hits_base_;
+    stats_.kv_misses = kv_cache_.misses() - kv_misses_base_;
+    stats_.kv_evictions = kv_cache_.evictions() - kv_evictions_base_;
+    const u64 total = stats_.kv_hits + stats_.kv_misses;
+    stats_.kv_hit_rate = total == 0 ? 0.0
+                                    : static_cast<double>(stats_.kv_hits) /
+                                          static_cast<double>(total);
+    stats_.det_cyc_per_obs = stats_.det_obs == 0
+                                 ? 0.0
+                                 : static_cast<double>(stats_.det_cost) /
+                                       static_cast<double>(stats_.det_obs);
+  }
+
  private:
   struct ReplicaState {
     InferenceReplica* replica = nullptr;
@@ -163,8 +203,11 @@ class ServiceShard {
   size_t index_;
   KvCache kv_cache_;
   std::vector<ReplicaState> replicas_;
-  std::deque<const InferenceRequest*> queue_;
+  std::deque<RequestSlot*> queue_;
   ShardStats stats_;
+  u64 kv_hits_base_ = 0;
+  u64 kv_misses_base_ = 0;
+  u64 kv_evictions_base_ = 0;
 };
 
 }  // namespace guillotine

@@ -1,0 +1,139 @@
+#include "src/service/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace guillotine {
+
+std::string_view TrafficShapeName(TrafficShape shape) {
+  switch (shape) {
+    case TrafficShape::kPoisson: return "poisson";
+    case TrafficShape::kBursty: return "bursty";
+    case TrafficShape::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+std::optional<TrafficShape> TrafficShapeFromName(std::string_view name) {
+  if (name == "poisson") {
+    return TrafficShape::kPoisson;
+  }
+  if (name == "bursty") {
+    return TrafficShape::kBursty;
+  }
+  if (name == "diurnal") {
+    return TrafficShape::kDiurnal;
+  }
+  return std::nullopt;
+}
+
+TrafficSource::TrafficSource(TrafficConfig config)
+    : config_(config), rng_(config.seed) {
+  // Degenerate configs clamp toward sane floors instead of dividing by zero
+  // or spinning: the source must stay total for any fuzzer-chosen config.
+  config_.mean_interarrival = std::max(config_.mean_interarrival, 1.0);
+  config_.burst_period = std::max<Cycles>(config_.burst_period, 2);
+  config_.burst_on_fraction = std::clamp(config_.burst_on_fraction, 0.0, 1.0);
+  config_.burst_rate_boost = std::max(config_.burst_rate_boost, 1.0);
+  config_.diurnal_period = std::max<Cycles>(config_.diurnal_period, 2);
+  config_.diurnal_trough_rate = std::clamp(config_.diurnal_trough_rate, 0.01, 1.0);
+  config_.sessionless_fraction = std::clamp(config_.sessionless_fraction, 0.0, 1.0);
+  config_.session_birth_prob = std::clamp(config_.session_birth_prob, 0.0, 1.0);
+  config_.mean_session_turns = std::max(config_.mean_session_turns, 1.0);
+  config_.max_live_sessions = std::max<size_t>(config_.max_live_sessions, 1);
+  config_.prompt_base_bytes = std::max<size_t>(config_.prompt_base_bytes, 1);
+  config_.prompt_max_bytes =
+      std::max(config_.prompt_max_bytes, config_.prompt_base_bytes);
+}
+
+void TrafficSource::Reset() {
+  rng_ = Rng(config_.seed);
+  clock_ = 0;
+  next_id_ = 1;
+  next_session_ = 1;
+  generated_ = 0;
+  born_ = 0;
+  died_ = 0;
+  live_.clear();
+}
+
+double TrafficSource::RateMultiplierAt(Cycles t) const {
+  switch (config_.shape) {
+    case TrafficShape::kPoisson:
+      return 1.0;
+    case TrafficShape::kBursty: {
+      const Cycles phase = t % config_.burst_period;
+      const Cycles on_until = static_cast<Cycles>(
+          config_.burst_on_fraction * static_cast<double>(config_.burst_period));
+      return phase < on_until ? config_.burst_rate_boost : 1.0;
+    }
+    case TrafficShape::kDiurnal: {
+      // Triangle wave: trough at the period edges, peak (1.0) mid-period.
+      const double frac = static_cast<double>(t % config_.diurnal_period) /
+                          static_cast<double>(config_.diurnal_period);
+      const double tri = 1.0 - std::abs(2.0 * frac - 1.0);  // 0 -> 1 -> 0
+      return config_.diurnal_trough_rate +
+             (1.0 - config_.diurnal_trough_rate) * tri;
+    }
+  }
+  return 1.0;
+}
+
+Cycles TrafficSource::NextGap() {
+  // Exponential gap at the instantaneous rate (rate = multiplier / mean).
+  // Sampling the multiplier at the current clock is a standard thinning-free
+  // approximation: gaps are short relative to the modulation period.
+  const double u = rng_.NextDouble();
+  const double mean = config_.mean_interarrival / RateMultiplierAt(clock_);
+  const double gap = -mean * std::log(1.0 - u);
+  return std::max<Cycles>(static_cast<Cycles>(gap), 1);
+}
+
+InferenceRequest TrafficSource::Next() {
+  clock_ += NextGap();
+  InferenceRequest req;
+  req.id = next_id_++;
+  req.arrival = clock_;
+  ++generated_;
+
+  size_t turn = 0;
+  if (!rng_.NextBool(config_.sessionless_fraction)) {
+    const bool must_birth = live_.empty();
+    const bool may_birth = live_.size() < config_.max_live_sessions;
+    if (must_birth || (may_birth && rng_.NextBool(config_.session_birth_prob))) {
+      LiveSession s;
+      s.id = next_session_++;
+      if (s.id == kNoSession) {  // u32 wrap after ~4B sessions
+        s.id = next_session_++;
+      }
+      // Geometric turn count with the configured mean, at least one turn.
+      const double u = rng_.NextDouble();
+      s.turns_left = 1 + static_cast<u32>(-(config_.mean_session_turns - 1.0) *
+                                          std::log(1.0 - u));
+      live_.push_back(s);
+      ++born_;
+    }
+    const size_t pick = live_.size() == 1
+                            ? 0
+                            : static_cast<size_t>(rng_.NextBelow(live_.size()));
+    LiveSession& s = live_[pick];
+    req.session_id = s.id;
+    turn = s.turn++;
+    if (--s.turns_left == 0) {
+      // Swap-remove keeps the pool dense; the resulting pick-order change is
+      // deterministic, which is all replay needs.
+      ++died_;
+      s = live_.back();
+      live_.pop_back();
+    }
+  }
+
+  const size_t bytes =
+      std::min(config_.prompt_base_bytes + turn * config_.prompt_growth_bytes,
+               config_.prompt_max_bytes);
+  req.prompt.assign(bytes, 'a' + static_cast<char>(req.id % 26));
+  return req;
+}
+
+}  // namespace guillotine

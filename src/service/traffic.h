@@ -1,0 +1,119 @@
+// Deterministic open-world traffic generation for the continuous service
+// loop. The paper's threat model is a *production* AI service — "heavy
+// traffic from millions of users" — not a closed benchmark batch, so the
+// arrival process is generative: a seeded TrafficSource emits an unbounded
+// stream of requests shaped like production load (Poisson, bursty on/off,
+// diurnal rate swings) with multi-turn sessions that are born, take a
+// geometric number of turns, and die, spanning what used to be batch
+// boundaries.
+//
+// Determinism contract: a TrafficSource is a pure function of its config
+// (including the seed). Two sources with identical configs emit
+// byte-identical request streams, which is what lets the open-world bench
+// digests rerun byte-identical.
+//
+// Memory contract: the source tracks only the bounded pool of *live*
+// sessions (max_live_sessions). Distinct session ids are unbounded — the
+// millions-of-sessions workload — and dead sessions leave no generator
+// state behind; their KV residue is the service's LRU eviction problem.
+#ifndef SRC_SERVICE_TRAFFIC_H_
+#define SRC_SERVICE_TRAFFIC_H_
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/service/request_queue.h"
+
+namespace guillotine {
+
+enum class TrafficShape {
+  kPoisson = 0,  // memoryless arrivals at a constant mean rate
+  kBursty,       // on/off phases: rate-boosted bursts over a quiet floor
+  kDiurnal,      // triangle-wave rate swing between trough and peak
+};
+
+std::string_view TrafficShapeName(TrafficShape shape);
+std::optional<TrafficShape> TrafficShapeFromName(std::string_view name);
+
+struct TrafficConfig {
+  TrafficShape shape = TrafficShape::kPoisson;
+  u64 seed = 1;
+  // Mean cycles between arrivals at the base rate (Poisson exponential
+  // gaps; the bursty/diurnal shapes modulate the instantaneous rate).
+  double mean_interarrival = 2000.0;
+
+  // Bursty: each burst_period alternates an on-phase (rate multiplied by
+  // burst_rate_boost) with a quiet remainder at the base rate.
+  Cycles burst_period = 200'000;
+  double burst_on_fraction = 0.25;
+  double burst_rate_boost = 8.0;
+
+  // Diurnal: rate multiplier sweeps trough -> 1.0 -> trough as a triangle
+  // wave over diurnal_period (a compressed day).
+  Cycles diurnal_period = 2'000'000;
+  double diurnal_trough_rate = 0.25;
+
+  // Session churn. A sessionless arrival is a one-shot request (stealable);
+  // sessioned arrivals either open a new session (birth) or continue a
+  // uniformly chosen live one. Sessions close after a geometric number of
+  // turns with the given mean.
+  double sessionless_fraction = 0.10;
+  double session_birth_prob = 0.08;
+  double mean_session_turns = 8.0;
+  size_t max_live_sessions = 512;  // live-pool bound, NOT a distinct-id bound
+
+  // Prompts grow with the session turn (multi-turn context accretion),
+  // capped so token counts stay bounded.
+  size_t prompt_base_bytes = 48;
+  size_t prompt_growth_bytes = 16;
+  size_t prompt_max_bytes = 512;
+};
+
+class TrafficSource {
+ public:
+  explicit TrafficSource(TrafficConfig config = {});
+
+  // Emits the next request. Arrival times are strictly increasing (minimum
+  // gap of one cycle) so the open-world event loop never needs same-instant
+  // arrival coalescing.
+  InferenceRequest Next();
+
+  // Rewinds to the post-construction state: the replayed stream is
+  // byte-identical to the first.
+  void Reset();
+
+  const TrafficConfig& config() const { return config_; }
+  Cycles clock() const { return clock_; }
+  u64 generated() const { return generated_; }
+  u64 distinct_sessions() const { return next_session_ - 1; }
+  u64 sessions_born() const { return born_; }
+  u64 sessions_died() const { return died_; }
+  size_t live_sessions() const { return live_.size(); }
+
+ private:
+  struct LiveSession {
+    u32 id = 0;
+    u32 turns_left = 0;
+    u32 turn = 0;
+  };
+
+  Cycles NextGap();
+  double RateMultiplierAt(Cycles t) const;
+
+  TrafficConfig config_;
+  Rng rng_;
+  Cycles clock_ = 0;
+  u64 next_id_ = 1;
+  u32 next_session_ = 1;  // session ids start above kNoSession
+  u64 generated_ = 0;
+  u64 born_ = 0;
+  u64 died_ = 0;
+  std::vector<LiveSession> live_;
+};
+
+}  // namespace guillotine
+
+#endif  // SRC_SERVICE_TRAFFIC_H_

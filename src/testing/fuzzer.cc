@@ -85,15 +85,36 @@ std::vector<int> PickVotes(Rng& rng, int num_admins) {
 }
 
 Scenario FromSteps(const std::string& name, const std::vector<ScenarioStep>& steps,
-                   u32 hv_cores, bool detector_batching, bool priority_traffic) {
+                   u32 hv_cores, bool detector_batching, bool priority_traffic,
+                   const std::optional<TrafficShape>& traffic) {
   Scenario scenario(name);
   scenario.WithHvCores(hv_cores);
   scenario.WithDetectorBatching(detector_batching);
   scenario.WithPriorityTraffic(priority_traffic);
+  if (traffic.has_value()) {
+    scenario.WithTraffic(*traffic);
+  }
   for (const ScenarioStep& step : steps) {
     scenario.Append(step);
   }
   return scenario;
+}
+
+// Invariant context over a finished run: the base trio plus (when the
+// scenario rode open-world traffic) the service's per-shard KV caches, so
+// kv-quota-monotonicity replays the continuous loop's audit logs too.
+InvariantContext ContextFor(const Scenario& scenario, const ScenarioResult& result,
+                            ScenarioRunner& runner) {
+  InvariantContext ctx;
+  ctx.scenario = &scenario;
+  ctx.result = &result;
+  ctx.system = &runner.system();
+  if (const ModelService* svc = runner.traffic_service(); svc != nullptr) {
+    for (size_t i = 0; i < svc->num_shards(); ++i) {
+      ctx.kv_caches.push_back(&svc->shard(i).kv_cache());
+    }
+  }
+  return ctx;
 }
 
 }  // namespace
@@ -141,6 +162,16 @@ Scenario ScenarioFuzzer::Generate(u64 seed) const {
     scenario.WithPriorityTraffic(true);
   }
 
+  // And ~30% ride open-world service traffic: every pump step serves a
+  // continuous burst (with a mid-burst elastic resize) through a sharded
+  // ModelService over Guillotine adapters, so the twelve invariants run
+  // against the open-world loop and its audited KV handover as well.
+  static constexpr TrafficShape kShapes[] = {
+      TrafficShape::kPoisson, TrafficShape::kBursty, TrafficShape::kDiurnal};
+  if (rng.NextBool(0.30)) {
+    scenario.WithTraffic(kShapes[rng.NextBelow(3)]);
+  }
+
   if (rng.NextBool(0.7)) {
     static const std::vector<u32> kDims[] = {{8, 16, 4}, {6, 8, 4}, {4, 12, 6, 4}};
     scenario.HostDefaultModel(kDims[rng.NextBelow(3)], 1 + rng.NextBelow(1000));
@@ -183,16 +214,18 @@ Scenario ScenarioFuzzer::Generate(u64 seed) const {
       scenario.Pump(1 + rng.NextBelow(4));
     }
   }
+  // A traffic scenario with no pump step would leave the service idle and
+  // the slice vacuous; guarantee at least one burst.
+  if (scenario.traffic().has_value()) {
+    scenario.Pump(1 + rng.NextBelow(2));
+  }
   return scenario;
 }
 
 std::vector<InvariantViolation> ScenarioFuzzer::Check(const Scenario& scenario,
                                                       bool replay) {
   const ScenarioResult result = runner_.Run(scenario);
-  InvariantContext ctx;
-  ctx.scenario = &scenario;
-  ctx.result = &result;
-  ctx.system = &runner_.system();
+  const InvariantContext ctx = ContextFor(scenario, result, runner_);
   std::vector<InvariantViolation> violations = checker_.Check(ctx);
   if (replay) {
     ScenarioRunner second(config_.runner);
@@ -219,12 +252,9 @@ Scenario ScenarioFuzzer::Shrink(const Scenario& scenario) {
     ScenarioRunner runner(config_.runner);
     const Scenario s = FromSteps(scenario.name(), candidate, scenario.hv_cores(),
                                  scenario.detector_batching(),
-                                 scenario.priority_traffic());
+                                 scenario.priority_traffic(), scenario.traffic());
     const ScenarioResult r = runner.Run(s);
-    InvariantContext ctx;
-    ctx.scenario = &s;
-    ctx.result = &r;
-    ctx.system = &runner.system();
+    const InvariantContext ctx = ContextFor(s, r, runner);
     return !checker_.Check(ctx).empty();
   };
   if (steps.empty() || !fails(steps)) {
@@ -281,7 +311,8 @@ Scenario ScenarioFuzzer::Shrink(const Scenario& scenario) {
     }
   }
   return FromSteps(scenario.name() + "-min", steps, scenario.hv_cores(),
-                   scenario.detector_batching(), scenario.priority_traffic());
+                   scenario.detector_batching(), scenario.priority_traffic(),
+                   scenario.traffic());
 }
 
 std::string ScenarioFuzzer::ReproScript(

@@ -154,6 +154,11 @@ Scenario& Scenario::WithPriorityTraffic(bool enabled) {
   return *this;
 }
 
+Scenario& Scenario::WithTraffic(TrafficShape shape) {
+  traffic_ = shape;
+  return *this;
+}
+
 // ---------------------------------------------------------------------------
 // Scenario scripts
 // ---------------------------------------------------------------------------
@@ -363,6 +368,9 @@ Result<std::string> SerializeScenarioScript(const Scenario& scenario) {
   if (scenario.priority_traffic()) {
     out << " priority=1";
   }
+  if (scenario.traffic().has_value()) {
+    out << " traffic=" << TrafficShapeName(*scenario.traffic());
+  }
   out << "\n";
   for (const ScenarioStep& step : scenario.steps()) {
     switch (step.kind) {
@@ -488,6 +496,14 @@ Result<Scenario> ParseScenarioScript(std::string_view script) {
       if (const ScriptToken* prio = find("priority"); prio != nullptr) {
         GLL_ASSIGN_OR_RETURN(u64 n, ParseNumber(prio->value, line_no));
         scenario.WithPriorityTraffic(n != 0);
+      }
+      if (const ScriptToken* traffic = find("traffic"); traffic != nullptr) {
+        const auto shape = TrafficShapeFromName(traffic->value);
+        if (!shape.has_value()) {
+          return InvalidArgument("scenario script line " + std::to_string(line_no) +
+                                 ": unknown traffic shape '" + traffic->value + "'");
+        }
+        scenario.WithTraffic(*shape);
       }
       saw_header = true;
     } else if (verb == "host_model") {
@@ -650,6 +666,32 @@ ScenarioResult ScenarioRunner::Run(const Scenario& scenario) {
   exfil_payloads_.clear();
   next_tag_ = 1;
   priority_traffic_ = scenario.priority_traffic();
+
+  // Open-world traffic: a fresh 2-shard service over Guillotine adapters and
+  // a fresh seeded source per Run, so replays are byte-identical. The tiny
+  // cache geometry forces eviction/handover churn even in short bursts.
+  traffic_service_.reset();
+  traffic_replicas_.clear();
+  traffic_source_.reset();
+  traffic_report_.reset();
+  traffic_pumps_ = 0;
+  if (scenario.traffic().has_value()) {
+    ModelServiceConfig svc;
+    svc.num_shards = 2;
+    svc.kv.total_blocks = 48;
+    traffic_service_ = std::make_unique<ModelService>(svc);
+    for (size_t i = 0; i < svc.num_shards; ++i) {
+      traffic_replicas_.push_back(std::make_unique<GuillotineReplica>(
+          *system_, "traffic-" + std::to_string(i)));
+      traffic_service_->AddReplica(traffic_replicas_.back().get(), i);
+    }
+    TrafficConfig tc;
+    tc.shape = *scenario.traffic();
+    tc.seed = 0x7AFF1C + static_cast<u64>(tc.shape);
+    tc.mean_interarrival = 600.0;
+    tc.max_live_sessions = 24;
+    traffic_source_ = std::make_unique<TrafficSource>(tc);
+  }
 
   ScenarioResult result;
   result.name = scenario.name();
@@ -900,6 +942,27 @@ void ScenarioRunner::Execute(const ScenarioStep& step, StepOutcome& outcome) {
       }
       outcome.ok = true;
       outcome.value = static_cast<i64>(sys.clock().now());
+      // With open-world traffic on, each pump step also serves a continuous
+      // burst with a mid-burst elastic resize (alternating down-to-1 and
+      // back-up-to-2 across pump steps) so the invariants see the handover
+      // path, not just steady-state routing.
+      if (traffic_source_ != nullptr) {
+        ContinuousConfig cc;
+        cc.max_arrivals = 24 + 8 * std::min<u64>(step.amount, 8);
+        TrafficResize resize;
+        resize.after_arrivals = cc.max_arrivals / 2;
+        resize.active_shards = (traffic_pumps_ % 2 == 0) ? 1 : 2;
+        cc.resizes.push_back(resize);
+        ++traffic_pumps_;
+        traffic_report_ = std::make_unique<ContinuousReport>(
+            traffic_service_->RunContinuous(*traffic_source_, cc));
+        std::ostringstream os;
+        os << " traffic: arrivals=" << traffic_report_->arrivals
+           << " completed=" << traffic_report_->completed
+           << " failed=" << traffic_report_->failed
+           << " remapped=" << traffic_report_->remapped_sessions;
+        outcome.detail += os.str();
+      }
       break;
     }
 

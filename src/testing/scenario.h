@@ -26,10 +26,13 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/core/guillotine.h"
+#include "src/service/service.h"
+#include "src/service/traffic.h"
 
 namespace guillotine {
 
@@ -119,6 +122,16 @@ class Scenario {
   Scenario& WithPriorityTraffic(bool enabled);
   bool priority_traffic() const { return priority_traffic_; }
 
+  // Rides open-world service traffic of the given shape alongside the
+  // scenario: every pump step additionally drives a deterministic
+  // RunContinuous burst (with a mid-burst elastic resize) through a sharded
+  // ModelService whose replicas are Guillotine adapters over the scenario's
+  // system — so all twelve invariants run against the open-world loop too.
+  // Serialized on the script header line (traffic=poisson|bursty|diurnal)
+  // like the other corpus-slice flags.
+  Scenario& WithTraffic(TrafficShape shape);
+  const std::optional<TrafficShape>& traffic() const { return traffic_; }
+
   const std::string& name() const { return name_; }
   const std::vector<ScenarioStep>& steps() const { return steps_; }
 
@@ -128,6 +141,7 @@ class Scenario {
   u32 hv_cores_ = 0;
   bool detector_batching_ = false;
   bool priority_traffic_ = false;
+  std::optional<TrafficShape> traffic_;
 };
 
 // ---- Scenario scripts ----
@@ -201,6 +215,12 @@ class ScenarioRunner {
   // Payloads that reached the adversary sink during the last Run.
   const std::vector<Bytes>& exfil_payloads() const { return exfil_payloads_; }
 
+  // Open-world traffic state of the last Run (null unless the scenario set
+  // WithTraffic): the sharded service whose KV caches the quota invariant
+  // replays, and the aggregate report of the most recent pump burst.
+  const ModelService* traffic_service() const { return traffic_service_.get(); }
+  const ContinuousReport* traffic_report() const { return traffic_report_.get(); }
+
  private:
   void Execute(const ScenarioStep& step, StepOutcome& outcome);
 
@@ -209,6 +229,13 @@ class ScenarioRunner {
   std::vector<Bytes> exfil_payloads_;
   u32 next_tag_ = 1;
   bool priority_traffic_ = false;  // from the scenario, for flood steps
+  // Open-world traffic riding the scenario (WithTraffic): rebuilt fresh on
+  // every Run so replays are byte-identical.
+  std::unique_ptr<ModelService> traffic_service_;
+  std::vector<std::unique_ptr<InferenceReplica>> traffic_replicas_;
+  std::unique_ptr<TrafficSource> traffic_source_;
+  std::unique_ptr<ContinuousReport> traffic_report_;
+  u64 traffic_pumps_ = 0;
 };
 
 }  // namespace guillotine

@@ -237,6 +237,46 @@ TEST(HistogramTest, EmptyIsSafe) {
   EXPECT_EQ(h.Percentile(50), 0.0);
 }
 
+// p/100*n accumulates float error (99.9/100*1000 = 999.0000000000001); the
+// nearest-rank computation must not let that push p999 past the 999th
+// sample onto the max.
+TEST(HistogramTest, PercentileNearestRankSurvivesFloatNoise) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Add(i);
+  }
+  EXPECT_EQ(h.Percentile(99.9), 999.0);
+  EXPECT_EQ(h.Percentile(100.0), 1000.0);
+  EXPECT_EQ(h.Percentile(0.0), 1.0);    // rank 0 clamps to the first sample
+  EXPECT_EQ(h.Percentile(0.1), 1.0);    // exact rank 1
+  EXPECT_EQ(h.Percentile(-5.0), 1.0);   // out-of-range p clamps
+  EXPECT_EQ(h.Percentile(200.0), 1000.0);
+}
+
+TEST(HistogramTest, PercentileSingleSample) {
+  Histogram h;
+  h.Add(7.0);
+  EXPECT_EQ(h.Percentile(0.0), 7.0);
+  EXPECT_EQ(h.Percentile(50.0), 7.0);
+  EXPECT_EQ(h.Percentile(100.0), 7.0);
+}
+
+TEST(HistogramTest, MergeUnionsSamples) {
+  Histogram a;
+  Histogram b;
+  for (int i = 1; i <= 50; ++i) {
+    a.Add(i);
+  }
+  for (int i = 51; i <= 100; ++i) {
+    b.Add(i);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_DOUBLE_EQ(a.mean(), 50.5);
+  EXPECT_EQ(a.Percentile(50), 50.0);
+  EXPECT_EQ(a.max(), 100.0);
+}
+
 TEST(TableTest, RendersAligned) {
   TextTable t({"name", "value"});
   t.AddRow({"alpha", "1"});

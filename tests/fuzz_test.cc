@@ -331,6 +331,40 @@ TEST(ScenarioFuzzTest, MixedPriorityFloodSliceHoldsKillPathInvariant) {
   EXPECT_LT(generated_with_priority, 70);
 }
 
+// --- Open-world traffic corpus slice: pump steps serve continuous bursts
+// (with mid-burst elastic resizes) through the scenario's system, and every
+// invariant — including the kv-quota replay over the traffic service's
+// caches — holds across the slice. ---
+
+TEST(ScenarioFuzzTest, OpenWorldTrafficSliceHoldsAllInvariants) {
+  ScenarioFuzzer fuzzer;
+  for (u64 seed = 3000; seed < 3040; ++seed) {
+    Scenario scenario = fuzzer.Generate(seed);
+    scenario.WithTraffic(TrafficShape::kDiurnal);  // force the slice
+    scenario.Pump(2);  // guarantee at least one burst
+    const auto violations = fuzzer.Check(scenario);
+    ASSERT_TRUE(violations.empty())
+        << "seed " << seed << "\n" << RenderViolations(violations);
+  }
+  // The generator emits traffic scenarios on its own (~30% of seeds) and
+  // always gives them at least one pump step, so the slice is never vacuous.
+  int generated_with_traffic = 0;
+  for (u64 seed = 0; seed < 100; ++seed) {
+    const Scenario s = fuzzer.Generate(seed);
+    if (!s.traffic().has_value()) {
+      continue;
+    }
+    ++generated_with_traffic;
+    bool has_pump = false;
+    for (const ScenarioStep& step : s.steps()) {
+      has_pump |= step.kind == ScenarioStepKind::kPump;
+    }
+    EXPECT_TRUE(has_pump) << "seed " << seed << " traffic scenario never pumps";
+  }
+  EXPECT_GT(generated_with_traffic, 10);
+  EXPECT_LT(generated_with_traffic, 65);
+}
+
 // --- The hypervisor's severed-forward counter is visible and quiet. ---
 
 TEST(ScenarioFuzzTest, SeveredTrafficCounterStaysZeroUnderAttack) {

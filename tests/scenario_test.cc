@@ -241,5 +241,38 @@ TEST(ScenarioTest, DetectorBatchingRoundTripsAndContains) {
   EXPECT_EQ(batched.trace_hash, runner.Run(*parsed).trace_hash);
 }
 
+// Open-world traffic rides the scenario: the shape round-trips through the
+// DSL header, every pump step serves a continuous burst with an elastic
+// resize through Guillotine-backed replicas, and replays stay
+// byte-identical.
+TEST(ScenarioTest, OpenWorldTrafficRoundTripsAndServesBursts) {
+  Scenario s("traffic-ride");
+  s.WithTraffic(TrafficShape::kBursty).HostDefaultModel().Pump(2).Pump(3);
+
+  const auto script = SerializeScenarioScript(s);
+  ASSERT_TRUE(script.ok());
+  EXPECT_NE(script->find("traffic=bursty"), std::string::npos);
+  const auto parsed = ParseScenarioScript(*script);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->traffic().has_value());
+  EXPECT_EQ(*parsed->traffic(), TrafficShape::kBursty);
+
+  ScenarioRunner runner;
+  const ScenarioResult r = runner.Run(s);
+  ASSERT_TRUE(r.AllStepsRan()) << r.Summary();
+  ASSERT_NE(runner.traffic_report(), nullptr);
+  EXPECT_GT(runner.traffic_report()->arrivals, 0u);
+  EXPECT_GT(runner.traffic_report()->completed, 0u);
+  EXPECT_EQ(runner.traffic_report()->resizes_applied, 1u);
+  ASSERT_NE(runner.traffic_service(), nullptr);
+
+  // The parsed script replays to the identical trace digest (the bursts run
+  // through the scenario's own system, so they are part of the trace).
+  EXPECT_EQ(r.trace_hash, runner.Run(*parsed).trace_hash);
+
+  // Unknown shapes are rejected at parse time, not silently ignored.
+  EXPECT_FALSE(ParseScenarioScript("scenario \"x\" traffic=squarewave\n").ok());
+}
+
 }  // namespace
 }  // namespace guillotine

@@ -733,5 +733,334 @@ TEST(ShardedServiceTest, EmptyShardsAreLeftOffTheRing) {
   }
 }
 
+// ---- Per-run stat baselines (regression: counters survive reuse) ----
+
+// A service instance is reusable: the per-shard KV counters in ShardStats
+// must be per-run deltas, so two runs' stats sum to the cache's lifetime
+// totals instead of double-counting the first run inside the second.
+TEST(ShardedServiceTest, ShardStatsAreFreshPerRunAndSumAcrossRuns) {
+  Rng rng(17);
+  const MlpModel model = MlpModel::Random({16, 32, 4}, rng);
+  ModelServiceConfig config;
+  config.num_shards = 2;
+  config.kv = KvCacheConfig{4, 16};  // tiny: every run churns evictions
+  ModelService service(config);
+  NativeReplica r0(model), r1(model);
+  service.AddReplica(&r0);
+  service.AddReplica(&r1);
+
+  auto workload = [] {
+    std::vector<InferenceRequest> requests;
+    std::string context[9];
+    for (u64 i = 0; i < 60; ++i) {
+      const u32 session = static_cast<u32>(i % 9) + 1;
+      context[session - 1] += " tokens and more tokens";
+      requests.push_back({i, context[session - 1], i * 700, session});
+    }
+    return requests;
+  };
+
+  const ServiceReport first = service.RunAll(workload());
+  const ServiceReport second = service.RunAll(workload());
+  EXPECT_EQ(first.completed, 60u);
+  EXPECT_EQ(second.completed, 60u);  // not 120: the second run starts fresh
+  ASSERT_EQ(first.shards.size(), second.shards.size());
+  for (size_t i = 0; i < first.shards.size(); ++i) {
+    EXPECT_EQ(first.shards[i].completed + second.shards[i].completed,
+              2 * first.shards[i].completed);
+    // Each run's kv counters are that run's delta; together they must equal
+    // the cache's lifetime totals exactly (no overlap, nothing lost).
+    const KvCache& cache = service.shard(i).kv_cache();
+    EXPECT_EQ(first.shards[i].kv_evictions + second.shards[i].kv_evictions,
+              cache.evictions());
+    EXPECT_EQ(first.shards[i].kv_hits + second.shards[i].kv_hits, cache.hits());
+    EXPECT_EQ(first.shards[i].kv_misses + second.shards[i].kv_misses,
+              cache.misses());
+  }
+}
+
+// ---- Ring degeneracy and elastic resize ----
+
+TEST(ShardedServiceTest, RingClampsZeroVirtualNodesToOne) {
+  // A zero-vnode ring used to place no hash points and route every session
+  // to a phantom "shard 0"; the clamp keeps every shard reachable.
+  const SessionHashRing ring({0, 1, 2}, 0);
+  std::set<size_t> used;
+  for (u32 session = 1; session <= 2000; ++session) {
+    used.insert(ring.Owner(session));
+  }
+  EXPECT_EQ(used.size(), 3u);
+  EXPECT_FALSE(ring.empty());
+}
+
+TEST(ShardedServiceTest, ResizeRefusesEmptyAndReplicaLessFleets) {
+  Rng rng(18);
+  const MlpModel model = MlpModel::Random({16, 32, 4}, rng);
+  ModelServiceConfig config;
+  config.num_shards = 3;
+  ModelService service(config);
+  NativeReplica r(model);
+  service.AddReplica(&r, /*shard=*/1);  // shard 0 stays empty
+
+  EXPECT_FALSE(service.SetActiveShards(0, 0).ok());
+  // A prefix of [shard 0] has no replicas anywhere: refused, fleet unchanged.
+  EXPECT_FALSE(service.SetActiveShards(1, 0).ok());
+  EXPECT_EQ(service.active_shards(), 3u);
+  // A prefix that still covers the replica-bearing shard is fine.
+  ASSERT_TRUE(service.SetActiveShards(2, 0).ok());
+  EXPECT_EQ(service.active_shards(), 2u);
+}
+
+TEST(ShardedServiceTest, ResizeDownMigratesSessionsToTheSurvivingShard) {
+  Rng rng(19);
+  const MlpModel model = MlpModel::Random({16, 32, 4}, rng);
+  ModelServiceConfig config;
+  config.num_shards = 4;
+  ModelService service(config);
+  std::vector<std::unique_ptr<NativeReplica>> replicas;
+  for (int i = 0; i < 4; ++i) {
+    replicas.push_back(std::make_unique<NativeReplica>(model));
+    service.AddReplica(replicas.back().get());
+  }
+  std::vector<InferenceRequest> requests;
+  for (u64 i = 0; i < 40; ++i) {
+    requests.push_back({i, "session context " + std::to_string(i), i * 500,
+                        static_cast<u32>(i % 10) + 1});
+  }
+  const ServiceReport before = service.RunAll(std::move(requests));
+  EXPECT_EQ(before.completed, 40u);
+
+  const Result<ResizeReport> resize =
+      service.SetActiveShards(1, before.makespan);
+  ASSERT_TRUE(resize.ok());
+  EXPECT_EQ(resize->active_shards, 1u);
+  EXPECT_GT(resize->remapped_sessions, 0u);
+  EXPECT_EQ(resize->kv_migrated + resize->kv_dropped, resize->remapped_sessions);
+  EXPECT_GT(resize->kv_migrated, 0u);  // default policy migrates
+
+  // Exactly one shard may hold a session's state afterwards: the handover
+  // drained shards 1..3 into shard 0 with no silent duplication.
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(service.shard(i).kv_cache().resident_sessions(), 0u);
+  }
+  EXPECT_GT(service.shard(0).kv_cache().resident_sessions(), 0u);
+  for (u32 session = 1; session <= 10; ++session) {
+    EXPECT_EQ(service.OwnerShard(session), 0u);
+  }
+  // The audited handover holds the quota invariant on every cache.
+  InvariantContext ctx;
+  for (size_t i = 0; i < service.num_shards(); ++i) {
+    ctx.kv_caches.push_back(&service.shard(i).kv_cache());
+  }
+  const auto violations = InvariantChecker::Default().Check(ctx);
+  EXPECT_TRUE(violations.empty()) << RenderViolations(violations);
+}
+
+TEST(ShardedServiceTest, DropHandoverReleasesInsteadOfMigrating) {
+  Rng rng(19);
+  const MlpModel model = MlpModel::Random({16, 32, 4}, rng);
+  ModelServiceConfig config;
+  config.num_shards = 4;
+  config.kv_handover = ModelServiceConfig::KvHandover::kDrop;
+  ModelService service(config);
+  std::vector<std::unique_ptr<NativeReplica>> replicas;
+  for (int i = 0; i < 4; ++i) {
+    replicas.push_back(std::make_unique<NativeReplica>(model));
+    service.AddReplica(replicas.back().get());
+  }
+  std::vector<InferenceRequest> requests;
+  for (u64 i = 0; i < 40; ++i) {
+    requests.push_back({i, "session context " + std::to_string(i), i * 500,
+                        static_cast<u32>(i % 10) + 1});
+  }
+  const ServiceReport before = service.RunAll(std::move(requests));
+  const Result<ResizeReport> resize =
+      service.SetActiveShards(1, before.makespan);
+  ASSERT_TRUE(resize.ok());
+  EXPECT_GT(resize->kv_dropped, 0u);
+  EXPECT_EQ(resize->kv_migrated, 0u);
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(service.shard(i).kv_cache().resident_sessions(), 0u);
+  }
+}
+
+// ---- Steal-threshold boundary ----
+
+// The steal predicate is strict: a victim with backlog == threshold is left
+// alone; one more queued request tips it over. The same comparison now backs
+// all three former call sites, so this boundary pins every path at once.
+TEST(ShardedServiceTest, StealTriggersStrictlyAboveBacklogThreshold) {
+  Rng rng(20);
+  const MlpModel model = MlpModel::Random({16, 64, 64, 4}, rng);
+  const u32 session = [&] {
+    ModelServiceConfig probe_config;
+    probe_config.num_shards = 2;
+    ModelService probe(probe_config);
+    NativeReplica a(model), b(model);
+    probe.AddReplica(&a);
+    probe.AddReplica(&b);
+    for (u32 s = 1;; ++s) {
+      if (probe.OwnerShard(s) == 0) {
+        return s;
+      }
+    }
+  }();
+
+  // 4 pinned requests hold shard 0 (replica busy + 3 queued) when the lone
+  // session-less request (round-robin dealt to shard 0) arrives at t=400:
+  // shard 0's backlog at that arrival is exactly 5.
+  auto run = [&](size_t threshold) {
+    ModelServiceConfig config;
+    config.num_shards = 2;
+    config.steal_backlog_threshold = threshold;
+    ModelService service(config);
+    NativeReplica r0(model), r1(model);
+    service.AddReplica(&r0);
+    service.AddReplica(&r1);
+    std::vector<InferenceRequest> requests;
+    for (u64 i = 0; i < 4; ++i) {
+      requests.push_back({i, "pinned turn with a long enough prompt",
+                          i * 100, session});
+    }
+    requests.push_back({4, "one-shot", 400, kNoSession});
+    return service.RunAll(std::move(requests)).stolen;
+  };
+
+  EXPECT_EQ(run(5), 0u);  // backlog == threshold: not worth raiding
+  EXPECT_EQ(run(4), 1u);  // backlog == threshold + 1: the one-shot migrates
+}
+
+// ---- Open-world continuous traffic ----
+
+// Constant-cost replica so the million-session run spends its time in the
+// scheduler and cache paths under test, not in MLP arithmetic.
+class FixedCostReplica : public InferenceReplica {
+ public:
+  std::string_view name() const override { return "fixed-cost"; }
+  Result<std::string> Infer(const std::string& prompt,
+                            Cycles& service_cycles) override {
+    service_cycles = 200;
+    return std::string("ok");
+  }
+};
+
+TEST(ContinuousServiceTest, TrafficSourceIsDeterministic) {
+  TrafficConfig tc;
+  tc.shape = TrafficShape::kBursty;
+  tc.seed = 99;
+  TrafficSource a(tc);
+  TrafficSource b(tc);
+  Cycles prev_arrival = 0;
+  for (int i = 0; i < 500; ++i) {
+    const InferenceRequest ra = a.Next();
+    const InferenceRequest rb = b.Next();
+    EXPECT_EQ(ra.arrival, rb.arrival);
+    EXPECT_EQ(ra.session_id, rb.session_id);
+    EXPECT_EQ(ra.prompt, rb.prompt);
+    EXPECT_GT(ra.arrival, prev_arrival);  // strictly increasing
+    prev_arrival = ra.arrival;
+  }
+  a.Reset();
+  TrafficSource fresh(tc);
+  EXPECT_EQ(a.Next().arrival, fresh.Next().arrival);
+}
+
+TEST(ContinuousServiceTest, RunContinuousIsDeterministicAcrossReruns) {
+  auto run = [](TrafficShape shape) {
+    ModelServiceConfig config;
+    config.num_shards = 2;
+    config.kv = KvCacheConfig{16, 16};
+    ModelService service(config);
+    FixedCostReplica r0, r1;
+    service.AddReplica(&r0);
+    service.AddReplica(&r1);
+    TrafficConfig tc;
+    tc.shape = shape;
+    tc.seed = 7;
+    TrafficSource source(tc);
+    ContinuousConfig cc;
+    cc.max_arrivals = 2'000;
+    cc.resizes.push_back({800, 1});
+    cc.resizes.push_back({1'400, 2});
+    return service.RunContinuous(source, cc).Digest();
+  };
+  EXPECT_EQ(run(TrafficShape::kPoisson), run(TrafficShape::kPoisson));
+  EXPECT_EQ(run(TrafficShape::kDiurnal), run(TrafficShape::kDiurnal));
+  EXPECT_NE(run(TrafficShape::kPoisson), run(TrafficShape::kBursty));
+}
+
+TEST(ContinuousServiceTest, MidRunResizeKeepsInvariantsAndLosesNothing) {
+  ModelServiceConfig config;
+  config.num_shards = 4;
+  config.kv = KvCacheConfig{8, 16};  // tiny: handover under real pressure
+  ModelService service(config);
+  std::vector<std::unique_ptr<FixedCostReplica>> replicas;
+  for (int i = 0; i < 4; ++i) {
+    replicas.push_back(std::make_unique<FixedCostReplica>());
+    service.AddReplica(replicas.back().get());
+  }
+  TrafficConfig tc;
+  tc.shape = TrafficShape::kPoisson;
+  tc.seed = 11;
+  tc.mean_interarrival = 400.0;
+  TrafficSource source(tc);
+  ContinuousConfig cc;
+  cc.max_arrivals = 3'000;
+  cc.resizes.push_back({1'000, 1});  // shrink hard...
+  cc.resizes.push_back({2'000, 4});  // ...then scale back out
+  const ContinuousReport report = service.RunContinuous(source, cc);
+
+  EXPECT_EQ(report.arrivals, 3'000u);
+  EXPECT_EQ(report.completed + report.failed, 3'000u);  // nothing stranded
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.resizes_applied, 2u);
+  EXPECT_GT(report.remapped_sessions, 0u);
+  EXPECT_EQ(report.kv_migrated + report.kv_dropped, report.remapped_sessions);
+  EXPECT_EQ(service.active_shards(), 4u);
+
+  InvariantContext ctx;
+  for (size_t i = 0; i < service.num_shards(); ++i) {
+    ctx.kv_caches.push_back(&service.shard(i).kv_cache());
+  }
+  const auto violations = InvariantChecker::Default().Check(ctx);
+  EXPECT_TRUE(violations.empty()) << RenderViolations(violations);
+}
+
+// The acceptance bar for the open-world loop: over a million distinct
+// session ids through a fleet whose resident state stays bounded by the LRU
+// caches and whose live-request pool stays bounded by the retire-from-front
+// slot discipline.
+TEST(ContinuousServiceTest, MillionDistinctSessionsBoundedResidentState) {
+  ModelServiceConfig config;
+  config.num_shards = 2;
+  config.kv = KvCacheConfig{64, 16};
+  ModelService service(config);
+  FixedCostReplica r0, r1, r2, r3;
+  service.AddReplica(&r0);
+  service.AddReplica(&r1);
+  service.AddReplica(&r2);
+  service.AddReplica(&r3);
+
+  TrafficConfig tc;
+  tc.shape = TrafficShape::kPoisson;
+  tc.seed = 5;
+  tc.mean_interarrival = 100.0;  // service capacity 4/200 > arrival rate
+  tc.mean_session_turns = 1.0;   // maximal churn: every session is new
+  tc.prompt_base_bytes = 16;
+  tc.prompt_growth_bytes = 0;
+  TrafficSource source(tc);
+  ContinuousConfig cc;
+  cc.max_arrivals = 1'200'000;
+  const ContinuousReport report = service.RunContinuous(source, cc);
+
+  EXPECT_EQ(report.arrivals, 1'200'000u);
+  EXPECT_EQ(report.completed, 1'200'000u);
+  EXPECT_GT(report.distinct_sessions, 1'000'000u);
+  // Resident session state is bounded by cache capacity, not stream length:
+  // 2 shards x 64 blocks can never hold more than 128 sessions.
+  EXPECT_LE(report.peak_resident_sessions, 128u);
+  EXPECT_LT(report.peak_live_requests, 4'096u);
+}
+
 }  // namespace
 }  // namespace guillotine
