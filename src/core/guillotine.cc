@@ -293,7 +293,8 @@ Result<std::string> GuillotineReplica::Infer(const std::string& prompt,
   return result;
 }
 
-GuillotineFleet::GuillotineFleet(size_t replicas, const DeploymentConfig& config) {
+GuillotineFleet::GuillotineFleet(size_t replicas, const DeploymentConfig& config)
+    : base_config_(config), next_member_ordinal_(replicas) {
   systems_.reserve(replicas);
   replicas_.reserve(replicas);
   for (size_t i = 0; i < replicas; ++i) {
@@ -318,6 +319,113 @@ void GuillotineFleet::RegisterWith(ModelService& service) {
   for (auto& replica : replicas_) {
     service.AddReplica(replica.get());
   }
+}
+
+Result<QuarantineMigrateReport> GuillotineFleet::QuarantineMigrate(
+    size_t member, const MlpModel& model, ModelService* service,
+    size_t target_shard, Cycles now,
+    const std::function<void(ModelSnapshot&)>& tamper) {
+  if (member >= systems_.size()) {
+    return InvalidArgument("QuarantineMigrate: no such fleet member");
+  }
+  GuillotineSystem& suspect = *systems_[member];
+  if (suspect.console().level() >= IsolationLevel::kOffline) {
+    return FailedPrecondition(
+        "QuarantineMigrate: suspect board is dark (>= Offline); recover it "
+        "through the console instead");
+  }
+  // Contain first: Severed pauses model cores (the capture bus requires a
+  // quiesced complex) and closes every port while keeping the board powered.
+  if (suspect.console().level() < IsolationLevel::kSevered) {
+    GLL_RETURN_IF_ERROR(suspect.console().EscalateFromHypervisor(
+        IsolationLevel::kSevered, "quarantine-migrate: containing suspect"));
+  }
+  GLL_ASSIGN_OR_RETURN(ModelSnapshot snapshot,
+                       CaptureSnapshot(suspect.hv(), /*core=*/0));
+  if (tamper) {
+    tamper(snapshot);
+  }
+  // Tamper gate before any construction or service mutation: a retargeted
+  // or bit-flipped snapshot refuses here, leaving its security trace in the
+  // suspect (which is retained, so the evidence survives the migrate
+  // attempt) and the fleet/service exactly as they were.
+  GLL_RETURN_IF_ERROR(VerifySnapshotSealed(suspect.hv(), snapshot));
+
+  // Fresh sandboxed deployment: same shape as every member, next ordinal's
+  // seed and fabric host id (deterministic across reruns), clean attested
+  // model load — then the audited snapshot repaints its state.
+  DeploymentConfig fresh_config = base_config_;
+  fresh_config.seed = base_config_.seed + next_member_ordinal_;
+  fresh_config.fabric_host_id =
+      base_config_.fabric_host_id + static_cast<u32>(next_member_ordinal_);
+  auto fresh = std::make_unique<GuillotineSystem>(fresh_config);
+  GLL_RETURN_IF_ERROR(fresh->AttachDefaultDevices());
+  GLL_RETURN_IF_ERROR(fresh->HostModel(model, fresh->MakeVerifier()));
+  GLL_RETURN_IF_ERROR(RestoreSnapshot(fresh->hv(), snapshot));
+
+  // Prove the restore: a re-capture of the fresh deployment must match the
+  // sealed state under PortableDigest (the clock-free comparison — capture
+  // time and the hardware cycle/core-id CSRs legitimately differ).
+  GLL_ASSIGN_OR_RETURN(ModelSnapshot recaptured,
+                       CaptureSnapshot(fresh->hv(), /*core=*/0));
+  QuarantineMigrateReport report;
+  report.member = member;
+  report.captured_at = snapshot.taken_at;
+  report.sealed = snapshot.digest;
+  report.sealed_portable = snapshot.PortableDigest();
+  report.recaptured_portable = recaptured.PortableDigest();
+  report.digest_verified =
+      DigestEqual(report.sealed_portable, report.recaptured_portable);
+  if (!report.digest_verified) {
+    return Internal(
+        "QuarantineMigrate: post-restore re-capture diverges from the sealed "
+        "snapshot; refusing to install the fresh deployment");
+  }
+
+  // Service handover, drop-from-source-first at the fleet level too: the
+  // suspect's replica leaves the ring (audited KV handover to survivors)
+  // before the replacement registers.
+  if (service != nullptr) {
+    GLL_ASSIGN_OR_RETURN(ResizeReport detached,
+                         service->DetachReplica(replicas_[member].get(), now));
+    report.remapped_sessions += detached.remapped_sessions;
+    report.kv_migrated += detached.kv_migrated;
+    report.kv_dropped += detached.kv_dropped;
+  }
+
+  // Decommission: the suspect goes dark and is retained (not destroyed) so
+  // its trace — the tamper/capture records, and the darkness of its ports
+  // from here on — stays auditable.
+  suspect.trace().Record(suspect.clock().now(), TraceCategory::kIsolation,
+                         "fleet", "migrate.out",
+                         "member=" + std::to_string(member) +
+                             " digest=" + DigestHex(snapshot.digest).substr(0, 16),
+                         static_cast<i64>(member));
+  suspect.console().ForceOffline("quarantine-migrate: deployment decommissioned");
+  decommissioned_.push_back(std::move(systems_[member]));
+  retired_replicas_.push_back(std::move(replicas_[member]));
+
+  systems_[member] = std::move(fresh);
+  replicas_[member] = std::make_unique<GuillotineReplica>(
+      *systems_[member], "guillotine-" + std::to_string(member) + "-r" +
+                             std::to_string(next_member_ordinal_));
+  ++next_member_ordinal_;
+  systems_[member]->trace().Record(
+      systems_[member]->clock().now(), TraceCategory::kIsolation, "fleet",
+      "migrate.in",
+      "member=" + std::to_string(member) +
+          " digest=" + DigestHex(snapshot.digest).substr(0, 16),
+      static_cast<i64>(member));
+
+  if (service != nullptr) {
+    GLL_ASSIGN_OR_RETURN(ResizeReport attached,
+                         service->AttachReplica(replicas_[member].get(),
+                                                target_shard, now));
+    report.remapped_sessions += attached.remapped_sessions;
+    report.kv_migrated += attached.kv_migrated;
+    report.kv_dropped += attached.kv_dropped;
+  }
+  return report;
 }
 
 }  // namespace guillotine

@@ -16,6 +16,7 @@
 #ifndef SRC_CORE_GUILLOTINE_H_
 #define SRC_CORE_GUILLOTINE_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -29,6 +30,7 @@
 #include "src/detect/output_sanitizer.h"
 #include "src/hv/hypervisor.h"
 #include "src/hv/service_scheduler.h"
+#include "src/hv/snapshot.h"
 #include "src/model/mlp_compiler.h"
 #include "src/net/fabric.h"
 #include "src/physical/console.h"
@@ -211,6 +213,22 @@ class GuillotineReplica : public InferenceReplica {
 
 class ModelService;
 
+// What one quarantine-migrate did: when the suspect was captured, the
+// sealed digest, whether the fresh deployment's re-captured state matched
+// the seal (portable digests — the clock-free comparison), and how the
+// service's audited KV handover moved sessions across the detach/attach.
+struct QuarantineMigrateReport {
+  size_t member = 0;
+  Cycles captured_at = 0;
+  Sha256Digest sealed{};             // full digest of the sealed snapshot
+  Sha256Digest sealed_portable{};    // clock-free digest of the sealed state
+  Sha256Digest recaptured_portable{};  // re-capture from the fresh deployment
+  bool digest_verified = false;      // sealed_portable == recaptured_portable
+  u64 remapped_sessions = 0;         // across the detach + attach handovers
+  u64 kv_migrated = 0;
+  u64 kv_dropped = 0;
+};
+
 // A fleet of identically-configured sandboxed deployments plus their
 // replica adapters, so a sharded ModelService can be stood up in a few
 // lines. Each member gets its own GuillotineSystem (own clock, trace,
@@ -234,9 +252,44 @@ class GuillotineFleet {
   // Deals every replica to `service` round-robin across its shards.
   void RegisterWith(ModelService& service);
 
+  // ---- Quarantine-migrate (first-class isolation action) ----
+  // Rebuilds a suspect member from audited state: the suspect is contained
+  // (escalated to Severed if below — model cores pause, ports close), its
+  // state captured as a sealed snapshot, and the snapshot verified *before*
+  // anything else changes. A tampered snapshot (the `tamper` seam mutates it
+  // between capture and verify — fault injection for tests/fuzzing) is
+  // refused with a `snapshot.tamper` security trace in the suspect's trace
+  // and kUnauthenticated; the fleet and service are untouched. On a clean
+  // seal a fresh deployment is built from the suspect's config (new seed /
+  // fabric host id, deterministic), attestation-loads `model`, and the
+  // snapshot is restored into it; a re-capture must match the seal under
+  // PortableDigest or the migrate fails without installing anything. The
+  // suspect's replica is then detached from `service` (audited KV handover,
+  // drop-from-source-first), the suspect is forced Offline and retained in
+  // the decommissioned list (its trace — ports dark, tamper evidence — must
+  // survive for auditors), and the fresh deployment's replica attaches to
+  // `target_shard`. `service` may be null for a fleet not behind a service.
+  // Requires a suspect below Offline (a dark board has no buses to capture
+  // over; recover those through the console instead) and, when a service is
+  // given, at least one other replica to keep the session ring non-empty.
+  Result<QuarantineMigrateReport> QuarantineMigrate(
+      size_t member, const MlpModel& model, ModelService* service,
+      size_t target_shard, Cycles now,
+      const std::function<void(ModelSnapshot&)>& tamper = nullptr);
+
+  // Decommissioned members, oldest first, retained for post-migrate audit.
+  size_t decommissioned_count() const { return decommissioned_.size(); }
+  const GuillotineSystem& decommissioned(size_t i) const {
+    return *decommissioned_[i];
+  }
+
  private:
+  DeploymentConfig base_config_;
+  size_t next_member_ordinal_ = 0;  // seed/host-id offset for fresh builds
   std::vector<std::unique_ptr<GuillotineSystem>> systems_;
   std::vector<std::unique_ptr<GuillotineReplica>> replicas_;
+  std::vector<std::unique_ptr<GuillotineSystem>> decommissioned_;
+  std::vector<std::unique_ptr<GuillotineReplica>> retired_replicas_;
 };
 
 }  // namespace guillotine

@@ -193,6 +193,60 @@ Status SoftwareHypervisor::StartModel(int core) {
   return OkStatus();
 }
 
+Status SoftwareHypervisor::QuiesceEpochState(int model_core) {
+  if (model_core < 0 || model_core >= machine_.num_model_cores()) {
+    return InvalidArgument("bad model core");
+  }
+  // Dense port-id membership set for the IRQ filter below (port ids are
+  // dense from zero, same assumption as ServiceOnce's seen-bitmap).
+  std::vector<u8> quiesced(ports_.size(), 0);
+  u64 drained_requests = 0;
+  u64 drained_responses = 0;
+  size_t port_count = 0;
+  for (u32 port_id : ports_.PortIds()) {
+    PortBinding* binding = ports_.Find(port_id);
+    if (binding == nullptr || binding->revoked ||
+        binding->owner_core != model_core) {
+      continue;
+    }
+    RingView req = machine_.io_dram().RequestRing(binding->region);
+    while (req.Pop().has_value()) {
+      ++drained_requests;
+    }
+    RingView resp = machine_.io_dram().ResponseRing(binding->region);
+    while (resp.Pop().has_value()) {
+      ++drained_responses;
+    }
+    GLL_RETURN_IF_ERROR(ResetPortAccounting(port_id));
+    if (port_id < quiesced.size()) {
+      quiesced[port_id] = 1;
+    }
+    ++port_count;
+  }
+  // Pending LAPIC doorbells for the quiesced ports belong to the
+  // pre-snapshot epoch; doorbells for other model cores' ports survive.
+  u64 dropped_irqs = 0;
+  for (int hv = 0; hv < machine_.num_hv_cores(); ++hv) {
+    HypervisorCore& core = machine_.hv_core(hv);
+    for (u32 port_id : core.TakePendingIrqs()) {
+      if (port_id < quiesced.size() && quiesced[port_id]) {
+        ++dropped_irqs;
+        continue;
+      }
+      core.InjectIrq(port_id);
+    }
+  }
+  machine_.trace().Record(machine_.clock().now(), TraceCategory::kControlBus, "hv",
+                          "snapshot.quiesce",
+                          "core=" + std::to_string(model_core) + " ports=" +
+                              std::to_string(port_count) + " requests=" +
+                              std::to_string(drained_requests) + " responses=" +
+                              std::to_string(drained_responses) + " irqs=" +
+                              std::to_string(dropped_irqs),
+                          static_cast<i64>(port_count));
+  return OkStatus();
+}
+
 void SoftwareHypervisor::TraceIo(int hv_core_id, const PortBinding& binding,
                                  bool outbound, const IoSlot& slot) {
   std::ostringstream detail;

@@ -162,6 +162,17 @@ class SoftwareHypervisor {
                    bool arm_lockdown = true);
   Status StartModel(int core);
 
+  // Pre-restore epoch quiesce: snapshots capture architectural state, not
+  // the I/O epoch around it, so a restore onto a live complex would let
+  // pre-capture residue — queued request/response ring entries, the ports'
+  // byte/request accounting, and pending LAPIC doorbells for those ports —
+  // leak into the restored world. This drains both rings of every
+  // non-revoked port owned by `model_core`, resets their accounting
+  // (audited as port.accounting_reset per port), and filters those ports'
+  // doorbells out of every hv core's pending-IRQ queue (unrelated IRQs are
+  // re-armed untouched). Traced as snapshot.quiesce.
+  Status QuiesceEpochState(int model_core);
+
   // ---- Service loop ----
   // One service pass of hypervisor core `hv_core_id`: drains interrupts
   // delivered to it and services the rings of the ports it OWNS. Doorbells

@@ -14,14 +14,40 @@ Bytes SerializeArch(const ArchState& arch) {
   }
   return out;
 }
-}  // namespace
 
-Sha256Digest ModelSnapshot::ComputeDigest() const {
+// The sealed preimage: a fixed header (target core, capture time, DRAM
+// geometry) followed by the serialized architectural state and the memory
+// image. Folding the header in is what makes a retarget (core/taken_at
+// mutation) or a geometry swap indistinguishable from a bit-flip to
+// IntegrityOk.
+Sha256Digest DigestOver(int core, Cycles taken_at, const ArchState& arch,
+                        const Bytes& dram) {
   Sha256 hasher;
+  Bytes header;
+  PutU64(header, static_cast<u64>(core));
+  PutU64(header, taken_at);
+  PutU64(header, dram.size());
+  hasher.Update(std::span<const u8>(header.data(), header.size()));
   const Bytes arch_bytes = SerializeArch(arch);
   hasher.Update(std::span<const u8>(arch_bytes.data(), arch_bytes.size()));
   hasher.Update(std::span<const u8>(dram.data(), dram.size()));
   return hasher.Finalize();
+}
+}  // namespace
+
+Sha256Digest ModelSnapshot::ComputeDigest() const {
+  return DigestOver(core, taken_at, arch, dram);
+}
+
+Sha256Digest ModelSnapshot::PortableDigest() const {
+  // RestoreSnapshot round-trips everything except the clock: taken_at and
+  // the hardware-owned cycle CSR differ between a sealed snapshot and a
+  // faithful post-restore re-capture. Zero them (and the core-id CSR, which
+  // the hardware rewrites too) so logical-state equality is comparable.
+  ArchState portable = arch;
+  portable.csr[static_cast<size_t>(Csr::kCycle)] = 0;
+  portable.csr[static_cast<size_t>(Csr::kCoreId)] = 0;
+  return DigestOver(core, /*taken_at=*/0, portable, dram);
 }
 
 Result<ModelSnapshot> CaptureSnapshot(SoftwareHypervisor& hv, int core) {
@@ -41,24 +67,35 @@ Result<ModelSnapshot> CaptureSnapshot(SoftwareHypervisor& hv, int core) {
   return snapshot;
 }
 
+Status VerifySnapshotSealed(SoftwareHypervisor& hv, const ModelSnapshot& snapshot) {
+  if (snapshot.IntegrityOk()) {
+    return OkStatus();
+  }
+  // A tampered snapshot is a security event, not just an API error: the
+  // refusal must land in the audit trail alongside the capture record.
+  Machine& machine = hv.machine();
+  machine.trace().Record(machine.clock().now(), TraceCategory::kSecurity, "hv",
+                         "snapshot.tamper",
+                         "core=" + std::to_string(snapshot.core) +
+                             " sealed=" + DigestHex(snapshot.digest).substr(0, 16) +
+                             " recomputed=" +
+                             DigestHex(snapshot.ComputeDigest()).substr(0, 16));
+  return Unauthenticated("snapshot digest mismatch: refusing to restore");
+}
+
 Status RestoreSnapshot(SoftwareHypervisor& hv, const ModelSnapshot& snapshot) {
   Machine& machine = hv.machine();
   ControlBus& bus = hv.control_bus();
-  if (!snapshot.IntegrityOk()) {
-    // A tampered snapshot is a security event, not just an API error: the
-    // refusal must land in the audit trail alongside the capture record.
-    machine.trace().Record(machine.clock().now(), TraceCategory::kSecurity, "hv",
-                           "snapshot.tamper",
-                           "core=" + std::to_string(snapshot.core) +
-                               " sealed=" + DigestHex(snapshot.digest).substr(0, 16) +
-                               " recomputed=" +
-                               DigestHex(snapshot.ComputeDigest()).substr(0, 16));
-    return Unauthenticated("snapshot digest mismatch: refusing to restore");
-  }
+  GLL_RETURN_IF_ERROR(VerifySnapshotSealed(hv, snapshot));
   const int core = snapshot.core;
   if (snapshot.dram.size() != machine.model_dram().size()) {
     return InvalidArgument("snapshot DRAM geometry does not match machine");
   }
+  // The snapshot carries architectural state only; whatever I/O epoch the
+  // complex was in — queued ring entries, port byte-accounting, pending
+  // doorbells — predates the capture and must not leak into the restored
+  // world. Quiesce before the power-cycle.
+  GLL_RETURN_IF_ERROR(hv.QuiesceEpochState(core));
   // Power-cycle to a clean halted state, then repaint memory and registers.
   GLL_RETURN_IF_ERROR(bus.PowerUp(0, core, snapshot.arch.pc));
   GLL_RETURN_IF_ERROR(bus.WriteModelDram(0, 0, snapshot.dram));

@@ -20,20 +20,41 @@ struct ModelSnapshot {
   Cycles taken_at = 0;
   ArchState arch;
   Bytes dram;            // full model-DRAM image
-  Sha256Digest digest{}; // over serialized arch + dram
+  Sha256Digest digest{}; // over core id + capture time + geometry + arch + dram
 
-  // Recomputes the digest over the current contents.
+  // Recomputes the digest over the current contents. The seal covers the
+  // target core id, the capture time, and the DRAM geometry in addition to
+  // the architectural state and memory image — so retargeting a snapshot
+  // (mutating `core` or `taken_at` after capture) trips IntegrityOk just
+  // like a memory bit-flip does.
   Sha256Digest ComputeDigest() const;
   bool IntegrityOk() const { return DigestEqual(digest, ComputeDigest()); }
+
+  // Digest over only the state a restore round-trips: capture time and the
+  // hardware-owned CSRs (cycle counter, core id) are zeroed before hashing.
+  // Two snapshots of the same logical model state — e.g. the sealed
+  // pre-migration snapshot and a re-capture taken after restoring it into a
+  // fresh deployment — compare equal under PortableDigest even though their
+  // full digests differ by clock.
+  Sha256Digest PortableDigest() const;
 };
 
 // Captures core `core`'s registers/CSRs and the model DRAM. Requires the
 // model complex to be quiesced (same rule as the private DRAM bus).
 Result<ModelSnapshot> CaptureSnapshot(SoftwareHypervisor& hv, int core);
 
-// Restores a snapshot onto `snapshot.core`: verifies the digest, rewrites
-// DRAM, and reinstates the architectural state. The core is left halted so
-// the operator decides when (whether) it resumes.
+// The tamper gate shared by every consumer of a sealed snapshot: recomputes
+// the digest and, on mismatch, records a `snapshot.tamper` security trace
+// (sealed vs recomputed prefixes) in `hv`'s machine and returns
+// kUnauthenticated. Call it *before* committing to any recovery side
+// effects (powering a board, building a fresh deployment) so a tampered
+// snapshot changes nothing but the audit trail.
+Status VerifySnapshotSealed(SoftwareHypervisor& hv, const ModelSnapshot& snapshot);
+
+// Restores a snapshot onto `snapshot.core`: verifies the digest, quiesces
+// the pre-snapshot I/O epoch (rings, port accounting, pending doorbells for
+// the core's ports), rewrites DRAM, and reinstates the architectural state.
+// The core is left halted so the operator decides when (whether) it resumes.
 Status RestoreSnapshot(SoftwareHypervisor& hv, const ModelSnapshot& snapshot);
 
 }  // namespace guillotine

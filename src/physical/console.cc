@@ -74,6 +74,35 @@ Status ControlConsole::EscalateFromHypervisor(IsolationLevel target,
       .status();
 }
 
+Result<Cycles> ControlConsole::RecoverFromSnapshot(
+    IsolationLevel target, const std::vector<int>& approving_admins,
+    const ModelSnapshot& snapshot) {
+  if (level_ < IsolationLevel::kOffline) {
+    return FailedPrecondition(
+        "snapshot recovery starts from a contained (>= Offline) deployment");
+  }
+  if (target >= IsolationLevel::kOffline) {
+    return InvalidArgument("snapshot recovery must relax below Offline");
+  }
+  // Tamper gate before quorum, plant, or power: a retargeted or bit-flipped
+  // snapshot is refused (snapshot.tamper security trace) while the board is
+  // still dark and the transition log untouched.
+  GLL_RETURN_IF_ERROR(VerifySnapshotSealed(hv_, snapshot));
+  pending_recovery_ = &snapshot;
+  Result<Cycles> result = RequestTransition(target, approving_admins);
+  pending_recovery_ = nullptr;
+  if (result.ok()) {
+    hv_.machine().trace().Record(
+        hv_.machine().clock().now(), TraceCategory::kIsolation, "console",
+        "console.recovery",
+        "restored core=" + std::to_string(snapshot.core) +
+            " digest=" + DigestHex(snapshot.digest).substr(0, 16) + " level=" +
+            std::string(IsolationLevelName(target)),
+        static_cast<i64>(snapshot.core));
+  }
+  return result;
+}
+
 void ControlConsole::ForceOffline(std::string reason) {
   if (level_ >= IsolationLevel::kOffline) {
     return;  // already at or beyond offline
@@ -131,6 +160,27 @@ Result<Cycles> ControlConsole::ExecuteTransition(IsolationLevel target,
       fabric_->SetHostSevered(*config_.fabric_host, false);
     }
     heartbeat_.Reset();
+    // Audited recovery: repaint the model's state from the sealed snapshot
+    // now — after the board is powered (the buses work) but before the
+    // transition is recorded, so the restored world's first activity
+    // postdates the logged relax. The digest was verified before the quorum
+    // ran; a failure here (geometry/bus) rolls the plant back to dark and
+    // logs no transition.
+    if (pending_recovery_ != nullptr) {
+      const Status restored = RestoreSnapshot(hv_, *pending_recovery_);
+      if (!restored.ok()) {
+        plant_.DisconnectNetwork().ok();
+        plant_.CutPower().ok();
+        machine.PowerOffBoard();
+        if (fabric_ != nullptr && config_.fabric_host.has_value()) {
+          fabric_->SetHostSevered(*config_.fabric_host, true);
+        }
+        machine.trace().Record(machine.clock().now(), TraceCategory::kSecurity,
+                               "console", "console.recovery_failed",
+                               restored.ToString());
+        return restored;
+      }
+    }
   }
 
   switch (target) {

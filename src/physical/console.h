@@ -12,6 +12,7 @@
 
 #include "src/common/isolation.h"
 #include "src/hv/hypervisor.h"
+#include "src/hv/snapshot.h"
 #include "src/net/fabric.h"
 #include "src/physical/heartbeat.h"
 #include "src/physical/kill_switch.h"
@@ -76,6 +77,22 @@ class ControlConsole {
   // Heartbeat lapse / assertion failure path: forced Offline, no vote.
   void ForceOffline(std::string reason);
 
+  // ---- Audited snapshot recovery (Offline -> Standard/Probation) ----
+  // The safe way back down: relaxes a contained (>= Offline) deployment
+  // while restoring the model's state from a sealed snapshot rather than
+  // trusting whatever DRAM held through containment. The sealed digest is
+  // verified BEFORE any quorum or plant work — a tampered snapshot is
+  // refused with a `snapshot.tamper` security trace and changes nothing
+  // else (the board stays dark, no transition is logged). On a clean seal
+  // the usual quorum path authorizes the relax and the snapshot is restored
+  // onto its core between board power-on and the transition record, so the
+  // restored world's first guest activity postdates the logged relax. A
+  // restore failure rolls the plant back to dark (traced
+  // `console.recovery_failed`) and logs no transition.
+  Result<Cycles> RecoverFromSnapshot(IsolationLevel target,
+                                     const std::vector<int>& approving_admins,
+                                     const ModelSnapshot& snapshot);
+
   // ---- Attestation-gated model load (paper section 3.2) ----
   // Before any model bytes travel to the machine, the console verifies a
   // fresh quote from the platform against the golden values in `verifier`.
@@ -116,6 +133,9 @@ class ControlConsole {
   HeartbeatMonitor heartbeat_;
   IsolationLevel level_ = IsolationLevel::kStandard;
   ProbationPolicy probation_policy_;
+  // Set for the duration of a RecoverFromSnapshot call: ExecuteTransition's
+  // relax-from-offline block restores it right after the board powers on.
+  const ModelSnapshot* pending_recovery_ = nullptr;
   u64 transitions_ = 0;
   std::vector<TransitionRecord> transition_log_;
 };

@@ -79,6 +79,12 @@ size_t KvCache::Extend(u32 session, size_t tokens, Cycles now) {
 
 size_t KvCache::Adopt(u32 session, size_t tokens, Cycles now) {
   if (tokens == 0) {
+    // A zero-token transfer allocates nothing, but the handover still
+    // happened: an auditor replaying the log must see the adopt land here,
+    // or a drop-then-adopt pair straddling shards looks like a lost session.
+    // before == after keeps the occupancy chain intact.
+    Audit(KvOp::kAdopt, session, static_cast<i64>(blocks_in_use_),
+          static_cast<i64>(blocks_in_use_));
     return CachedTokens(session);
   }
   auto [it, inserted] = sessions_.try_emplace(session);

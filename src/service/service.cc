@@ -151,11 +151,16 @@ Result<ResizeReport> ModelService::SetActiveShards(size_t n, Cycles now) {
 
   ResizeReport resize;
   resize.active_shards = n;
-  // KV handover for every resident session the new ring remaps. Shards are
-  // scanned in index order and sessions coldest-first (LruOrder), so the
-  // handover order — and the eviction pressure adoption creates on the
-  // receiving caches — is deterministic. Drop-before-adopt: at every
-  // instant exactly one shard holds a session's state.
+  HandoverRemapped(now, resize);
+  return resize;
+}
+
+// KV handover for every resident session the current ring remaps. Shards
+// are scanned in index order and sessions coldest-first (LruOrder), so the
+// handover order — and the eviction pressure adoption creates on the
+// receiving caches — is deterministic. Drop-before-adopt: at every instant
+// exactly one shard holds a session's state.
+void ModelService::HandoverRemapped(Cycles now, ResizeReport& resize) {
   for (auto& s : shards_) {
     for (u32 session : s->kv_cache().LruOrder()) {
       const size_t owner = ring_->Owner(session);
@@ -173,7 +178,65 @@ Result<ResizeReport> ModelService::SetActiveShards(size_t n, Cycles now) {
       }
     }
   }
-  return resize;
+}
+
+std::optional<size_t> ModelService::FindReplicaShard(
+    const InferenceReplica* replica) const {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    for (size_t r = 0; r < shards_[i]->num_replicas(); ++r) {
+      if (shards_[i]->replica(r) == replica) {
+        return i;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Result<ResizeReport> ModelService::DetachReplica(const InferenceReplica* replica,
+                                                 Cycles now) {
+  const std::optional<size_t> holder = FindReplicaShard(replica);
+  if (!holder.has_value()) {
+    return NotFound("DetachReplica: replica is not attached to any shard");
+  }
+  // Refuse a detach that would empty the session ring: quarantine-migrate
+  // must keep at least one healthy deployment serving while the suspect is
+  // decommissioned (detach the suspect only after its replacement exists,
+  // or keep a second fleet member).
+  bool others = false;
+  for (size_t i : EligibleShards()) {
+    if (i != *holder || shards_[i]->num_replicas() > 1) {
+      others = true;
+      break;
+    }
+  }
+  if (!others) {
+    return FailedPrecondition(
+        "DetachReplica: removing the last replica would empty the session ring");
+  }
+  shards_[*holder]->RemoveReplica(replica);
+  ring_stale_ = true;
+  RebuildRing();
+  ResizeReport report;
+  report.active_shards = active_shards_;
+  HandoverRemapped(now, report);
+  return report;
+}
+
+Result<ResizeReport> ModelService::AttachReplica(InferenceReplica* replica,
+                                                 size_t shard, Cycles now) {
+  if (shard >= shards_.size()) {
+    return InvalidArgument("AttachReplica: shard index out of range");
+  }
+  if (FindReplicaShard(replica).has_value()) {
+    return AlreadyExists("AttachReplica: replica is already attached");
+  }
+  shards_[shard]->AddReplica(replica);
+  ring_stale_ = true;
+  RebuildRing();
+  ResizeReport report;
+  report.active_shards = active_shards_;
+  HandoverRemapped(now, report);
+  return report;
 }
 
 // The global event loop is a min-heap of (time, seq): request arrivals get
@@ -671,6 +734,11 @@ ContinuousReport ModelService::RunContinuous(TrafficSource& source,
     report.kv_migrated += resized->kv_migrated;
     report.kv_dropped += resized->kv_dropped;
     ctx.eligible = EligibleShards();
+    // A shrink can strand the round-robin cursor one past the new end;
+    // RouteSlot indexes eligible[cursor] before advancing, so re-normalize
+    // here where the set changes size (an applied resize keeps >= 1
+    // eligible shard, so the modulus is never zero).
+    ctx.sessionless_cursor %= ctx.eligible.size();
     // Re-route queued work under the new ring: sessioned slots follow their
     // remapped owner; session-less slots stranded on a deactivated (or
     // replica-less) shard re-deal. Drain order is shard index then FIFO, so

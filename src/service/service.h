@@ -167,6 +167,20 @@ class ModelService {
   // re-routes their queued work.
   Result<ResizeReport> SetActiveShards(size_t n, Cycles now);
 
+  // Quarantine-migrate support. DetachReplica removes `replica` from
+  // whichever shard holds it (the suspect deployment's adapter is being
+  // retired); AttachReplica pins a fresh adapter to `shard`. Both rebuild
+  // the ring and run the same audited KV handover as SetActiveShards for
+  // every resident session the new ring remaps — drop-from-source-first,
+  // then adopt/release per kv_handover, so no double-residency window opens
+  // even when the migration target is the session's old shard index.
+  // DetachReplica refuses (kFailedPrecondition) a detach that would leave
+  // the ring empty; AttachReplica refuses an unknown shard index and a
+  // replica that is already attached somewhere.
+  Result<ResizeReport> DetachReplica(const InferenceReplica* replica, Cycles now);
+  Result<ResizeReport> AttachReplica(InferenceReplica* replica, size_t shard,
+                                     Cycles now);
+
   // Owning shard for a session under the current fleet shape (only active
   // shards holding at least one replica participate in routing). Stable
   // across service instances with identical configuration.
@@ -197,6 +211,13 @@ class ModelService {
   void RebuildRing() const;
   // Active shards holding at least one replica, ascending.
   std::vector<size_t> EligibleShards() const;
+  // The audited KV handover every fleet-shape change shares (elastic resize
+  // and replica attach/detach): for each resident session the current ring
+  // no longer maps to its holder, drop-from-source-first, then adopt or
+  // release per kv_handover. Requires the ring to be freshly rebuilt.
+  void HandoverRemapped(Cycles now, ResizeReport& resize);
+  // Shard currently holding `replica`, or nullopt when unattached.
+  std::optional<size_t> FindReplicaShard(const InferenceReplica* replica) const;
   // The one steal predicate every call site shares: a victim is worth
   // raiding iff it has queued work *and* its backlog clears the threshold.
   // wake-idle (arrival and replica-free paths) and try_steal previously

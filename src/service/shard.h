@@ -98,6 +98,20 @@ class ServiceShard {
     replicas_.push_back(ReplicaState{replica, 0});
     stats_.replicas = replicas_.size();
   }
+  // Detaches `replica` (quarantine-migrate retires a decommissioned
+  // deployment's adapter). Returns false when it was never attached. The
+  // caller is responsible for draining in-flight work first — the service
+  // only detaches suspects it has already severed.
+  bool RemoveReplica(const InferenceReplica* replica) {
+    for (auto it = replicas_.begin(); it != replicas_.end(); ++it) {
+      if (it->replica == replica) {
+        replicas_.erase(it);
+        stats_.replicas = replicas_.size();
+        return true;
+      }
+    }
+    return false;
+  }
   size_t num_replicas() const { return replicas_.size(); }
 
   KvCache& kv_cache() { return kv_cache_; }
@@ -144,6 +158,7 @@ class ServiceShard {
     return best;
   }
   InferenceReplica* replica(size_t i) { return replicas_[i].replica; }
+  const InferenceReplica* replica(size_t i) const { return replicas_[i].replica; }
   Cycles busy_until(size_t i) const { return replicas_[i].busy_until; }
   void set_busy_until(size_t i, Cycles t) { replicas_[i].busy_until = t; }
 

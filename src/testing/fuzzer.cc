@@ -86,7 +86,7 @@ std::vector<int> PickVotes(Rng& rng, int num_admins) {
 
 Scenario FromSteps(const std::string& name, const std::vector<ScenarioStep>& steps,
                    u32 hv_cores, bool detector_batching, bool priority_traffic,
-                   const std::optional<TrafficShape>& traffic) {
+                   const std::optional<TrafficShape>& traffic, bool recovery) {
   Scenario scenario(name);
   scenario.WithHvCores(hv_cores);
   scenario.WithDetectorBatching(detector_batching);
@@ -94,6 +94,7 @@ Scenario FromSteps(const std::string& name, const std::vector<ScenarioStep>& ste
   if (traffic.has_value()) {
     scenario.WithTraffic(*traffic);
   }
+  scenario.WithRecovery(recovery);
   for (const ScenarioStep& step : steps) {
     scenario.Append(step);
   }
@@ -112,6 +113,14 @@ InvariantContext ContextFor(const Scenario& scenario, const ScenarioResult& resu
   if (const ModelService* svc = runner.traffic_service(); svc != nullptr) {
     for (size_t i = 0; i < svc->num_shards(); ++i) {
       ctx.kv_caches.push_back(&svc->shard(i).kv_cache());
+    }
+  }
+  // Quarantine-migrate evidence: the migration invariant inspects it, and
+  // the quota invariant replays the migrate service's caches too.
+  if (const MigrationEvidence* ev = runner.migration_evidence(); ev != nullptr) {
+    ctx.migration = ev;
+    for (const KvCache* cache : ev->caches) {
+      ctx.kv_caches.push_back(cache);
     }
   }
   return ctx;
@@ -172,6 +181,14 @@ Scenario ScenarioFuzzer::Generate(u64 seed) const {
     scenario.WithTraffic(kShapes[rng.NextBelow(3)]);
   }
 
+  // And a third form the recovery slice: audited snapshot recovery and
+  // quarantine-migrate steps (with seal-tampering sweeps) mix into the
+  // interleaving, so the way *back* from containment — and the thirteenth
+  // (no-state-leak-across-migration) invariant — fuzz alongside the attacks.
+  if (rng.NextBool(0.34)) {
+    scenario.WithRecovery(true);
+  }
+
   if (rng.NextBool(0.7)) {
     static const std::vector<u32> kDims[] = {{8, 16, 4}, {6, 8, 4}, {4, 12, 6, 4}};
     scenario.HostDefaultModel(kDims[rng.NextBelow(3)], 1 + rng.NextBelow(1000));
@@ -182,6 +199,20 @@ Scenario ScenarioFuzzer::Generate(u64 seed) const {
       config_.min_steps +
       (span > 0 ? static_cast<int>(rng.NextBelow(static_cast<u64>(span) + 1)) : 0);
   for (int i = 0; i < steps; ++i) {
+    // Recovery-slice scenarios spend ~30% of their steps on the audited way
+    // back (the draw only happens inside the slice, so non-recovery seeds
+    // keep their step streams).
+    if (scenario.recovery() && rng.NextBool(0.3)) {
+      const std::string tamper(kSnapshotTamperModes[rng.NextBelow(4)]);
+      if (rng.NextBool(0.5)) {
+        scenario.RecoverSnapshot(rng.NextBool(0.5) ? IsolationLevel::kStandard
+                                                   : IsolationLevel::kProbation,
+                                 PickVotes(rng, num_admins), tamper);
+      } else {
+        scenario.QuarantineMigrate(tamper);
+      }
+      continue;
+    }
     const u64 pick = rng.NextBelow(100);
     if (pick < 4) {
       scenario.HostDefaultModel({8, 16, 4}, 1 + rng.NextBelow(1000));
@@ -219,6 +250,24 @@ Scenario ScenarioFuzzer::Generate(u64 seed) const {
   if (scenario.traffic().has_value()) {
     scenario.Pump(1 + rng.NextBelow(2));
   }
+  // Likewise a recovery scenario whose step draws never landed on the slice
+  // would be vacuous; guarantee one recovery-path step.
+  if (scenario.recovery()) {
+    const bool has_recovery_step = std::any_of(
+        scenario.steps().begin(), scenario.steps().end(), [](const ScenarioStep& s) {
+          return s.kind == ScenarioStepKind::kRecoverSnapshot ||
+                 s.kind == ScenarioStepKind::kQuarantineMigrate;
+        });
+    if (!has_recovery_step) {
+      const std::string tamper(kSnapshotTamperModes[rng.NextBelow(4)]);
+      if (rng.NextBool(0.5)) {
+        scenario.RecoverSnapshot(IsolationLevel::kStandard,
+                                 PickVotes(rng, num_admins), tamper);
+      } else {
+        scenario.QuarantineMigrate(tamper);
+      }
+    }
+  }
   return scenario;
 }
 
@@ -252,7 +301,8 @@ Scenario ScenarioFuzzer::Shrink(const Scenario& scenario) {
     ScenarioRunner runner(config_.runner);
     const Scenario s = FromSteps(scenario.name(), candidate, scenario.hv_cores(),
                                  scenario.detector_batching(),
-                                 scenario.priority_traffic(), scenario.traffic());
+                                 scenario.priority_traffic(), scenario.traffic(),
+                                 scenario.recovery());
     const ScenarioResult r = runner.Run(s);
     const InvariantContext ctx = ContextFor(s, r, runner);
     return !checker_.Check(ctx).empty();
@@ -312,7 +362,7 @@ Scenario ScenarioFuzzer::Shrink(const Scenario& scenario) {
   }
   return FromSteps(scenario.name() + "-min", steps, scenario.hv_cores(),
                    scenario.detector_batching(), scenario.priority_traffic(),
-                   scenario.traffic());
+                   scenario.traffic(), scenario.recovery());
 }
 
 std::string ScenarioFuzzer::ReproScript(

@@ -1,6 +1,7 @@
 #include "src/testing/invariants.h"
 
 #include <sstream>
+#include <unordered_map>
 
 namespace guillotine {
 
@@ -137,6 +138,12 @@ void CheckOfflineBoardDead(const InvariantContext& ctx,
       // Tentatively legal; must be consumed by a relax transition before
       // any guest activity.
       pending_power_on = true;
+      continue;
+    }
+    if (e.kind == "board.power_off") {
+      // The recovery rollback path re-darkens the board without logging a
+      // transition; power that came back and went away again is no breach.
+      pending_power_on = false;
       continue;
     }
     if (is_activity(e)) {
@@ -509,6 +516,126 @@ void CheckKillPathNotStarved(const InvariantContext& ctx,
   }
 }
 
+// Quarantine-migrate must not leak state in either direction: the
+// decommissioned deployment stays dark forever after its final offline
+// transition, the fresh deployment runs exactly the sealed state (portable
+// digests match), a tampered migrate is refused with snapshot.tamper
+// evidence in the retained suspect, and the service's KV caches agree with
+// their audit logs — every resident session's last audited op is an
+// extend/adopt, and no session is resident in two caches at once (the
+// drop-from-source-first handover rule, observed from the outside).
+void CheckNoStateLeakAcrossMigration(const InvariantContext& ctx,
+                                     const InvariantChecker::ViolateFn& violate) {
+  const MigrationEvidence* ev = ctx.migration;
+  if (ev == nullptr) {
+    return;
+  }
+  if (ev->old_system == nullptr) {
+    violate("migration evidence lost the old system");
+    return;
+  }
+  if (ev->migrated) {
+    // The decommissioned member must be dark and stay dark.
+    const ControlConsole& old_console = ev->old_system->console();
+    if (old_console.level() < IsolationLevel::kOffline) {
+      violate("decommissioned deployment sits at isolation " +
+              std::string(IsolationLevelName(old_console.level())) +
+              " (expected >= offline)");
+    }
+    if (ev->old_system->machine().board_powered()) {
+      violate("decommissioned deployment's board is still powered");
+    }
+    // After the final offline transition nothing guest-visible may appear.
+    const auto& events = ev->old_system->trace().events();
+    size_t offline_at = events.size();
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (events[i].kind == "isolation.transition" &&
+          events[i].value >= static_cast<i64>(IsolationLevel::kOffline)) {
+        offline_at = i;
+      }
+    }
+    if (offline_at == events.size()) {
+      violate("decommissioned deployment's trace never shows an offline "
+              "transition");
+    } else {
+      for (size_t i = offline_at + 1; i < events.size(); ++i) {
+        const TraceEvent& e = events[i];
+        if (e.kind == "model.load" || e.kind == "model.start" ||
+            e.kind == "port.response" || e.kind == "doorbell") {
+          violate("decommissioned deployment shows '" + e.kind + "' @" +
+                  std::to_string(e.time) + " after its offline transition");
+        }
+      }
+    }
+    // The fresh deployment serves exactly the sealed state.
+    if (!DigestEqual(ev->sealed_portable, ev->recaptured_portable)) {
+      violate("restored state diverges from the sealed snapshot (portable "
+              "digest mismatch)");
+    }
+    if (ev->new_system == nullptr) {
+      violate("migrate installed no replacement deployment");
+    } else if (ev->new_system->console().level() >= IsolationLevel::kOffline) {
+      violate("replacement deployment is not serving (isolation " +
+              std::string(IsolationLevelName(ev->new_system->console().level())) +
+              ")");
+    }
+  } else if (ev->tampered) {
+    // A refused tampered migrate must leave audit evidence in the retained
+    // suspect, and must not have decommissioned anything.
+    if (ev->old_system->trace().CountKind("snapshot.tamper") == 0) {
+      violate("tampered migrate was refused without a snapshot.tamper "
+              "security trace");
+    }
+  }
+  // KV accounting across the migrate service's shard caches.
+  std::vector<std::vector<u32>> residents;
+  for (size_t c = 0; c < ev->caches.size(); ++c) {
+    const KvCache* cache = ev->caches[c];
+    if (cache == nullptr) {
+      continue;
+    }
+    residents.push_back(cache->LruOrder());
+    if (cache->audit_dropped() > 0) {
+      continue;  // the log's head is gone; replay would be partial
+    }
+    // Last audited op per session. A session actually resident must be
+    // explained by a trailing extend/adopt; the converse need not hold (a
+    // zero-token adopt audits the handover without allocating residency).
+    std::unordered_map<u32, KvOp> last_op;
+    for (const KvAuditEntry& e : cache->audit_log()) {
+      if (e.op == KvOp::kClear) {
+        last_op.clear();
+      } else {
+        last_op[e.session] = e.op;
+      }
+    }
+    for (u32 session : residents.back()) {
+      const auto it = last_op.find(session);
+      if (it == last_op.end()) {
+        violate("cache " + std::to_string(c) + " holds session " +
+                std::to_string(session) + " with no audit entry");
+      } else if (it->second != KvOp::kExtend && it->second != KvOp::kAdopt) {
+        violate("cache " + std::to_string(c) + " holds session " +
+                std::to_string(session) + " whose last audited op is " +
+                std::string(KvOpName(it->second)) +
+                " (resident without an extend/adopt)");
+      }
+    }
+  }
+  std::unordered_map<u32, size_t> seen;
+  for (size_t c = 0; c < residents.size(); ++c) {
+    for (u32 session : residents[c]) {
+      const auto [it, inserted] = seen.try_emplace(session, c);
+      if (!inserted) {
+        violate("session " + std::to_string(session) +
+                " is resident in cache " + std::to_string(it->second) +
+                " and cache " + std::to_string(c) +
+                " simultaneously (double residency across the handover)");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 InvariantChecker InvariantChecker::Default(QuorumPolicy safety_floor) {
@@ -573,6 +700,11 @@ InvariantChecker InvariantChecker::Default(QuorumPolicy safety_floor) {
                    "kill-class doorbells are never deferred by the slice budget",
                    [](const InvariantContext& ctx, const ViolateFn& violate) {
                      CheckKillPathNotStarved(ctx, violate);
+                   });
+  checker.Register("no-state-leak-across-migration",
+                   "quarantine-migrate leaks no state in either direction",
+                   [](const InvariantContext& ctx, const ViolateFn& violate) {
+                     CheckNoStateLeakAcrossMigration(ctx, violate);
                    });
   return checker;
 }

@@ -26,6 +26,12 @@
 //   kill-path-not-starved kill-class doorbells are never deferred by the
 //                         service-slice budget, and the per-class request/
 //                         serviced counters sum to the totals
+//   no-state-leak-across-migration
+//                         a quarantine-migrated deployment stays dark after
+//                         decommissioning, the restored state matches the
+//                         sealed snapshot (portable digests), a tampered
+//                         migrate leaves snapshot.tamper evidence, and no
+//                         KV session is resident in two shard caches
 //
 // Adding an invariant: call Register with a name and a function that walks
 // the InvariantContext and calls `violate(detail)` for each breach (see
@@ -61,6 +67,9 @@ struct InvariantContext {
   // KV caches whose audit logs the quota invariant replays (e.g. every
   // shard cache of a ModelService after RunAll, or a standalone fuzzed one).
   std::vector<const KvCache*> kv_caches;
+  // Evidence of the run's last quarantine-migrate (null when there was
+  // none); the no-state-leak-across-migration invariant inspects it.
+  const MigrationEvidence* migration = nullptr;
 };
 
 struct InvariantInfo {

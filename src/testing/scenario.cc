@@ -23,6 +23,8 @@ std::string_view ScenarioStepKindName(ScenarioStepKind k) {
     case ScenarioStepKind::kHvEscalate: return "hv_escalate";
     case ScenarioStepKind::kAdvanceClock: return "advance_clock";
     case ScenarioStepKind::kPump: return "pump";
+    case ScenarioStepKind::kRecoverSnapshot: return "recover_snapshot";
+    case ScenarioStepKind::kQuarantineMigrate: return "quarantine_migrate";
     case ScenarioStepKind::kCustom: return "custom";
   }
   return "unknown";
@@ -124,6 +126,26 @@ Scenario& Scenario::Pump(u64 rounds) {
   return *this;
 }
 
+Scenario& Scenario::RecoverSnapshot(IsolationLevel target,
+                                    std::vector<int> approving_admins,
+                                    std::string tamper) {
+  ScenarioStep s;
+  s.kind = ScenarioStepKind::kRecoverSnapshot;
+  s.level = target;
+  s.votes = std::move(approving_admins);
+  s.text = std::move(tamper);
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Scenario& Scenario::QuarantineMigrate(std::string tamper) {
+  ScenarioStep s;
+  s.kind = ScenarioStepKind::kQuarantineMigrate;
+  s.text = std::move(tamper);
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
 Scenario& Scenario::Custom(std::string label,
                            std::function<void(GuillotineSystem&, StepOutcome&)> fn) {
   ScenarioStep s;
@@ -156,6 +178,11 @@ Scenario& Scenario::WithPriorityTraffic(bool enabled) {
 
 Scenario& Scenario::WithTraffic(TrafficShape shape) {
   traffic_ = shape;
+  return *this;
+}
+
+Scenario& Scenario::WithRecovery(bool enabled) {
+  recovery_ = enabled;
   return *this;
 }
 
@@ -368,6 +395,9 @@ Result<std::string> SerializeScenarioScript(const Scenario& scenario) {
   if (scenario.priority_traffic()) {
     out << " priority=1";
   }
+  if (scenario.recovery()) {
+    out << " recovery=1";
+  }
   if (scenario.traffic().has_value()) {
     out << " traffic=" << TrafficShapeName(*scenario.traffic());
   }
@@ -413,6 +443,19 @@ Result<std::string> SerializeScenarioScript(const Scenario& scenario) {
         break;
       case ScenarioStepKind::kPump:
         out << "pump rounds=" << step.amount;
+        break;
+      case ScenarioStepKind::kRecoverSnapshot:
+        // tamper is always emitted (defaulting empty to "none") so
+        // serialize -> parse -> serialize is a fixpoint.
+        out << "recover_snapshot level=" << IsolationLevelName(step.level)
+            << " tamper=" << (step.text.empty() ? "none" : step.text);
+        if (!step.votes.empty()) {
+          out << " votes=" << JoinInt(step.votes);
+        }
+        break;
+      case ScenarioStepKind::kQuarantineMigrate:
+        out << "quarantine_migrate tamper="
+            << (step.text.empty() ? "none" : step.text);
         break;
       case ScenarioStepKind::kCustom:
         return InvalidArgument("custom steps hold code and cannot be serialized");
@@ -497,6 +540,10 @@ Result<Scenario> ParseScenarioScript(std::string_view script) {
         GLL_ASSIGN_OR_RETURN(u64 n, ParseNumber(prio->value, line_no));
         scenario.WithPriorityTraffic(n != 0);
       }
+      if (const ScriptToken* rec = find("recovery"); rec != nullptr) {
+        GLL_ASSIGN_OR_RETURN(u64 n, ParseNumber(rec->value, line_no));
+        scenario.WithRecovery(n != 0);
+      }
       if (const ScriptToken* traffic = find("traffic"); traffic != nullptr) {
         const auto shape = TrafficShapeFromName(traffic->value);
         if (!shape.has_value()) {
@@ -555,6 +602,23 @@ Result<Scenario> ParseScenarioScript(std::string_view script) {
     } else if (verb == "pump") {
       GLL_ASSIGN_OR_RETURN(u64 rounds, require_number("rounds"));
       scenario.Pump(rounds);
+    } else if (verb == "recover_snapshot") {
+      GLL_ASSIGN_OR_RETURN(IsolationLevel level, require_level());
+      std::vector<int> votes;
+      if (const ScriptToken* v = find("votes"); v != nullptr && !v->value.empty()) {
+        GLL_ASSIGN_OR_RETURN(votes, ParseNumberList<int>(v->value, line_no));
+      }
+      std::string tamper = "none";
+      if (const ScriptToken* t = find("tamper"); t != nullptr && !t->value.empty()) {
+        tamper = t->value;
+      }
+      scenario.RecoverSnapshot(level, std::move(votes), std::move(tamper));
+    } else if (verb == "quarantine_migrate") {
+      std::string tamper = "none";
+      if (const ScriptToken* t = find("tamper"); t != nullptr && !t->value.empty()) {
+        tamper = t->value;
+      }
+      scenario.QuarantineMigrate(std::move(tamper));
     } else {
       return InvalidArgument("scenario script line " + std::to_string(line_no) +
                              ": unknown step '" + verb + "'");
@@ -675,6 +739,12 @@ ScenarioResult ScenarioRunner::Run(const Scenario& scenario) {
   traffic_source_.reset();
   traffic_report_.reset();
   traffic_pumps_ = 0;
+  // Quarantine-migrate state is per-Run for the same reason.
+  migrate_fleet_.reset();
+  migrate_service_.reset();
+  migrate_model_.reset();
+  migration_evidence_.reset();
+  migrations_ = 0;
   if (scenario.traffic().has_value()) {
     ModelServiceConfig svc;
     svc.num_shards = 2;
@@ -720,6 +790,23 @@ ScenarioResult ScenarioRunner::Run(const Scenario& scenario) {
   result.trace_hash = TraceDigestHash(system_->trace());
   return result;
 }
+
+namespace {
+
+// Applies a kSnapshotTamperModes mutation to a sealed snapshot without
+// re-sealing it, so the integrity gate must notice. "none" (or any unknown
+// mode) leaves the snapshot intact.
+void ApplySnapshotTamper(std::string_view mode, ModelSnapshot& snapshot) {
+  if (mode == "core") {
+    snapshot.core ^= 1;
+  } else if (mode == "time") {
+    snapshot.taken_at ^= 1;
+  } else if (mode == "bit" && !snapshot.dram.empty()) {
+    snapshot.dram[0] ^= 1;
+  }
+}
+
+}  // namespace
 
 void ScenarioRunner::Execute(const ScenarioStep& step, StepOutcome& outcome) {
   GuillotineSystem& sys = *system_;
@@ -963,6 +1050,107 @@ void ScenarioRunner::Execute(const ScenarioStep& step, StepOutcome& outcome) {
            << " remapped=" << traffic_report_->remapped_sessions;
         outcome.detail += os.str();
       }
+      break;
+    }
+
+    case ScenarioStepKind::kRecoverSnapshot: {
+      // Pause the model complex so the snapshot buses are quiescent, capture,
+      // optionally tamper, contain (Offline), then take the audited way back.
+      for (int i = 0; i < sys.machine().num_model_cores(); ++i) {
+        sys.machine().model_core(i).Pause(HaltReason::kHypervisorPause);
+      }
+      Result<ModelSnapshot> snapshot = CaptureSnapshot(sys.hv(), 0);
+      if (!snapshot.ok()) {
+        outcome.ok = true;
+        outcome.value = -1;
+        outcome.detail = "capture: " + snapshot.status().ToString();
+        break;
+      }
+      ApplySnapshotTamper(step.text, *snapshot);
+      if (sys.console().level() < IsolationLevel::kOffline) {
+        sys.console().ForceOffline("scenario: containment before recovery");
+      }
+      const Result<Cycles> latency =
+          sys.console().RecoverFromSnapshot(step.level, step.votes, *snapshot);
+      outcome.ok = true;  // a refused recovery is a successful exercise
+      if (latency.ok()) {
+        outcome.value = static_cast<i64>(sys.console().level());
+        outcome.detail = std::string("recovered to ") +
+                         std::string(IsolationLevelName(sys.console().level()));
+      } else {
+        outcome.value = -1;
+        outcome.detail = latency.status().ToString();
+      }
+      break;
+    }
+
+    case ScenarioStepKind::kQuarantineMigrate: {
+      if (migrate_fleet_ == nullptr) {
+        // Lazily stand up the two-member fleet behind a two-shard service
+        // and seed resident sessions so the detach/attach handover has KV
+        // state to account for.
+        Rng model_rng(3);
+        migrate_model_ =
+            std::make_unique<MlpModel>(MlpModel::Random({8, 16, 4}, model_rng));
+        migrate_fleet_ =
+            std::make_unique<GuillotineFleet>(2, config_.deployment);
+        const Status hosted = migrate_fleet_->HostEverywhere(*migrate_model_);
+        if (!hosted.ok()) {
+          migrate_fleet_.reset();
+          migrate_model_.reset();
+          outcome.detail = "fleet: " + hosted.ToString();
+          break;  // infrastructure failure, not an adversarial refusal
+        }
+        ModelServiceConfig svc;
+        svc.num_shards = 2;
+        svc.kv.total_blocks = 48;
+        migrate_service_ = std::make_unique<ModelService>(svc);
+        migrate_fleet_->RegisterWith(*migrate_service_);
+        for (u32 sid = 1; sid <= 6; ++sid) {
+          const size_t owner = migrate_service_->OwnerShard(sid);
+          migrate_service_->shard(owner).kv_cache().Extend(sid, 24, 0);
+        }
+      }
+      const std::string mode = step.text.empty() ? "none" : step.text;
+      std::function<void(ModelSnapshot&)> tamper;
+      if (mode != "none") {
+        tamper = [mode](ModelSnapshot& snapshot) {
+          ApplySnapshotTamper(mode, snapshot);
+        };
+      }
+      const Result<QuarantineMigrateReport> report =
+          migrate_fleet_->QuarantineMigrate(0, *migrate_model_,
+                                            migrate_service_.get(), 0,
+                                            sys.clock().now(), tamper);
+      ++migrations_;
+      auto evidence = std::make_unique<MigrationEvidence>();
+      evidence->tampered = mode != "none";
+      for (size_t i = 0; i < migrate_service_->num_shards(); ++i) {
+        evidence->caches.push_back(&migrate_service_->shard(i).kv_cache());
+      }
+      outcome.ok = true;  // a refused migrate is a successful exercise
+      if (report.ok()) {
+        evidence->migrated = true;
+        evidence->old_system = &migrate_fleet_->decommissioned(
+            migrate_fleet_->decommissioned_count() - 1);
+        evidence->new_system = &migrate_fleet_->system(0);
+        evidence->sealed_portable = report->sealed_portable;
+        evidence->recaptured_portable = report->recaptured_portable;
+        outcome.value = 1;
+        std::ostringstream detail;
+        detail << "migrated member=" << report->member
+               << " remapped=" << report->remapped_sessions
+               << " kv_migrated=" << report->kv_migrated
+               << " kv_dropped=" << report->kv_dropped;
+        outcome.detail = detail.str();
+      } else {
+        // The retained suspect (still installed) holds the tamper trace.
+        evidence->migrated = false;
+        evidence->old_system = &migrate_fleet_->system(0);
+        outcome.value = -1;
+        outcome.detail = report.status().ToString();
+      }
+      migration_evidence_ = std::move(evidence);
       break;
     }
 

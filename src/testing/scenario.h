@@ -48,6 +48,8 @@ enum class ScenarioStepKind {
   kHvEscalate,        // software-hypervisor escalation (restrict-only path)
   kAdvanceClock,      // pure simulated-time advance
   kPump,              // fixed number of PumpOnce scheduling rounds
+  kRecoverSnapshot,   // capture -> contain -> audited console recovery
+  kQuarantineMigrate, // fleet member snapshotted into a fresh deployment
   kCustom,            // escape hatch for bespoke test logic
 };
 
@@ -76,6 +78,14 @@ struct ScenarioStep {
   std::function<void(GuillotineSystem&, StepOutcome&)> custom;
 };
 
+// Snapshot tamper modes the recovery/migrate steps inject between capture
+// and verify (step.text carries the mode name): "none" leaves the seal
+// intact, "core" retargets the snapshot to another core, "time" mutates the
+// capture timestamp, "bit" flips one DRAM bit. Every mode except "none"
+// must be refused with a snapshot.tamper security trace.
+inline constexpr std::string_view kSnapshotTamperModes[] = {"none", "core",
+                                                            "time", "bit"};
+
 // Fluent builder for a step list. Scenarios are plain data: they can be
 // built once and run many times (each run gets a fresh system).
 class Scenario {
@@ -93,6 +103,17 @@ class Scenario {
   Scenario& EscalateFromHypervisor(IsolationLevel target, std::string reason);
   Scenario& AdvanceClock(Cycles cycles);
   Scenario& Pump(u64 rounds);
+  // Audited snapshot recovery: pause + capture the model, optionally tamper
+  // with the snapshot (`tamper` is a kSnapshotTamperModes name), force the
+  // deployment Offline, then relax to `target` through the console's
+  // RecoverFromSnapshot path. A tampered snapshot must be refused.
+  Scenario& RecoverSnapshot(IsolationLevel target,
+                            std::vector<int> approving_admins,
+                            std::string tamper = "none");
+  // Quarantine-migrate against a lazily-built two-member fleet behind a
+  // sharded service: member 0 is snapshotted (optionally tampered),
+  // decommissioned, and rebuilt into a fresh deployment that re-registers.
+  Scenario& QuarantineMigrate(std::string tamper = "none");
   Scenario& Custom(std::string label,
                    std::function<void(GuillotineSystem&, StepOutcome&)> fn);
 
@@ -126,11 +147,19 @@ class Scenario {
   // scenario: every pump step additionally drives a deterministic
   // RunContinuous burst (with a mid-burst elastic resize) through a sharded
   // ModelService whose replicas are Guillotine adapters over the scenario's
-  // system — so all twelve invariants run against the open-world loop too.
+  // system — so all thirteen invariants run against the open-world loop too.
   // Serialized on the script header line (traffic=poisson|bursty|diurnal)
   // like the other corpus-slice flags.
   Scenario& WithTraffic(TrafficShape shape);
   const std::optional<TrafficShape>& traffic() const { return traffic_; }
+
+  // Marks the recovery corpus slice: when on, the fuzzer's generator mixes
+  // recover_snapshot / quarantine_migrate steps into the scenario. The flag
+  // itself changes no runner behavior (the steps carry it all); it is
+  // serialized on the header line (recovery=1) so shrunk repros stay in the
+  // slice they were generated in.
+  Scenario& WithRecovery(bool enabled);
+  bool recovery() const { return recovery_; }
 
   const std::string& name() const { return name_; }
   const std::vector<ScenarioStep>& steps() const { return steps_; }
@@ -141,6 +170,7 @@ class Scenario {
   u32 hv_cores_ = 0;
   bool detector_batching_ = false;
   bool priority_traffic_ = false;
+  bool recovery_ = false;
   std::optional<TrafficShape> traffic_;
 };
 
@@ -168,6 +198,22 @@ Result<Scenario> ParseScenarioScript(std::string_view script);
 // runs and across code changes.
 std::vector<std::string> TraceDigestLines(const EventTrace& trace);
 u64 TraceDigestHash(const EventTrace& trace);
+
+// What the last quarantine-migrate step of a Run left behind, for the
+// no-state-leak-across-migration invariant: the decommissioned system (its
+// trace must show ports dark after its final offline transition), the fresh
+// system, the sealed vs re-captured portable digests, and the migrate
+// service's KV caches (no session may be resident in two of them, and each
+// cache's audit log must account for its residents).
+struct MigrationEvidence {
+  const GuillotineSystem* old_system = nullptr;  // decommissioned, retained
+  const GuillotineSystem* new_system = nullptr;  // installed replacement
+  Sha256Digest sealed_portable{};
+  Sha256Digest recaptured_portable{};
+  bool migrated = false;   // the migrate installed the fresh deployment
+  bool tampered = false;   // the step injected snapshot tampering
+  std::vector<const KvCache*> caches;  // migrate service's shard caches
+};
 
 struct ScenarioResult {
   std::string name;
@@ -221,6 +267,13 @@ class ScenarioRunner {
   const ModelService* traffic_service() const { return traffic_service_.get(); }
   const ContinuousReport* traffic_report() const { return traffic_report_.get(); }
 
+  // Evidence of the last Run's final quarantine_migrate step (null when the
+  // scenario had none); feeds the no-state-leak-across-migration invariant.
+  const MigrationEvidence* migration_evidence() const {
+    return migration_evidence_.get();
+  }
+  const ModelService* migrate_service() const { return migrate_service_.get(); }
+
  private:
   void Execute(const ScenarioStep& step, StepOutcome& outcome);
 
@@ -236,6 +289,14 @@ class ScenarioRunner {
   std::unique_ptr<TrafficSource> traffic_source_;
   std::unique_ptr<ContinuousReport> traffic_report_;
   u64 traffic_pumps_ = 0;
+  // Quarantine-migrate state (kQuarantineMigrate steps): a two-member fleet
+  // behind a two-shard service, built lazily on the first migrate step of a
+  // Run and torn down at the next Run so replays are byte-identical.
+  std::unique_ptr<GuillotineFleet> migrate_fleet_;
+  std::unique_ptr<ModelService> migrate_service_;
+  std::unique_ptr<MlpModel> migrate_model_;
+  std::unique_ptr<MigrationEvidence> migration_evidence_;
+  u64 migrations_ = 0;
 };
 
 }  // namespace guillotine

@@ -97,7 +97,8 @@ TEST(ScenarioFuzzTest, GeneratorCoversTheWholeStepSpace) {
         ScenarioStepKind::kAttemptExfil, ScenarioStepKind::kDropHeartbeats,
         ScenarioStepKind::kRestoreHeartbeats, ScenarioStepKind::kRequestIsolation,
         ScenarioStepKind::kHvEscalate, ScenarioStepKind::kAdvanceClock,
-        ScenarioStepKind::kPump}) {
+        ScenarioStepKind::kPump, ScenarioStepKind::kRecoverSnapshot,
+        ScenarioStepKind::kQuarantineMigrate}) {
     EXPECT_TRUE(seen.count(kind)) << "generator never emitted "
                                   << ScenarioStepKindName(kind);
   }
@@ -116,6 +117,7 @@ TEST(ScenarioFuzzTest, ScriptsRoundTripThroughTheDsl) {
     const auto parsed = ParseScenarioScript(*script);
     ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << *script;
     EXPECT_EQ(parsed->name(), original.name());
+    EXPECT_EQ(parsed->recovery(), original.recovery());
     ASSERT_EQ(parsed->steps().size(), original.steps().size());
     // Serialization is a fixpoint...
     const auto reserialized = SerializeScenarioScript(*parsed);
@@ -363,6 +365,74 @@ TEST(ScenarioFuzzTest, OpenWorldTrafficSliceHoldsAllInvariants) {
   }
   EXPECT_GT(generated_with_traffic, 10);
   EXPECT_LT(generated_with_traffic, 65);
+}
+
+// --- Recovery corpus slice: audited snapshot recovery and quarantine-
+// migrate steps (with seal-tampering sweeps) interleave with the attacks,
+// and every invariant — including no-state-leak-across-migration over the
+// migrate service's fleet and caches — holds across the slice. ---
+
+TEST(ScenarioFuzzTest, RecoverySliceHoldsAllInvariants) {
+  ScenarioFuzzer fuzzer;
+  for (u64 seed = 4000; seed < 4040; ++seed) {
+    Scenario scenario = fuzzer.Generate(seed);
+    scenario.WithRecovery(true);  // force the slice
+    // Guarantee both recovery paths fire (a forced flag on a non-slice seed
+    // would otherwise be vacuous), sweeping the tamper modes by seed.
+    const std::string tamper(kSnapshotTamperModes[seed % 4]);
+    scenario.QuarantineMigrate(tamper);
+    scenario.RecoverSnapshot(IsolationLevel::kStandard, {0, 1, 2, 3, 4}, tamper);
+    const auto violations = fuzzer.Check(scenario);
+    ASSERT_TRUE(violations.empty())
+        << "seed " << seed << " tamper=" << tamper << "\n"
+        << RenderViolations(violations);
+  }
+  // The generator emits recovery scenarios on its own (~a third of seeds)
+  // and always gives them at least one recovery-path step.
+  int generated_with_recovery = 0;
+  for (u64 seed = 0; seed < 100; ++seed) {
+    const Scenario s = fuzzer.Generate(seed);
+    if (!s.recovery()) {
+      continue;
+    }
+    ++generated_with_recovery;
+    bool has_recovery_step = false;
+    for (const ScenarioStep& step : s.steps()) {
+      has_recovery_step |= step.kind == ScenarioStepKind::kRecoverSnapshot ||
+                           step.kind == ScenarioStepKind::kQuarantineMigrate;
+    }
+    EXPECT_TRUE(has_recovery_step)
+        << "seed " << seed << " recovery scenario has no recovery step";
+  }
+  EXPECT_GT(generated_with_recovery, 10);
+  EXPECT_LT(generated_with_recovery, 70);
+}
+
+// A tampered quarantine-migrate must be refused with snapshot.tamper audit
+// evidence, leave the fleet untouched, and still hold every invariant; the
+// clean migrate right after it must then succeed end-to-end.
+
+TEST(ScenarioFuzzTest, TamperedMigrateIsRefusedThenCleanMigrateSucceeds) {
+  for (const std::string_view mode : {"core", "time", "bit"}) {
+    Scenario s("tampered-migrate");
+    s.WithRecovery(true);
+    s.QuarantineMigrate(std::string(mode));
+    s.QuarantineMigrate("none");
+    ScenarioFuzzer fuzzer;
+    const auto violations = fuzzer.Check(s);
+    EXPECT_TRUE(violations.empty())
+        << "mode " << mode << "\n" << RenderViolations(violations);
+    const ScenarioResult result = fuzzer.runner().Run(s);
+    ASSERT_EQ(result.outcomes.size(), 2u);
+    EXPECT_EQ(result.outcomes[0].value, -1) << result.Summary();  // refused
+    EXPECT_EQ(result.outcomes[1].value, 1) << result.Summary();   // migrated
+    const MigrationEvidence* ev = fuzzer.runner().migration_evidence();
+    ASSERT_NE(ev, nullptr);
+    EXPECT_TRUE(ev->migrated);
+    // The decommissioned suspect retains the refusal's tamper evidence.
+    ASSERT_NE(ev->old_system, nullptr);
+    EXPECT_GE(ev->old_system->trace().CountKind("snapshot.tamper"), 1u);
+  }
 }
 
 // --- The hypervisor's severed-forward counter is visible and quiet. ---

@@ -176,6 +176,52 @@ TEST_F(HvExtrasTest, EveryTamperedSnapshotRegionIsCaughtAndAudited) {
   EXPECT_EQ(trace_.CountKind("snapshot.restore"), 1u);
 }
 
+TEST_F(HvExtrasTest, RetargetedOrRedatedSnapshotRefusesRestore) {
+  const auto snapshot = CaptureSnapshot(hv_, 0);
+  ASSERT_TRUE(snapshot.ok());
+  // The seal covers the core id, the capture time, and the DRAM geometry —
+  // not just the memory image: a snapshot retargeted at another core,
+  // re-dated, or truncated is refused exactly like a bit flip.
+  ModelSnapshot retargeted = *snapshot;
+  retargeted.core ^= 1;
+  EXPECT_FALSE(retargeted.IntegrityOk());
+  EXPECT_EQ(RestoreSnapshot(hv_, retargeted).code(), StatusCode::kUnauthenticated);
+  ModelSnapshot redated = *snapshot;
+  redated.taken_at ^= 1;
+  EXPECT_FALSE(redated.IntegrityOk());
+  EXPECT_EQ(RestoreSnapshot(hv_, redated).code(), StatusCode::kUnauthenticated);
+  ModelSnapshot truncated = *snapshot;
+  truncated.dram.resize(truncated.dram.size() - 8);
+  EXPECT_FALSE(truncated.IntegrityOk());
+  EXPECT_EQ(RestoreSnapshot(hv_, truncated).code(), StatusCode::kUnauthenticated);
+  EXPECT_EQ(trace_.CountKind("snapshot.tamper"), 3u);
+  EXPECT_EQ(trace_.CountKind("snapshot.restore"), 0u);
+}
+
+TEST_F(HvExtrasTest, RestoreDropsStaleEpochIrqsAndRings) {
+  const auto port = hv_.CreatePort(disk_index_, PortRights{});
+  ASSERT_TRUE(port.ok());
+  const auto snapshot = CaptureSnapshot(hv_, 0);
+  ASSERT_TRUE(snapshot.ok());
+  // Post-capture epoch state: a queued request and a pending doorbell.
+  // Restoring must not leak either into the restored world — a stale
+  // completion IRQ would wake the fresh state for an I/O it never issued.
+  const PortBinding* binding = hv_.FindPort(*port);
+  IoSlot slot;
+  slot.opcode = static_cast<u32>(StorageOpcode::kInfo);
+  slot.tag = 9;
+  ASSERT_TRUE(machine_.io_dram().RequestRing(binding->region).Push(slot).ok());
+  machine_.hv_core(binding->owner_hv_core).InjectIrq(*port);
+  ASSERT_TRUE(RestoreSnapshot(hv_, *snapshot).ok());
+  EXPECT_EQ(trace_.CountKind("snapshot.quiesce"), 1u);
+  // The stale doorbell is gone...
+  EXPECT_TRUE(machine_.hv_core(binding->owner_hv_core).TakePendingIrqs().empty());
+  // ...and so is the stale request: a servicing pass finds nothing.
+  const ServiceStats stats = hv_.ServiceOnce(0, /*poll_all=*/true);
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_FALSE(machine_.io_dram().ResponseRing(binding->region).Pop().has_value());
+}
+
 TEST_F(HvExtrasTest, SnapshotRequiresQuiescedComplex) {
   const Bytes code = [] {
     ProgramBuilder b(0x1000);

@@ -538,7 +538,7 @@ TEST(MultiHvCoreSystemTest, PriorityHeaderRoundTripsAndFloodKeepsKillPathLive) {
 
   // The full default suite — including kill-path-not-starved — holds.
   const InvariantChecker checker = InvariantChecker::Default();
-  EXPECT_EQ(checker.invariants().size(), 12u);
+  EXPECT_EQ(checker.invariants().size(), 13u);
   InvariantContext ctx;
   ctx.scenario = &scenario;
   ctx.result = &result;

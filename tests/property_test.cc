@@ -465,5 +465,52 @@ TEST_P(BatchedDetectorEquivalence, SameObservationsSameVerdictPlan) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BatchedDetectorEquivalence,
                          ::testing::Values(700, 701, 702, 703));
 
+// --- Property: snapshot round-trips are lossless across hv-core counts —
+// capture, clobber DRAM + core state, restore, re-capture: the portable
+// digests match, so the restored world IS the sealed world (modulo the
+// clock-owned CSRs the portable digest excludes by design). ---
+
+class SnapshotRoundTripSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SnapshotRoundTripSweep, PortableDigestSurvivesRestore) {
+  DeploymentConfig config = DefaultScenarioDeployment();
+  config.machine.num_hv_cores = GetParam();
+  GuillotineSystem sys(config);
+  ASSERT_TRUE(sys.AttachDefaultDevices().ok());
+  Rng rng(7);
+  const MlpModel model = MlpModel::Random({8, 16, 4}, rng);
+  ASSERT_TRUE(sys.HostModel(model, sys.MakeVerifier()).ok());
+  ASSERT_TRUE(sys.Infer("summarize the weather").ok());
+
+  for (int i = 0; i < sys.machine().num_model_cores(); ++i) {
+    sys.machine().model_core(i).Pause(HaltReason::kHypervisorPause);
+  }
+  const auto sealed = CaptureSnapshot(sys.hv(), 0);
+  ASSERT_TRUE(sealed.ok()) << sealed.status().ToString();
+  ASSERT_TRUE(sealed->IntegrityOk());
+
+  // Clobber everything the snapshot protects.
+  sys.machine().model_dram().Clear();
+  sys.machine().model_core(0).PowerUpCore(0);
+
+  ASSERT_TRUE(RestoreSnapshot(sys.hv(), *sealed).ok());
+  const auto recaptured = CaptureSnapshot(sys.hv(), 0);
+  ASSERT_TRUE(recaptured.ok());
+  EXPECT_TRUE(
+      DigestEqual(sealed->PortableDigest(), recaptured->PortableDigest()))
+      << "hv_cores=" << GetParam();
+
+  // A later re-capture of the untouched state still matches portably, even
+  // though the full (time-sealed) digest has moved with the clock.
+  sys.clock().Advance(12'345);
+  const auto later = CaptureSnapshot(sys.hv(), 0);
+  ASSERT_TRUE(later.ok());
+  EXPECT_TRUE(DigestEqual(sealed->PortableDigest(), later->PortableDigest()));
+  EXPECT_FALSE(DigestEqual(sealed->digest, later->digest));
+}
+
+INSTANTIATE_TEST_SUITE_P(HvCores, SnapshotRoundTripSweep,
+                         ::testing::Values(1, 2, 4));
+
 }  // namespace
 }  // namespace guillotine

@@ -1062,5 +1062,138 @@ TEST(ContinuousServiceTest, MillionDistinctSessionsBoundedResidentState) {
   EXPECT_LT(report.peak_live_requests, 4'096u);
 }
 
+// ---- Quarantine-migrate's service half: DetachReplica / AttachReplica ----
+
+TEST(ShardedServiceTest, DetachAndAttachReplicaHandOverSessionsOnce) {
+  Rng rng(23);
+  const MlpModel model = MlpModel::Random({16, 32, 4}, rng);
+  ModelServiceConfig config;
+  config.num_shards = 2;
+  ModelService service(config);
+  NativeReplica a(model, "a");
+  NativeReplica b(model, "b");
+  NativeReplica fresh(model, "fresh");
+  service.AddReplica(&a, 0);
+  service.AddReplica(&b, 1);
+  // Seed resident sessions on their owner shards.
+  for (u32 sid = 1; sid <= 8; ++sid) {
+    service.shard(service.OwnerShard(sid)).kv_cache().Extend(sid, 16, 0);
+  }
+
+  // Detaching an unattached replica is refused; detaching a real one
+  // remaps its shard's sessions through the audited handover.
+  EXPECT_EQ(service.DetachReplica(&fresh, 100).status().code(),
+            StatusCode::kNotFound);
+  const Result<ResizeReport> detached = service.DetachReplica(&a, 100);
+  ASSERT_TRUE(detached.ok()) << detached.status().ToString();
+  EXPECT_EQ(service.shard(0).kv_cache().resident_sessions(), 0u);
+
+  // Attaching to an unknown shard or twice is refused; a fresh replica on
+  // the vacated shard re-remaps the ring.
+  EXPECT_EQ(service.AttachReplica(&fresh, 9, 200).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.AttachReplica(&b, 0, 200).status().code(),
+            StatusCode::kAlreadyExists);
+  const Result<ResizeReport> attached = service.AttachReplica(&fresh, 0, 200);
+  ASSERT_TRUE(attached.ok()) << attached.status().ToString();
+
+  // No session is resident in two caches, and the audited logs hold the
+  // quota invariant across the double handover.
+  std::set<u32> seen;
+  InvariantContext ctx;
+  for (size_t i = 0; i < service.num_shards(); ++i) {
+    for (u32 sid : service.shard(i).kv_cache().LruOrder()) {
+      EXPECT_TRUE(seen.insert(sid).second)
+          << "session " << sid << " resident in two caches";
+    }
+    ctx.kv_caches.push_back(&service.shard(i).kv_cache());
+  }
+  const auto violations = InvariantChecker::Default().Check(ctx);
+  EXPECT_TRUE(violations.empty()) << RenderViolations(violations);
+
+  // Requests still complete through the rebuilt ring.
+  std::vector<InferenceRequest> requests;
+  for (u64 i = 0; i < 8; ++i) {
+    requests.push_back({i, "post-migrate " + std::to_string(i), i * 100,
+                        static_cast<u32>(i) + 1});
+  }
+  const ServiceReport report = service.RunAll(std::move(requests));
+  EXPECT_EQ(report.completed, 8u);
+  EXPECT_EQ(report.failed, 0u);
+}
+
+TEST(ShardedServiceTest, DetachRefusesEmptyingTheRing) {
+  Rng rng(24);
+  const MlpModel model = MlpModel::Random({16, 32, 4}, rng);
+  ModelServiceConfig config;
+  config.num_shards = 2;
+  ModelService service(config);
+  NativeReplica only(model, "only");
+  service.AddReplica(&only, 0);
+  EXPECT_EQ(service.DetachReplica(&only, 0).status().code(),
+            StatusCode::kFailedPrecondition);
+  // With a second replica on the other shard the detach goes through.
+  NativeReplica other(model, "other");
+  service.AddReplica(&other, 1);
+  EXPECT_TRUE(service.DetachReplica(&only, 0).ok());
+}
+
+// Regression: the session-less round-robin cursor indexes the eligible-
+// shard set BEFORE advancing, so a shrink that rebuilt the set could leave
+// the cursor one past the new end — an out-of-bounds read on the next
+// one-shot arrival (caught by ASan under the recovery fuzz slice). An
+// all-one-shot stream across a hard shrink now pins the re-normalization.
+TEST(ContinuousServiceTest, ShrinkKeepsSessionlessCursorInRange) {
+  Rng rng(29);
+  const MlpModel model = MlpModel::Random({16, 32, 4}, rng);
+  ModelServiceConfig config;
+  config.num_shards = 2;
+  ModelService service(config);
+  NativeReplica a(model, "a");
+  NativeReplica b(model, "b");
+  service.AddReplica(&a, 0);
+  service.AddReplica(&b, 1);
+  TrafficConfig tc;
+  tc.shape = TrafficShape::kPoisson;
+  tc.seed = 5;
+  tc.mean_interarrival = 300.0;
+  tc.sessionless_fraction = 1.0;  // every arrival exercises the cursor
+  TrafficSource source(tc);
+  ContinuousConfig cc;
+  cc.max_arrivals = 64;
+  cc.record_outcomes = true;
+  cc.resizes.push_back({9, 1});  // odd count: cursor parked past the new end
+  const ContinuousReport report = service.RunContinuous(source, cc);
+
+  EXPECT_EQ(report.arrivals, 64u);
+  EXPECT_EQ(report.completed, 64u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.resizes_applied, 1u);
+  for (const RequestOutcome& outcome : report.outcomes) {
+    EXPECT_LT(outcome.owner_shard, service.num_shards());
+    EXPECT_LT(outcome.ran_shard, service.num_shards());
+  }
+}
+
+TEST(KvCacheTest, ZeroTokenAdoptStillAudits) {
+  KvCacheConfig config;
+  config.total_blocks = 8;
+  KvCache cache(config);
+  cache.Extend(1, 16, 0);
+  const size_t before = cache.audit_log().size();
+  // A zero-token handover allocates nothing but must still land in the
+  // audit log, or a drop-then-adopt pair straddling shards reads as a lost
+  // session to a replaying auditor.
+  EXPECT_EQ(cache.Adopt(2, 0, 10), 0u);
+  ASSERT_EQ(cache.audit_log().size(), before + 1);
+  const KvAuditEntry& entry = cache.audit_log().back();
+  EXPECT_EQ(entry.op, KvOp::kAdopt);
+  EXPECT_EQ(entry.session, 2u);
+  EXPECT_EQ(entry.blocks_before, entry.blocks_after);  // chain intact
+  // ...and the session is NOT resident: nothing was allocated.
+  EXPECT_EQ(cache.CachedTokens(2), 0u);
+  EXPECT_EQ(cache.resident_sessions(), 1u);
+}
+
 }  // namespace
 }  // namespace guillotine
