@@ -11,6 +11,24 @@ namespace guillotine {
 Sha256Digest HmacSha256(std::span<const u8> key, std::span<const u8> message);
 Sha256Digest HmacSha256(std::string_view key, std::string_view message);
 
+// Precomputed-pad HMAC key. A naive HmacSha256 call re-absorbs the 64-byte
+// ipad and opad blocks every time — one wasted SHA-256 compression each.
+// HmacKey folds both pads once at construction and copies the midstates per
+// Mac(), which halves the compressions on short messages. This is the
+// secure-channel hot path: every keystream block and every record tag is one
+// HMAC over <= 40 bytes. Output is byte-identical to HmacSha256.
+class HmacKey {
+ public:
+  HmacKey() : HmacKey(std::span<const u8>()) {}
+  explicit HmacKey(std::span<const u8> key);
+
+  Sha256Digest Mac(std::span<const u8> message) const;
+
+ private:
+  Sha256 inner_;  // state after absorbing key ^ ipad
+  Sha256 outer_;  // state after absorbing key ^ opad
+};
+
 // Constant-time-style digest comparison (length is fixed).
 bool DigestEqual(const Sha256Digest& a, const Sha256Digest& b);
 

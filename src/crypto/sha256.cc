@@ -21,7 +21,11 @@ constexpr std::array<u32, 64> kK = {
 
 u32 Rotr(u32 x, int n) { return (x >> n) | (x << (32 - n)); }
 
+u64 g_compressions = 0;
+
 }  // namespace
+
+u64 Sha256::compressions() { return g_compressions; }
 
 Sha256::Sha256() {
   state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
@@ -29,6 +33,7 @@ Sha256::Sha256() {
 }
 
 void Sha256::ProcessBlock(const u8* block) {
+  ++g_compressions;
   u32 w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = (static_cast<u32>(block[i * 4]) << 24) |

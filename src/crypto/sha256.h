@@ -28,6 +28,13 @@ class Sha256 {
   static Sha256Digest Hash(std::span<const u8> data);
   static Sha256Digest Hash(std::string_view data);
 
+  // Process-wide count of 64-byte compression rounds since startup. The
+  // simulation's crypto cost models charge cycles per compression, so a
+  // delta of this counter around a Seal/Open/Handshake is the honest "how
+  // much hashing did that actually take" measurement (single-threaded sim;
+  // no synchronization).
+  static u64 compressions();
+
  private:
   void ProcessBlock(const u8* block);
 

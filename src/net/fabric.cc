@@ -1,5 +1,8 @@
 #include "src/net/fabric.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace guillotine {
 
 void NetFabric::AttachNic(NicDevice* nic) { nics_[nic->host_id()] = nic; }
@@ -10,16 +13,45 @@ void NetFabric::AttachHost(u32 host_id, ReceiveFn receiver) {
 
 void NetFabric::DetachHost(u32 host_id) { hosts_.erase(host_id); }
 
+bool NetFabric::set_loss(double rate, Rng* rng) {
+  if (rate > 0.0 && rng == nullptr) {
+    return false;  // a lossy fabric without a seeded coin is unreproducible
+  }
+  loss_rate_ = rate;
+  rng_ = rng;
+  return true;
+}
+
+void NetFabric::Enqueue(Frame frame) {
+  ++sent_;
+  in_flight_.push_back(
+      InFlight{std::move(frame), clock_.now() + propagation_delay_, next_seq_++});
+}
+
 void NetFabric::Send(Frame frame) {
   if (HostSevered(frame.src_host)) {
     ++dropped_;
     return;
   }
-  in_flight_.push_back(InFlight{std::move(frame), clock_.now() + propagation_delay_});
+  Enqueue(std::move(frame));
 }
 
 void NetFabric::SetHostSevered(u32 host_id, bool severed) {
   severed_[host_id] = severed;
+  if (!severed) {
+    return;
+  }
+  // The cable is cut *now*: frames already in flight to or from the host
+  // never arrive, whatever their remaining propagation time.
+  std::deque<InFlight> surviving;
+  for (InFlight& item : in_flight_) {
+    if (item.frame.src_host == host_id || item.frame.dst_host == host_id) {
+      ++dropped_;
+    } else {
+      surviving.push_back(std::move(item));
+    }
+  }
+  in_flight_ = std::move(surviving);
 }
 
 bool NetFabric::HostSevered(u32 host_id) const {
@@ -28,7 +60,7 @@ bool NetFabric::HostSevered(u32 host_id) const {
 }
 
 void NetFabric::Deliver(const Frame& frame) {
-  if (HostSevered(frame.dst_host)) {
+  if (HostSevered(frame.src_host) || HostSevered(frame.dst_host)) {
     ++dropped_;
     return;
   }
@@ -63,22 +95,39 @@ void NetFabric::Pump() {
       continue;
     }
     while (auto frame = nic->TakeOutbound()) {
-      in_flight_.push_back(InFlight{std::move(*frame), clock_.now() + propagation_delay_});
+      Enqueue(std::move(*frame));
     }
   }
-  // Deliver everything due.
+  // Deliver everything due, in (deliver_at, enqueue seq) order — a total
+  // order, so reruns digest identically even when a mid-run propagation
+  // delay change lets a later send overtake an earlier one. Receivers may
+  // Send() replies during delivery; those land in in_flight_ and are picked
+  // up by the loop when due (same pump at zero delay).
   const Cycles now = clock_.now();
-  std::deque<InFlight> still_pending;
-  while (!in_flight_.empty()) {
-    InFlight item = std::move(in_flight_.front());
-    in_flight_.pop_front();
-    if (item.deliver_at <= now) {
+  while (true) {
+    std::vector<InFlight> due;
+    std::deque<InFlight> still_pending;
+    while (!in_flight_.empty()) {
+      InFlight item = std::move(in_flight_.front());
+      in_flight_.pop_front();
+      if (item.deliver_at <= now) {
+        due.push_back(std::move(item));
+      } else {
+        still_pending.push_back(std::move(item));
+      }
+    }
+    in_flight_ = std::move(still_pending);
+    if (due.empty()) {
+      break;
+    }
+    std::sort(due.begin(), due.end(), [](const InFlight& a, const InFlight& b) {
+      return a.deliver_at != b.deliver_at ? a.deliver_at < b.deliver_at
+                                          : a.seq < b.seq;
+    });
+    for (const InFlight& item : due) {
       Deliver(item.frame);
-    } else {
-      still_pending.push_back(std::move(item));
     }
   }
-  in_flight_ = std::move(still_pending);
 }
 
 }  // namespace guillotine

@@ -1,7 +1,9 @@
 // NetFabric: the simulated network connecting Guillotine machines' NICs to
 // external hosts (inference clients, RAG databases, other deployments).
 // Frames experience a configurable propagation delay and loss rate, both
-// deterministic given the experiment's Rng.
+// deterministic given the experiment's Rng. Delivery order is totally
+// ordered by (deliver_at, enqueue sequence), so rerun digests survive
+// batching and mid-run propagation-delay changes.
 #ifndef SRC_NET_FABRIC_H_
 #define SRC_NET_FABRIC_H_
 
@@ -36,16 +38,19 @@ class NetFabric {
   void Pump();
 
   void set_propagation_delay(Cycles d) { propagation_delay_ = d; }
-  void set_loss(double rate, Rng* rng) {
-    loss_rate_ = rate;
-    rng_ = rng;
-  }
+  // Configures random frame loss. A nonzero rate requires a seeded Rng (the
+  // loss coin must come from the experiment's stream or reruns would not be
+  // reproducible): refused — returns false with the previous configuration
+  // untouched — when `rate > 0` and `rng == nullptr`.
+  bool set_loss(double rate, Rng* rng);
 
+  u64 sent() const { return sent_; }
   u64 delivered() const { return delivered_; }
   u64 dropped() const { return dropped_; }
 
-  // Physical-hypervisor hook: severed hosts neither send nor receive
-  // (electromechanical cable disconnection).
+  // Physical-hypervisor hook: severed hosts neither send nor receive, and
+  // frames already in flight to/from the host die in the cut cable (counted
+  // in dropped()).
   void SetHostSevered(u32 host_id, bool severed);
   bool HostSevered(u32 host_id) const;
 
@@ -53,9 +58,11 @@ class NetFabric {
   struct InFlight {
     Frame frame;
     Cycles deliver_at;
+    u64 seq;  // enqueue order: the total-order tie-break within a deliver_at
   };
 
   void Deliver(const Frame& frame);
+  void Enqueue(Frame frame);
 
   SimClock& clock_;
   std::map<u32, NicDevice*> nics_;
@@ -65,6 +72,8 @@ class NetFabric {
   Cycles propagation_delay_ = 5 * kCyclesPerMicro;
   double loss_rate_ = 0.0;
   Rng* rng_ = nullptr;
+  u64 next_seq_ = 0;
+  u64 sent_ = 0;
   u64 delivered_ = 0;
   u64 dropped_ = 0;
 };

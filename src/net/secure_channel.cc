@@ -2,11 +2,28 @@
 
 namespace guillotine {
 
-SecureChannel::SecureChannel(Sha256Digest send_key, Sha256Digest recv_key)
-    : send_key_(send_key), recv_key_(recv_key) {}
+namespace {
 
-Bytes SecureChannel::Keystream(const Sha256Digest& key, u64 sequence,
-                               size_t len) const {
+std::span<const u8> DigestSpan(const Sha256Digest& d) {
+  return std::span<const u8>(d.data(), d.size());
+}
+
+}  // namespace
+
+SecureChannel::SecureChannel(Sha256Digest send_key, Sha256Digest recv_key)
+    : send_key_(send_key),
+      recv_key_(recv_key),
+      send_mac_(DigestSpan(send_key_)),
+      recv_mac_(DigestSpan(recv_key_)) {}
+
+void SecureChannel::BindTrace(EventTrace* trace, const SimClock* clock,
+                              std::string source) {
+  trace_ = trace;
+  trace_clock_ = clock;
+  trace_source_ = std::move(source);
+}
+
+Bytes SecureChannel::Keystream(const HmacKey& key, u64 sequence, size_t len) {
   Bytes stream;
   stream.reserve(len + 32);
   u64 block = 0;
@@ -14,9 +31,10 @@ Bytes SecureChannel::Keystream(const Sha256Digest& key, u64 sequence,
     Bytes counter;
     PutU64(counter, sequence);
     PutU64(counter, block++);
-    const Sha256Digest ks = HmacSha256(std::span<const u8>(key.data(), key.size()),
-                                       std::span<const u8>(counter.data(), counter.size()));
+    const Sha256Digest ks =
+        key.Mac(std::span<const u8>(counter.data(), counter.size()));
     stream.insert(stream.end(), ks.begin(), ks.end());
+    ++stats_.keystream_blocks;
   }
   stream.resize(len);
   return stream;
@@ -25,7 +43,7 @@ Bytes SecureChannel::Keystream(const Sha256Digest& key, u64 sequence,
 SecureChannel::Record SecureChannel::Seal(std::span<const u8> plaintext) {
   Record record;
   record.sequence = send_seq_++;
-  const Bytes stream = Keystream(send_key_, record.sequence, plaintext.size());
+  const Bytes stream = Keystream(send_mac_, record.sequence, plaintext.size());
   record.ciphertext.resize(plaintext.size());
   for (size_t i = 0; i < plaintext.size(); ++i) {
     record.ciphertext[i] = plaintext[i] ^ stream[i];
@@ -33,31 +51,95 @@ SecureChannel::Record SecureChannel::Seal(std::span<const u8> plaintext) {
   Bytes mac_input;
   PutU64(mac_input, record.sequence);
   mac_input.insert(mac_input.end(), record.ciphertext.begin(), record.ciphertext.end());
-  record.tag = HmacSha256(std::span<const u8>(send_key_.data(), send_key_.size()),
-                          std::span<const u8>(mac_input.data(), mac_input.size()));
+  record.tag = send_mac_.Mac(std::span<const u8>(mac_input.data(), mac_input.size()));
+  ++stats_.records_sealed;
   return record;
 }
 
 Result<Bytes> SecureChannel::Open(const Record& record) {
   if (record.sequence != recv_seq_) {
-    return Unauthenticated("record out of sequence (replay or drop)");
+    ++stats_.replays_rejected;
+    if (trace_ != nullptr) {
+      trace_->Record(trace_clock_ != nullptr ? trace_clock_->now() : 0,
+                     TraceCategory::kSecurity, trace_source_, "channel.replay",
+                     "record sequence " + std::to_string(record.sequence) +
+                         " != expected " + std::to_string(recv_seq_),
+                     static_cast<i64>(record.sequence));
+    }
+    // Deliberately distinct from the kUnauthenticated MAC-mismatch below:
+    // a replayed or reordered record is a channel-state violation the
+    // cached-channel fast path must surface as such.
+    return FailedPrecondition(
+        "replayed or out-of-order record: got sequence " +
+        std::to_string(record.sequence) + ", expected " +
+        std::to_string(recv_seq_));
   }
   Bytes mac_input;
   PutU64(mac_input, record.sequence);
   mac_input.insert(mac_input.end(), record.ciphertext.begin(), record.ciphertext.end());
   const Sha256Digest expect =
-      HmacSha256(std::span<const u8>(recv_key_.data(), recv_key_.size()),
-                 std::span<const u8>(mac_input.data(), mac_input.size()));
+      recv_mac_.Mac(std::span<const u8>(mac_input.data(), mac_input.size()));
   if (!DigestEqual(expect, record.tag)) {
     return Unauthenticated("record MAC mismatch");
   }
   ++recv_seq_;
-  const Bytes stream = Keystream(recv_key_, record.sequence, record.ciphertext.size());
+  const Bytes stream = Keystream(recv_mac_, record.sequence, record.ciphertext.size());
   Bytes plaintext(record.ciphertext.size());
   for (size_t i = 0; i < plaintext.size(); ++i) {
     plaintext[i] = record.ciphertext[i] ^ stream[i];
   }
+  ++stats_.records_opened;
   return plaintext;
+}
+
+Bytes SecureChannel::EncodeBatchFrame(const std::vector<Bytes>& payloads) {
+  Bytes frame;
+  PutU32(frame, static_cast<u32>(payloads.size()));
+  for (const Bytes& payload : payloads) {
+    PutBytes(frame, std::span<const u8>(payload.data(), payload.size()));
+  }
+  return frame;
+}
+
+Result<std::vector<Bytes>> SecureChannel::DecodeBatchFrame(
+    std::span<const u8> frame) {
+  ByteReader reader(frame);
+  u32 count = 0;
+  if (!reader.ReadU32(count)) {
+    return InvalidArgument("batch frame truncated before payload count");
+  }
+  std::vector<Bytes> payloads;
+  payloads.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    Bytes payload;
+    if (!reader.ReadBytes(payload)) {
+      return InvalidArgument("batch frame truncated inside payload " +
+                             std::to_string(i));
+    }
+    payloads.push_back(std::move(payload));
+  }
+  if (!reader.done()) {
+    return InvalidArgument("batch frame carries trailing bytes");
+  }
+  return payloads;
+}
+
+SecureChannel::Record SecureChannel::SealBatch(const std::vector<Bytes>& payloads) {
+  const Bytes frame = EncodeBatchFrame(payloads);
+  Record record = Seal(std::span<const u8>(frame.data(), frame.size()));
+  ++stats_.batches_sealed;
+  stats_.payloads_sealed += payloads.size();
+  return record;
+}
+
+Result<std::vector<Bytes>> SecureChannel::OpenBatch(const Record& record) {
+  GLL_ASSIGN_OR_RETURN(Bytes frame, Open(record));
+  GLL_ASSIGN_OR_RETURN(
+      std::vector<Bytes> payloads,
+      DecodeBatchFrame(std::span<const u8>(frame.data(), frame.size())));
+  ++stats_.batches_opened;
+  stats_.payloads_opened += payloads.size();
+  return payloads;
 }
 
 EndpointIdentity MakeEndpoint(std::string subject, const SimSigKeyPair& issuer,
@@ -145,8 +227,43 @@ Result<HandshakeResult> Handshake(const EndpointIdentity& client,
   const Sha256Digest c2s = Sha256::Hash(std::span<const u8>(c2s_label.data(), c2s_label.size()));
   const Sha256Digest s2c = Sha256::Hash(std::span<const u8>(s2c_label.data(), s2c_label.size()));
 
+  // Resumption master secret: both ends can later derive fresh traffic keys
+  // from it without another signature exchange.
+  Bytes resume_label = transcript;
+  PutString(resume_label, "resume");
+  SessionTicket ticket;
+  ticket.master =
+      Sha256::Hash(std::span<const u8>(resume_label.data(), resume_label.size()));
+  ticket.peer_is_guillotine = server.cert.IsGuillotineHypervisor();
+
   HandshakeResult result{SecureChannel(c2s, s2c), SecureChannel(s2c, c2s),
-                         server.cert.IsGuillotineHypervisor(), stats};
+                         server.cert.IsGuillotineHypervisor(), stats,
+                         std::move(ticket)};
+  return result;
+}
+
+Result<HandshakeResult> ResumeHandshake(SessionTicket& ticket) {
+  // One message each way carrying the ticket id + resumption counter; both
+  // sides derive keys locally. No certificates, no SimSig.
+  HandshakeStats stats;
+  stats.messages = 2;
+  stats.client_cycles = 1'000;
+  stats.server_cycles = 1'000;
+
+  Bytes c2s_label;
+  PutBytes(c2s_label, std::span<const u8>(ticket.master.data(), ticket.master.size()));
+  PutU64(c2s_label, ticket.resumptions);
+  Bytes s2c_label = c2s_label;
+  PutString(c2s_label, "resume-c2s");
+  PutString(s2c_label, "resume-s2c");
+  const Sha256Digest c2s =
+      Sha256::Hash(std::span<const u8>(c2s_label.data(), c2s_label.size()));
+  const Sha256Digest s2c =
+      Sha256::Hash(std::span<const u8>(s2c_label.data(), s2c_label.size()));
+  ++ticket.resumptions;
+
+  HandshakeResult result{SecureChannel(c2s, s2c), SecureChannel(s2c, c2s),
+                         ticket.peer_is_guillotine, stats, ticket};
   return result;
 }
 

@@ -2,6 +2,12 @@
 
 namespace guillotine {
 
+Result<std::string> RemoteReplica::Infer(const std::string& prompt,
+                                         Cycles& service_cycles) {
+  ++round_trips_;
+  return transport_.RoundTrip(prompt, service_cycles);
+}
+
 Result<std::string> NativeReplica::Infer(const std::string& prompt,
                                          Cycles& service_cycles) {
   const std::vector<i64> input = EmbedPrompt(prompt, model_.input_dim());

@@ -21,6 +21,40 @@ class InferenceReplica {
                                     Cycles& service_cycles) = 0;
 };
 
+// Carries one request to a serving host on the other side of a network and
+// returns its response; `cycles` reports the simulated transport + remote
+// service time. The production implementation (src/core/federation) runs
+// each round trip over an attested SecureChannel on the shared NetFabric;
+// tests substitute in-process fakes.
+class InferenceTransport {
+ public:
+  virtual ~InferenceTransport() = default;
+  virtual std::string_view remote_name() const = 0;
+  virtual Result<std::string> RoundTrip(const std::string& prompt,
+                                        Cycles& cycles) = 0;
+};
+
+// A replica whose serving deployment is remote: the front-end service tier
+// dispatches to it like any local replica, and every request pays the
+// transport's cost. This is the per-request slow path the federation's
+// coalesced pump amortizes; `round_trips()` lets benches count what it paid.
+class RemoteReplica : public InferenceReplica {
+ public:
+  RemoteReplica(InferenceTransport& transport, std::string name)
+      : transport_(transport), name_(std::move(name)) {}
+
+  std::string_view name() const override { return name_; }
+  Result<std::string> Infer(const std::string& prompt,
+                            Cycles& service_cycles) override;
+
+  u64 round_trips() const { return round_trips_; }
+
+ private:
+  InferenceTransport& transport_;
+  std::string name_;
+  u64 round_trips_ = 0;
+};
+
 // Direct in-process forward pass with an analytic cost model: no hypervisor,
 // no detectors, no port mediation. `macs_per_cycle` models the platform's
 // arithmetic throughput.

@@ -86,7 +86,8 @@ std::vector<int> PickVotes(Rng& rng, int num_admins) {
 
 Scenario FromSteps(const std::string& name, const std::vector<ScenarioStep>& steps,
                    u32 hv_cores, bool detector_batching, bool priority_traffic,
-                   const std::optional<TrafficShape>& traffic, bool recovery) {
+                   const std::optional<TrafficShape>& traffic, bool recovery,
+                   u32 fabric_hosts) {
   Scenario scenario(name);
   scenario.WithHvCores(hv_cores);
   scenario.WithDetectorBatching(detector_batching);
@@ -95,6 +96,7 @@ Scenario FromSteps(const std::string& name, const std::vector<ScenarioStep>& ste
     scenario.WithTraffic(*traffic);
   }
   scenario.WithRecovery(recovery);
+  scenario.WithFabric(fabric_hosts);
   for (const ScenarioStep& step : steps) {
     scenario.Append(step);
   }
@@ -189,6 +191,15 @@ Scenario ScenarioFuzzer::Generate(u64 seed) const {
     scenario.WithRecovery(true);
   }
 
+  // And a third ride a two-member federated fleet on a shared NetFabric:
+  // every pump step routes a coalesced cross-host burst over the attested
+  // secure channels, with mid-stream severance/heal steps mixed in, so
+  // remote-replica routing and session-resumption recovery fuzz under the
+  // same invariants as everything else.
+  if (rng.NextBool(0.34)) {
+    scenario.WithFabric(2);
+  }
+
   if (rng.NextBool(0.7)) {
     static const std::vector<u32> kDims[] = {{8, 16, 4}, {6, 8, 4}, {4, 12, 6, 4}};
     scenario.HostDefaultModel(kDims[rng.NextBelow(3)], 1 + rng.NextBelow(1000));
@@ -210,6 +221,18 @@ Scenario ScenarioFuzzer::Generate(u64 seed) const {
                                  PickVotes(rng, num_admins), tamper);
       } else {
         scenario.QuarantineMigrate(tamper);
+      }
+      continue;
+    }
+    // Fabric-slice scenarios spend ~15% of their steps cutting or healing a
+    // member's cable so in-flight frames die mid-propagation and the pair
+    // re-keys through resumption (draw only happens inside the slice).
+    if (scenario.fabric_hosts() > 0 && rng.NextBool(0.15)) {
+      const u64 member = rng.NextBelow(scenario.fabric_hosts());
+      if (rng.NextBool(0.5)) {
+        scenario.SeverFabricHost(member);
+      } else {
+        scenario.HealFabricHost(member);
       }
       continue;
     }
@@ -248,6 +271,22 @@ Scenario ScenarioFuzzer::Generate(u64 seed) const {
   // A traffic scenario with no pump step would leave the service idle and
   // the slice vacuous; guarantee at least one burst.
   if (scenario.traffic().has_value()) {
+    scenario.Pump(1 + rng.NextBelow(2));
+  }
+  // Likewise a fabric scenario needs a pump step to route a cross-host
+  // burst, and a healed ending so lost-in-flight requests don't look like
+  // quiet success: always finish with heals + one more burst.
+  if (scenario.fabric_hosts() > 0) {
+    const bool has_fault_step = std::any_of(
+        scenario.steps().begin(), scenario.steps().end(), [](const ScenarioStep& s) {
+          return s.kind == ScenarioStepKind::kSeverFabricHost ||
+                 s.kind == ScenarioStepKind::kHealFabricHost;
+        });
+    if (has_fault_step) {
+      for (u64 m = 0; m < scenario.fabric_hosts(); ++m) {
+        scenario.HealFabricHost(m);
+      }
+    }
     scenario.Pump(1 + rng.NextBelow(2));
   }
   // Likewise a recovery scenario whose step draws never landed on the slice
@@ -302,7 +341,7 @@ Scenario ScenarioFuzzer::Shrink(const Scenario& scenario) {
     const Scenario s = FromSteps(scenario.name(), candidate, scenario.hv_cores(),
                                  scenario.detector_batching(),
                                  scenario.priority_traffic(), scenario.traffic(),
-                                 scenario.recovery());
+                                 scenario.recovery(), scenario.fabric_hosts());
     const ScenarioResult r = runner.Run(s);
     const InvariantContext ctx = ContextFor(s, r, runner);
     return !checker_.Check(ctx).empty();
@@ -362,7 +401,8 @@ Scenario ScenarioFuzzer::Shrink(const Scenario& scenario) {
   }
   return FromSteps(scenario.name() + "-min", steps, scenario.hv_cores(),
                    scenario.detector_batching(), scenario.priority_traffic(),
-                   scenario.traffic(), scenario.recovery());
+                   scenario.traffic(), scenario.recovery(),
+                   scenario.fabric_hosts());
 }
 
 std::string ScenarioFuzzer::ReproScript(

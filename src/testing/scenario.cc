@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "src/core/federation.h"
 #include "src/machine/control_channel.h"
 #include "src/machine/nic.h"
 #include "src/model/attacks.h"
@@ -25,6 +26,8 @@ std::string_view ScenarioStepKindName(ScenarioStepKind k) {
     case ScenarioStepKind::kPump: return "pump";
     case ScenarioStepKind::kRecoverSnapshot: return "recover_snapshot";
     case ScenarioStepKind::kQuarantineMigrate: return "quarantine_migrate";
+    case ScenarioStepKind::kSeverFabricHost: return "sever_fabric_host";
+    case ScenarioStepKind::kHealFabricHost: return "heal_fabric_host";
     case ScenarioStepKind::kCustom: return "custom";
   }
   return "unknown";
@@ -146,6 +149,22 @@ Scenario& Scenario::QuarantineMigrate(std::string tamper) {
   return *this;
 }
 
+Scenario& Scenario::SeverFabricHost(u64 member) {
+  ScenarioStep s;
+  s.kind = ScenarioStepKind::kSeverFabricHost;
+  s.amount = member;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Scenario& Scenario::HealFabricHost(u64 member) {
+  ScenarioStep s;
+  s.kind = ScenarioStepKind::kHealFabricHost;
+  s.amount = member;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
 Scenario& Scenario::Custom(std::string label,
                            std::function<void(GuillotineSystem&, StepOutcome&)> fn) {
   ScenarioStep s;
@@ -183,6 +202,11 @@ Scenario& Scenario::WithTraffic(TrafficShape shape) {
 
 Scenario& Scenario::WithRecovery(bool enabled) {
   recovery_ = enabled;
+  return *this;
+}
+
+Scenario& Scenario::WithFabric(u32 hosts) {
+  fabric_hosts_ = hosts;
   return *this;
 }
 
@@ -398,6 +422,9 @@ Result<std::string> SerializeScenarioScript(const Scenario& scenario) {
   if (scenario.recovery()) {
     out << " recovery=1";
   }
+  if (scenario.fabric_hosts() != 0) {
+    out << " fabric=" << scenario.fabric_hosts();
+  }
   if (scenario.traffic().has_value()) {
     out << " traffic=" << TrafficShapeName(*scenario.traffic());
   }
@@ -456,6 +483,12 @@ Result<std::string> SerializeScenarioScript(const Scenario& scenario) {
       case ScenarioStepKind::kQuarantineMigrate:
         out << "quarantine_migrate tamper="
             << (step.text.empty() ? "none" : step.text);
+        break;
+      case ScenarioStepKind::kSeverFabricHost:
+        out << "sever_fabric_host member=" << step.amount;
+        break;
+      case ScenarioStepKind::kHealFabricHost:
+        out << "heal_fabric_host member=" << step.amount;
         break;
       case ScenarioStepKind::kCustom:
         return InvalidArgument("custom steps hold code and cannot be serialized");
@@ -544,6 +577,11 @@ Result<Scenario> ParseScenarioScript(std::string_view script) {
         GLL_ASSIGN_OR_RETURN(u64 n, ParseNumber(rec->value, line_no));
         scenario.WithRecovery(n != 0);
       }
+      if (const ScriptToken* fab = find("fabric"); fab != nullptr) {
+        GLL_ASSIGN_OR_RETURN(u64 n, ParseNumber(fab->value, line_no));
+        GLL_ASSIGN_OR_RETURN(u32 hosts, NarrowNumber<u32>(n, line_no));
+        scenario.WithFabric(hosts);
+      }
       if (const ScriptToken* traffic = find("traffic"); traffic != nullptr) {
         const auto shape = TrafficShapeFromName(traffic->value);
         if (!shape.has_value()) {
@@ -619,6 +657,12 @@ Result<Scenario> ParseScenarioScript(std::string_view script) {
         tamper = t->value;
       }
       scenario.QuarantineMigrate(std::move(tamper));
+    } else if (verb == "sever_fabric_host") {
+      GLL_ASSIGN_OR_RETURN(u64 member, require_number("member"));
+      scenario.SeverFabricHost(member);
+    } else if (verb == "heal_fabric_host") {
+      GLL_ASSIGN_OR_RETURN(u64 member, require_number("member"));
+      scenario.HealFabricHost(member);
     } else {
       return InvalidArgument("scenario script line " + std::to_string(line_no) +
                              ": unknown step '" + verb + "'");
@@ -745,6 +789,28 @@ ScenarioResult ScenarioRunner::Run(const Scenario& scenario) {
   migrate_model_.reset();
   migration_evidence_.reset();
   migrations_ = 0;
+  // Federated-fabric state is per-Run for the same reason: a fresh attested
+  // fleet (fixed seeds) so cross-host bursts replay byte-identically.
+  fabric_fleet_.reset();
+  fabric_model_.reset();
+  fabric_bursts_ = 0;
+  if (scenario.fabric_hosts() > 0) {
+    Rng model_rng(11);
+    fabric_model_ =
+        std::make_unique<MlpModel>(MlpModel::Random({8, 16, 4}, model_rng));
+    FederationConfig fc;
+    fc.num_hosts = scenario.fabric_hosts();
+    fc.deployment = config_.deployment;
+    fabric_fleet_ = std::make_unique<FederatedFleet>(fc);
+    const Status hosted = fabric_fleet_->HostEverywhere(*fabric_model_);
+    const Status joined = hosted.ok() ? fabric_fleet_->JoinAll() : hosted;
+    if (!joined.ok()) {
+      // Infrastructure failure, not an adversarial refusal: fabric steps
+      // will report "no fabric fleet" rather than crash the run.
+      fabric_fleet_.reset();
+      fabric_model_.reset();
+    }
+  }
   if (scenario.traffic().has_value()) {
     ModelServiceConfig svc;
     svc.num_shards = 2;
@@ -1050,6 +1116,31 @@ void ScenarioRunner::Execute(const ScenarioStep& step, StepOutcome& outcome) {
            << " remapped=" << traffic_report_->remapped_sessions;
         outcome.detail += os.str();
       }
+      // With a federated fabric on, each pump step also routes a
+      // deterministic cross-host burst through the router's coalescing
+      // pump, then folds the federation's counters into the scenario trace
+      // so the replay digest covers the cross-host path too.
+      if (fabric_fleet_ != nullptr) {
+        const FederationStats before = fabric_fleet_->stats();
+        const u64 burst = fabric_bursts_++;
+        const u64 requests = 4 + 2 * std::min<u64>(step.amount, 4);
+        for (u64 i = 0; i < requests; ++i) {
+          fabric_fleet_->Submit("fed-" + std::to_string(burst) + "-" +
+                                std::to_string(i));
+        }
+        fabric_fleet_->RunUntilDrained(64);
+        const FederationStats& after = fabric_fleet_->stats();
+        std::ostringstream os;
+        os << "submitted=" << requests
+           << " completed=" << after.completed - before.completed
+           << " lost=" << after.lost - before.lost
+           << " records=" << after.records_routed - before.records_routed
+           << " handshakes=" << after.full_handshakes;
+        outcome.detail += " fabric: " + os.str();
+        sys.trace().Record(sys.clock().now(), TraceCategory::kService,
+                           "federation", "federation.burst", os.str(),
+                           static_cast<i64>(after.completed - before.completed));
+      }
       break;
     }
 
@@ -1151,6 +1242,44 @@ void ScenarioRunner::Execute(const ScenarioStep& step, StepOutcome& outcome) {
         outcome.detail = report.status().ToString();
       }
       migration_evidence_ = std::move(evidence);
+      break;
+    }
+
+    case ScenarioStepKind::kSeverFabricHost: {
+      if (fabric_fleet_ == nullptr) {
+        outcome.detail = "no fabric fleet";
+        break;
+      }
+      const size_t member = step.amount % fabric_fleet_->size();
+      const u64 lost_before = fabric_fleet_->stats().lost;
+      fabric_fleet_->SeverHost(member);
+      const u64 lost = fabric_fleet_->stats().lost - lost_before;
+      outcome.ok = true;
+      outcome.value = static_cast<i64>(lost);
+      outcome.detail =
+          "severed member " + std::to_string(member) + " lost=" + std::to_string(lost);
+      sys.trace().Record(sys.clock().now(), TraceCategory::kPhysical, "federation",
+                         "fabric.sever", "member " + std::to_string(member),
+                         static_cast<i64>(lost));
+      break;
+    }
+
+    case ScenarioStepKind::kHealFabricHost: {
+      if (fabric_fleet_ == nullptr) {
+        outcome.detail = "no fabric fleet";
+        break;
+      }
+      const size_t member = step.amount % fabric_fleet_->size();
+      const Status healed = fabric_fleet_->HealHost(member);
+      outcome.ok = true;  // a refused heal is a successful exercise
+      outcome.value = healed.ok() ? 1 : -1;
+      outcome.detail = healed.ok()
+                           ? "healed member " + std::to_string(member) +
+                                 " via resumption"
+                           : healed.ToString();
+      sys.trace().Record(sys.clock().now(), TraceCategory::kPhysical, "federation",
+                         "fabric.heal", "member " + std::to_string(member),
+                         outcome.value);
       break;
     }
 

@@ -36,6 +36,8 @@
 
 namespace guillotine {
 
+class FederatedFleet;
+
 enum class ScenarioStepKind {
   kHostModel = 0,     // compile a seeded random MLP, attest, load
   kInjectPrompt,      // full Infer path (shield -> sandbox -> sanitizer)
@@ -50,6 +52,8 @@ enum class ScenarioStepKind {
   kPump,              // fixed number of PumpOnce scheduling rounds
   kRecoverSnapshot,   // capture -> contain -> audited console recovery
   kQuarantineMigrate, // fleet member snapshotted into a fresh deployment
+  kSeverFabricHost,   // cut a federated member's cable mid-stream
+  kHealFabricHost,    // reconnect it through session resumption
   kCustom,            // escape hatch for bespoke test logic
 };
 
@@ -114,6 +118,11 @@ class Scenario {
   // sharded service: member 0 is snapshotted (optionally tampered),
   // decommissioned, and rebuilt into a fresh deployment that re-registers.
   Scenario& QuarantineMigrate(std::string tamper = "none");
+  // Federated-fabric fault steps (require WithFabric): cut member
+  // `member % fabric_hosts`'s cable mid-stream, or heal it back through
+  // session resumption. Outstanding requests on a severed member are lost.
+  Scenario& SeverFabricHost(u64 member);
+  Scenario& HealFabricHost(u64 member);
   Scenario& Custom(std::string label,
                    std::function<void(GuillotineSystem&, StepOutcome&)> fn);
 
@@ -161,6 +170,15 @@ class Scenario {
   Scenario& WithRecovery(bool enabled);
   bool recovery() const { return recovery_; }
 
+  // Rides a federated fleet of `hosts` attested deployments on a shared
+  // NetFabric alongside the scenario: every pump step additionally submits a
+  // deterministic cross-host burst that the router coalesces into SealBatch
+  // records, and a per-burst summary event folds the federation's behavior
+  // into the scenario trace digest. 0 = off. Serialized on the script header
+  // line (fabric=N) like the other corpus-slice flags.
+  Scenario& WithFabric(u32 hosts);
+  u32 fabric_hosts() const { return fabric_hosts_; }
+
   const std::string& name() const { return name_; }
   const std::vector<ScenarioStep>& steps() const { return steps_; }
 
@@ -171,6 +189,7 @@ class Scenario {
   bool detector_batching_ = false;
   bool priority_traffic_ = false;
   bool recovery_ = false;
+  u32 fabric_hosts_ = 0;
   std::optional<TrafficShape> traffic_;
 };
 
@@ -274,6 +293,10 @@ class ScenarioRunner {
   }
   const ModelService* migrate_service() const { return migrate_service_.get(); }
 
+  // Federated fleet riding the last Run (null unless the scenario set
+  // WithFabric): cross-host burst stats, attestation verifier, channels.
+  const FederatedFleet* fabric_fleet() const { return fabric_fleet_.get(); }
+
  private:
   void Execute(const ScenarioStep& step, StepOutcome& outcome);
 
@@ -297,6 +320,11 @@ class ScenarioRunner {
   std::unique_ptr<MlpModel> migrate_model_;
   std::unique_ptr<MigrationEvidence> migration_evidence_;
   u64 migrations_ = 0;
+  // Federated fleet (WithFabric): rebuilt fresh on every Run so replays are
+  // byte-identical; each pump step drives a deterministic cross-host burst.
+  std::unique_ptr<FederatedFleet> fabric_fleet_;
+  std::unique_ptr<MlpModel> fabric_model_;
+  u64 fabric_bursts_ = 0;
 };
 
 }  // namespace guillotine

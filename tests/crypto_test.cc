@@ -65,6 +65,37 @@ TEST(HmacTest, LongKeyIsHashed) {
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
 }
 
+TEST(HmacTest, HmacKeyMatchesHmacSha256ByteForByte) {
+  // The precomputed-pad fast path must be a pure optimization: identical
+  // output to the two-pass HMAC for short keys, long (hashed) keys, and
+  // empty messages alike.
+  const Bytes short_key(20, 0x0b);
+  const Bytes long_key(131, 0xaa);
+  const Bytes messages[] = {ToBytes(""), ToBytes("Hi There"),
+                            Bytes(200, 0x42)};
+  for (const Bytes& key : {short_key, long_key}) {
+    const HmacKey cached(key);
+    for (const Bytes& msg : messages) {
+      EXPECT_EQ(HexEncode(cached.Mac(msg)), HexEncode(HmacSha256(key, msg)));
+    }
+  }
+}
+
+TEST(HmacTest, HmacKeySkipsPadCompressionsOnReuse) {
+  const Bytes key(32, 0x5c);
+  const Bytes msg = ToBytes("short record tag input");
+  const HmacKey cached(key);
+  const u64 before_cached = Sha256::compressions();
+  cached.Mac(msg);
+  const u64 cached_cost = Sha256::compressions() - before_cached;
+  const u64 before_fresh = Sha256::compressions();
+  HmacSha256(key, msg);
+  const u64 fresh_cost = Sha256::compressions() - before_fresh;
+  // A fresh HMAC pays two extra pad-absorption compressions every call; the
+  // cached key paid them once at construction.
+  EXPECT_EQ(cached_cost + 2, fresh_cost);
+}
+
 TEST(HmacTest, DigestEqualConstantStructure) {
   const Sha256Digest a = Sha256::Hash("x");
   Sha256Digest b = a;

@@ -13,6 +13,7 @@
 #include <set>
 #include <sstream>
 
+#include "src/core/federation.h"
 #include "src/testing/fuzzer.h"
 
 namespace guillotine {
@@ -406,6 +407,82 @@ TEST(ScenarioFuzzTest, RecoverySliceHoldsAllInvariants) {
   }
   EXPECT_GT(generated_with_recovery, 10);
   EXPECT_LT(generated_with_recovery, 70);
+}
+
+// --- Federated-fabric corpus slice: pump steps route coalesced cross-host
+// bursts through an attested two-member fleet, severance/heal steps cut and
+// resume members mid-stream, and every invariant holds across the slice. ---
+
+TEST(ScenarioFuzzTest, FabricSliceHoldsAllInvariants) {
+  ScenarioFuzzer fuzzer;
+  for (u64 seed = 5000; seed < 5040; ++seed) {
+    Scenario scenario = fuzzer.Generate(seed);
+    scenario.WithFabric(2);  // force the slice onto every draw
+    // Guarantee a fault cycle plus a post-heal burst (a forced flag on a
+    // non-slice seed would otherwise be vacuous).
+    scenario.SeverFabricHost(seed % 2);
+    scenario.HealFabricHost(seed % 2);
+    scenario.Pump(2);
+    const auto violations = fuzzer.Check(scenario);
+    ASSERT_TRUE(violations.empty())
+        << "seed " << seed << "\n" << RenderViolations(violations);
+    // The ride-along fleet actually routed cross-host traffic and folded it
+    // into the digested trace.
+    ASSERT_NE(fuzzer.runner().fabric_fleet(), nullptr) << "seed " << seed;
+    EXPECT_GT(fuzzer.runner().fabric_fleet()->stats().completed, 0u)
+        << "seed " << seed;
+    EXPECT_GT(fuzzer.runner().system().trace().CountKind("federation.burst"), 0u)
+        << "seed " << seed;
+  }
+  // The generator emits fabric scenarios on its own (~a third of seeds),
+  // always with at least one pump step so the slice is never vacuous.
+  int generated_with_fabric = 0;
+  for (u64 seed = 0; seed < 100; ++seed) {
+    const Scenario s = fuzzer.Generate(seed);
+    if (s.fabric_hosts() == 0) {
+      continue;
+    }
+    ++generated_with_fabric;
+    bool has_pump = false;
+    for (const ScenarioStep& step : s.steps()) {
+      has_pump |= step.kind == ScenarioStepKind::kPump;
+    }
+    EXPECT_TRUE(has_pump) << "seed " << seed << " fabric scenario never pumps";
+  }
+  EXPECT_GT(generated_with_fabric, 10);
+  EXPECT_LT(generated_with_fabric, 70);
+}
+
+// A severed member loses its in-flight work, the survivor keeps serving,
+// and the healed member resumes through the cached ticket (no second full
+// handshake) — end-to-end through the scenario DSL, replayable by script.
+
+TEST(ScenarioFuzzTest, FabricSeveranceRoundTripsThroughScriptAndResumes) {
+  Scenario s("fabric-sever-heal");
+  s.WithFabric(2);
+  s.Pump(2);
+  s.SeverFabricHost(0);
+  s.Pump(1);
+  s.HealFabricHost(0);
+  s.Pump(2);
+  const auto script = SerializeScenarioScript(s);
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  const auto parsed = ParseScenarioScript(*script);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->fabric_hosts(), 2u);
+  ScenarioRunner runner;
+  const ScenarioResult direct = runner.Run(s);
+  ASSERT_TRUE(direct.AllStepsRan()) << direct.Summary();
+  const FederatedFleet* fleet = runner.fabric_fleet();
+  ASSERT_NE(fleet, nullptr);
+  EXPECT_EQ(fleet->stats().full_handshakes, 2u);
+  EXPECT_EQ(fleet->stats().resumed_handshakes, 1u);
+  EXPECT_GT(fleet->stats().completed, 0u);
+  EXPECT_FALSE(fleet->severed(0));
+  // The parsed script replays to the identical digest.
+  ScenarioRunner replay_runner;
+  const ScenarioResult replayed = replay_runner.Run(*parsed);
+  EXPECT_EQ(replayed.trace_hash, direct.trace_hash);
 }
 
 // A tampered quarantine-migrate must be refused with snapshot.tamper audit

@@ -106,6 +106,99 @@ TEST(FabricTest, SeveredHostIsCutOffBothWays) {
   EXPECT_EQ(a.inbound_depth(), 1u);
 }
 
+TEST(FabricTest, SetLossRefusesNullRngWhenLossy) {
+  SimClock clock;
+  NetFabric fabric(clock);
+  fabric.set_propagation_delay(0);
+  // A lossy fabric without a seeded coin would be unreproducible: refused,
+  // and the refusal leaves the fabric lossless.
+  EXPECT_FALSE(fabric.set_loss(0.5, nullptr));
+  int received = 0;
+  fabric.AttachHost(2, [&](const Frame&) { ++received; });
+  for (int i = 0; i < 50; ++i) {
+    Frame f;
+    f.src_host = 1;
+    f.dst_host = 2;
+    fabric.Send(f);
+  }
+  fabric.Pump();
+  EXPECT_EQ(received, 50);
+  // Turning loss *off* needs no coin.
+  EXPECT_TRUE(fabric.set_loss(0.0, nullptr));
+  Rng rng(3);
+  EXPECT_TRUE(fabric.set_loss(0.5, &rng));
+}
+
+TEST(FabricTest, SameDeliveryTimeTieBreaksByEnqueueOrder) {
+  SimClock clock;
+  NetFabric fabric(clock);
+  std::vector<u32> order;
+  fabric.AttachHost(9, [&](const Frame& f) { order.push_back(f.src_host); });
+  // Frame from host 1 sent at t=0 with 10us of cable; frame from host 2
+  // sent at t=5us with 5us of cable: both are due at exactly t=10us, so the
+  // pinned (deliver_at, enqueue-seq) total order delivers host 1 first.
+  fabric.set_propagation_delay(10 * kCyclesPerMicro);
+  Frame a;
+  a.src_host = 1;
+  a.dst_host = 9;
+  fabric.Send(a);
+  clock.Advance(5 * kCyclesPerMicro);
+  fabric.set_propagation_delay(5 * kCyclesPerMicro);
+  Frame b;
+  b.src_host = 2;
+  b.dst_host = 9;
+  fabric.Send(b);
+  clock.Advance(5 * kCyclesPerMicro);
+  fabric.Pump();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  // And when the later send is due *earlier*, deliver_at wins the sort.
+  order.clear();
+  fabric.set_propagation_delay(10 * kCyclesPerMicro);
+  fabric.Send(a);
+  fabric.set_propagation_delay(2 * kCyclesPerMicro);
+  fabric.Send(b);
+  clock.Advance(10 * kCyclesPerMicro);
+  fabric.Pump();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 1u);
+}
+
+TEST(FabricTest, MidPropagationSeveranceDropsInFlightFrames) {
+  SimClock clock;
+  NetFabric fabric(clock);
+  fabric.set_propagation_delay(10 * kCyclesPerMicro);
+  int received = 0;
+  fabric.AttachHost(1, [&](const Frame&) { ++received; });
+  fabric.AttachHost(2, [&](const Frame&) { ++received; });
+  // One frame toward host 2 and one *from* host 2, both mid-cable when the
+  // cut lands: neither may ever arrive, and both count as dropped.
+  Frame to_severed;
+  to_severed.src_host = 1;
+  to_severed.dst_host = 2;
+  fabric.Send(to_severed);
+  Frame from_severed;
+  from_severed.src_host = 2;
+  from_severed.dst_host = 1;
+  fabric.Send(from_severed);
+  EXPECT_EQ(fabric.sent(), 2u);
+  clock.Advance(5 * kCyclesPerMicro);
+  fabric.SetHostSevered(2, true);
+  EXPECT_EQ(fabric.dropped(), 2u);  // dropped at cut time, not delivery time
+  clock.Advance(20 * kCyclesPerMicro);
+  fabric.Pump();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(fabric.delivered(), 0u);
+  // Healing the host later does not resurrect frames that died in the cable.
+  fabric.SetHostSevered(2, false);
+  clock.Advance(20 * kCyclesPerMicro);
+  fabric.Pump();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(fabric.dropped(), 2u);
+}
+
 class HandshakeTest : public ::testing::Test {
  protected:
   HandshakeTest() : rng_(7), ca_(GenerateKeyPair(rng_)) {}
@@ -200,6 +293,124 @@ TEST_F(HandshakeTest, BidirectionalTraffic) {
   EXPECT_EQ(ToString(*result->server_channel.Open(up)), "up");
   const auto down = result->server_channel.Seal(ToBytes("down"));
   EXPECT_EQ(ToString(*result->client_channel.Open(down)), "down");
+}
+
+TEST_F(HandshakeTest, ReplayHasDistinctErrorAndTraceEvent) {
+  const EndpointIdentity client = Make("client", false);
+  const EndpointIdentity server = Make("server", false);
+  auto result = Handshake(client, server, ca_.pub, 100, rng_);
+  ASSERT_TRUE(result.ok());
+  SimClock clock;
+  EventTrace trace;
+  result->server_channel.BindTrace(&trace, &clock, "server");
+  const auto first = result->client_channel.Seal(ToBytes("one"));
+  const auto second = result->client_channel.Seal(ToBytes("two"));
+  ASSERT_TRUE(result->server_channel.Open(first).ok());
+  // A replayed record is an ordering violation, not a forgery: it must get
+  // its own status code (distinct from the MAC-mismatch kUnauthenticated),
+  // bump the replay counter, and land a channel.replay security event.
+  const auto replayed = result->server_channel.Open(first);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(result->server_channel.stats().replays_rejected, 1u);
+  EXPECT_EQ(trace.CountKind("channel.replay"), 1u);
+  EXPECT_EQ(trace.CountCategory(TraceCategory::kSecurity), 1u);
+  // Skipping ahead (out-of-order, not just replayed) is the same violation.
+  auto third = result->client_channel.Seal(ToBytes("three"));
+  third.sequence += 5;
+  const auto skipped = result->server_channel.Open(third);
+  ASSERT_FALSE(skipped.ok());
+  EXPECT_EQ(skipped.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(result->server_channel.stats().replays_rejected, 2u);
+  // Whereas a tampered record at the *right* sequence stays kUnauthenticated.
+  auto tampered = second;
+  tampered.ciphertext[0] ^= 1;
+  const auto forged = result->server_channel.Open(tampered);
+  ASSERT_FALSE(forged.ok());
+  EXPECT_EQ(forged.status().code(), StatusCode::kUnauthenticated);
+  EXPECT_EQ(result->server_channel.stats().replays_rejected, 2u);
+}
+
+TEST_F(HandshakeTest, SealBatchIsByteIdenticalToSerialSeal) {
+  // Two channel pairs keyed identically: one seals the coalesced frame via
+  // SealBatch, the other seals the same frame bytes via plain Seal. The
+  // batching fast path must not change a single ciphertext or tag byte.
+  const EndpointIdentity client = Make("client", false);
+  const EndpointIdentity server = Make("server", false);
+  Rng rng_a(1234);
+  auto a = Handshake(client, server, ca_.pub, 100, rng_a);
+  Rng rng_b(1234);
+  auto b = Handshake(client, server, ca_.pub, 100, rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const std::vector<Bytes> payloads = {ToBytes("req-0"), ToBytes("req-1"),
+                                       ToBytes(""), ToBytes("a longer request body")};
+  const auto batched = a->client_channel.SealBatch(payloads);
+  const auto serial =
+      b->client_channel.Seal(SecureChannel::EncodeBatchFrame(payloads));
+  EXPECT_EQ(batched.ciphertext, serial.ciphertext);
+  EXPECT_EQ(batched.tag, serial.tag);
+  EXPECT_EQ(batched.sequence, serial.sequence);
+  // And the coalesced record opens back into the original payloads.
+  const auto opened = a->server_channel.OpenBatch(batched);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(*opened, payloads);
+  EXPECT_EQ(a->client_channel.stats().batches_sealed, 1u);
+  EXPECT_EQ(a->client_channel.stats().payloads_sealed, payloads.size());
+  EXPECT_EQ(a->client_channel.stats().records_sealed, 1u);
+  EXPECT_EQ(a->server_channel.stats().batches_opened, 1u);
+  EXPECT_EQ(a->server_channel.stats().payloads_opened, payloads.size());
+}
+
+TEST(BatchFrameTest, DecodeRejectsMalformedFrames) {
+  const std::vector<Bytes> payloads = {ToBytes("x"), ToBytes("yz")};
+  Bytes frame = SecureChannel::EncodeBatchFrame(payloads);
+  ASSERT_TRUE(SecureChannel::DecodeBatchFrame(frame).ok());
+  // Truncated mid-payload.
+  Bytes truncated(frame.begin(), frame.end() - 1);
+  EXPECT_FALSE(SecureChannel::DecodeBatchFrame(truncated).ok());
+  // Trailing garbage after the declared payloads.
+  Bytes trailing = frame;
+  trailing.push_back(0x5A);
+  EXPECT_FALSE(SecureChannel::DecodeBatchFrame(trailing).ok());
+  // Empty batches round-trip too (a flush with nothing queued).
+  const Bytes empty = SecureChannel::EncodeBatchFrame({});
+  const auto decoded = SecureChannel::DecodeBatchFrame(empty);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST_F(HandshakeTest, ResumedSessionInteroperatesWithFreshKeysAndNoSignatures) {
+  const EndpointIdentity client = Make("client", false);
+  const EndpointIdentity server = Make("server", true);
+  auto full = Handshake(client, server, ca_.pub, 100, rng_);
+  ASSERT_TRUE(full.ok());
+  SessionTicket ticket = full->ticket;
+  EXPECT_TRUE(ticket.peer_is_guillotine);
+
+  auto resumed = ResumeHandshake(ticket);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(ticket.resumptions, 1u);
+  EXPECT_TRUE(resumed->peer_is_guillotine);
+  // Two messages, no certificate or transcript signatures: orders of
+  // magnitude cheaper than the full handshake.
+  EXPECT_EQ(resumed->stats.messages, 2);
+  EXPECT_LT(resumed->stats.client_cycles + resumed->stats.server_cycles,
+            (full->stats.client_cycles + full->stats.server_cycles) / 10);
+  // The resumed pair interoperates...
+  const auto record = resumed->client_channel.Seal(ToBytes("after resume"));
+  const auto opened = resumed->server_channel.Open(record);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(ToString(*opened), "after resume");
+  // ...with traffic keys unrelated to the original session's: the original
+  // server cannot open the resumed session's records.
+  auto stale = full->server_channel.Open(record);
+  EXPECT_FALSE(stale.ok());
+  // Each resumption salts fresh keys: the same plaintext seals differently.
+  auto again = ResumeHandshake(ticket);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(ticket.resumptions, 2u);
+  const auto record2 = again->client_channel.Seal(ToBytes("after resume"));
+  EXPECT_NE(record.ciphertext, record2.ciphertext);
 }
 
 // Refusal policy truth table as a parameterized property.
