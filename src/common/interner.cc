@@ -1,0 +1,60 @@
+#include "src/common/interner.h"
+
+namespace guillotine {
+
+u16 StringInterner::Intern(std::string_view s) {
+  const size_t slot = CacheSlot(s);
+  const u32 memo = cache_[slot];
+  if (memo != 0) {
+    const u16 id = static_cast<u16>(memo - 1);
+    if (std::string_view(names_[id]) == s) {
+      return id;
+    }
+  }
+  const u16 id = InternSlow(s);
+  cache_[slot] = static_cast<u32>(id) + 1;
+  return id;
+}
+
+u16 StringInterner::InternSlow(std::string_view s) {
+  const auto it = ids_.find(s);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  if (names_.size() >= kMaxIds) {
+    return static_cast<u16>(kMaxIds - 1);  // saturate; never in practice
+  }
+  const u16 id = static_cast<u16>(names_.size());
+  names_.emplace_back(s);
+  ids_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+bool StringInterner::Find(std::string_view s, u16* id) const {
+  const auto it = ids_.find(s);
+  if (it == ids_.end()) {
+    return false;
+  }
+  *id = it->second;
+  return true;
+}
+
+std::string_view StringInterner::Name(u16 id) const {
+  if (id >= names_.size()) {
+    return "<bad-id>";
+  }
+  return names_[id];
+}
+
+size_t StringInterner::MemoryFootprint() const {
+  size_t bytes = names_.size() * (sizeof(std::string) + sizeof(std::string_view) +
+                                  sizeof(u16) + 2 * sizeof(void*));
+  for (const std::string& s : names_) {
+    if (s.size() > sizeof(std::string)) {
+      bytes += s.size();  // heap-allocated payload beyond the SSO buffer
+    }
+  }
+  return bytes;
+}
+
+}  // namespace guillotine

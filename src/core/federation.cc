@@ -163,8 +163,8 @@ Status FederatedFleet::Join(size_t member, std::string_view tamper) {
   m.host_chan->BindTrace(&trace_, &clock_, m.name);
   AttachMemberHost(member);
   m.joined = true;
-  trace_.Record(clock_.now(), TraceCategory::kAttestation, "fed-router",
-                "federation.join", m.name, static_cast<i64>(member));
+  trace_.Event(clock_.now(), TraceCategory::kAttestation, "fed-router",
+               "federation.join", "{}", {m.name}, static_cast<i64>(member));
   return OkStatus();
 }
 
@@ -362,9 +362,9 @@ void FederatedFleet::SeverHost(size_t member) {
   fabric_.SetHostSevered(host_id(member), true);
   m.severed = true;
   stats_.lost += m.outstanding.size();
-  trace_.Record(clock_.now(), TraceCategory::kPhysical, "fed-router",
-                "federation.sever", m.name,
-                static_cast<i64>(m.outstanding.size()));
+  trace_.Event(clock_.now(), TraceCategory::kPhysical, "fed-router",
+               "federation.sever", "{}", {m.name},
+               static_cast<i64>(m.outstanding.size()));
   m.outstanding.clear();
 }
 
@@ -393,8 +393,8 @@ Status FederatedFleet::HealHost(size_t member) {
   m.host_chan.emplace(std::move(hs->server_channel));
   m.router_chan->BindTrace(&trace_, &clock_, "fed-router");
   m.host_chan->BindTrace(&trace_, &clock_, m.name);
-  trace_.Record(clock_.now(), TraceCategory::kAttestation, "fed-router",
-                "federation.resume", m.name, static_cast<i64>(member));
+  trace_.Event(clock_.now(), TraceCategory::kAttestation, "fed-router",
+               "federation.resume", "{}", {m.name}, static_cast<i64>(member));
   return OkStatus();
 }
 

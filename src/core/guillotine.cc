@@ -1,5 +1,7 @@
 #include "src/core/guillotine.h"
 
+#include "src/crypto/sha256.h"
+
 #include "src/machine/accelerator.h"
 #include "src/machine/control_channel.h"
 #include "src/machine/nic.h"
@@ -265,9 +267,9 @@ Result<std::string> GuillotineSystem::Infer(const std::string& prompt) {
   // Milestone for the audit trail: a completed, detector-approved inference.
   // The detector-verdict-consistency invariant holds every one of these to a
   // preceding non-blocking input AND output verdict.
-  trace_.Record(clock_.now(), TraceCategory::kService, "system", "infer.complete",
-                "bytes=" + std::to_string(sanitized.size()),
-                static_cast<i64>(sanitized.size()));
+  trace_.Event(clock_.now(), TraceCategory::kService, "system", "infer.complete",
+               "bytes={}", {sanitized.size()},
+               static_cast<i64>(sanitized.size()));
   return ToString(sanitized);
 }
 
@@ -396,11 +398,10 @@ Result<QuarantineMigrateReport> GuillotineFleet::QuarantineMigrate(
   // Decommission: the suspect goes dark and is retained (not destroyed) so
   // its trace — the tamper/capture records, and the darkness of its ports
   // from here on — stays auditable.
-  suspect.trace().Record(suspect.clock().now(), TraceCategory::kIsolation,
-                         "fleet", "migrate.out",
-                         "member=" + std::to_string(member) +
-                             " digest=" + DigestHex(snapshot.digest).substr(0, 16),
-                         static_cast<i64>(member));
+  suspect.trace().Event(suspect.clock().now(), TraceCategory::kIsolation, "fleet",
+                        "migrate.out", "member={} digest={}",
+                        {member, TraceArg::Hex16(DigestPrefixBe64(snapshot.digest))},
+                        static_cast<i64>(member));
   suspect.console().ForceOffline("quarantine-migrate: deployment decommissioned");
   decommissioned_.push_back(std::move(systems_[member]));
   retired_replicas_.push_back(std::move(replicas_[member]));
@@ -410,11 +411,10 @@ Result<QuarantineMigrateReport> GuillotineFleet::QuarantineMigrate(
       *systems_[member], "guillotine-" + std::to_string(member) + "-r" +
                              std::to_string(next_member_ordinal_));
   ++next_member_ordinal_;
-  systems_[member]->trace().Record(
+  systems_[member]->trace().Event(
       systems_[member]->clock().now(), TraceCategory::kIsolation, "fleet",
-      "migrate.in",
-      "member=" + std::to_string(member) +
-          " digest=" + DigestHex(snapshot.digest).substr(0, 16),
+      "migrate.in", "member={} digest={}",
+      {member, TraceArg::Hex16(DigestPrefixBe64(snapshot.digest))},
       static_cast<i64>(member));
 
   if (service != nullptr) {

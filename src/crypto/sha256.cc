@@ -148,4 +148,12 @@ u64 DigestPrefix64(const Sha256Digest& d) {
   return v;
 }
 
+u64 DigestPrefixBe64(const Sha256Digest& d) {
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | d[i];
+  }
+  return v;
+}
+
 }  // namespace guillotine

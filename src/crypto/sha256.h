@@ -47,6 +47,10 @@ class Sha256 {
 std::string DigestHex(const Sha256Digest& d);
 // First 8 bytes of the digest as a little-endian u64 (for compact IDs).
 u64 DigestPrefix64(const Sha256Digest& d);
+// First 8 bytes packed most-significant-first: rendering the value as 16 hex
+// digits reproduces DigestHex(d).substr(0, 16), which lets trace events carry
+// a digest prefix as one inline u64 instead of a heap string.
+u64 DigestPrefixBe64(const Sha256Digest& d);
 
 }  // namespace guillotine
 

@@ -79,13 +79,11 @@ Result<u32> SoftwareHypervisor::CreatePort(u32 device_index, PortRights rights,
     // to coalesce the containment path's own doorbell away.
     machine_.SetPortThrottleExempt(port_id, true);
   }
-  machine_.trace().Record(machine_.clock().now(), TraceCategory::kPortIo, "hv",
-                          "port.create",
-                          "port=" + std::to_string(port_id) + " device=" +
-                              std::string(DeviceTypeName(dev->type())) +
-                              " owner_hv=" + std::to_string(owner_hv) +
-                              " class=" + std::string(PriorityClassName(priority)),
-                          static_cast<i64>(port_id));
+  machine_.trace().Event(machine_.clock().now(), TraceCategory::kPortIo, "hv",
+                         "port.create", "port={} device={} owner_hv={} class={}",
+                         {port_id, DeviceTypeName(dev->type()), owner_hv,
+                          PriorityClassName(priority)},
+                         static_cast<i64>(port_id));
   return port_id;
 }
 
@@ -114,21 +112,19 @@ Status SoftwareHypervisor::HandoffPort(u32 port_id, int to_core,
     ++core_lifetime_[static_cast<size_t>(to_core)].handoffs_in;
   }
   ++lifetime_stats_.handoffs_in;
-  machine_.trace().Record(machine_.clock().now(), TraceCategory::kPortIo, "hv",
-                          "hv.port_handoff",
-                          "port=" + std::to_string(port_id) + " from=hv" +
-                              std::to_string(record.from_core) + " to=hv" +
-                              std::to_string(to_core) + " backlog=" +
-                              std::to_string(record.backlog) + " " + record.reason,
-                          static_cast<i64>(to_core));
+  machine_.trace().Event(machine_.clock().now(), TraceCategory::kPortIo, "hv",
+                         "hv.port_handoff", "port={} from=hv{} to=hv{} backlog={} {}",
+                         {port_id, record.from_core, to_core, record.backlog,
+                          record.reason},
+                         static_cast<i64>(to_core));
   handoff_log_.push_back(std::move(record));
   return OkStatus();
 }
 
 Status SoftwareHypervisor::RevokePort(u32 port_id) {
   GLL_RETURN_IF_ERROR(ports_.Revoke(port_id));
-  machine_.trace().Record(machine_.clock().now(), TraceCategory::kPortIo, "hv",
-                          "port.revoke", "port=" + std::to_string(port_id));
+  machine_.trace().Event(machine_.clock().now(), TraceCategory::kPortIo, "hv",
+                         "port.revoke", "port={}", {port_id});
   return OkStatus();
 }
 
@@ -141,8 +137,8 @@ Status SoftwareHypervisor::ResetPortAccounting(u32 port_id) {
   binding->bytes_in = 0;
   binding->requests = 0;
   binding->rejected = 0;
-  machine_.trace().Record(machine_.clock().now(), TraceCategory::kPortIo, "hv",
-                          "port.accounting_reset", "port=" + std::to_string(port_id));
+  machine_.trace().Event(machine_.clock().now(), TraceCategory::kPortIo, "hv",
+                         "port.accounting_reset", "port={}", {port_id});
   return OkStatus();
 }
 
@@ -178,18 +174,16 @@ Status SoftwareHypervisor::LoadModel(int core, std::span<const u8> image,
     const u64 bound = (load_address + image.size() + kPageSize - 1) & ~(kPageSize - 1);
     GLL_RETURN_IF_ERROR(control_bus_.ConfigureLockdown(0, core, load_address, bound));
   }
-  machine_.trace().Record(machine_.clock().now(), TraceCategory::kModel, "hv",
-                          "model.load",
-                          "core=" + std::to_string(core) + " bytes=" +
-                              std::to_string(image.size()) + " entry=" +
-                              std::to_string(entry));
+  machine_.trace().Event(machine_.clock().now(), TraceCategory::kModel, "hv",
+                         "model.load", "core={} bytes={} entry={}",
+                         {core, image.size(), entry});
   return OkStatus();
 }
 
 Status SoftwareHypervisor::StartModel(int core) {
   GLL_RETURN_IF_ERROR(control_bus_.Resume(0, core));
-  machine_.trace().Record(machine_.clock().now(), TraceCategory::kModel, "hv",
-                          "model.start", "core=" + std::to_string(core));
+  machine_.trace().Event(machine_.clock().now(), TraceCategory::kModel, "hv",
+                         "model.start", "core={}", {core});
   return OkStatus();
 }
 
@@ -236,31 +230,34 @@ Status SoftwareHypervisor::QuiesceEpochState(int model_core) {
       core.InjectIrq(port_id);
     }
   }
-  machine_.trace().Record(machine_.clock().now(), TraceCategory::kControlBus, "hv",
-                          "snapshot.quiesce",
-                          "core=" + std::to_string(model_core) + " ports=" +
-                              std::to_string(port_count) + " requests=" +
-                              std::to_string(drained_requests) + " responses=" +
-                              std::to_string(drained_responses) + " irqs=" +
-                              std::to_string(dropped_irqs),
-                          static_cast<i64>(port_count));
+  machine_.trace().Event(machine_.clock().now(), TraceCategory::kControlBus, "hv",
+                         "snapshot.quiesce",
+                         "core={} ports={} requests={} responses={} irqs={}",
+                         {model_core, port_count, drained_requests,
+                          drained_responses, dropped_irqs},
+                         static_cast<i64>(port_count));
   return OkStatus();
 }
 
 void SoftwareHypervisor::TraceIo(int hv_core_id, const PortBinding& binding,
                                  bool outbound, const IoSlot& slot) {
-  std::ostringstream detail;
-  detail << "port=" << binding.port_id << " op=" << slot.opcode
-         << " bytes=" << slot.payload.size() << " hv=" << hv_core_id
-         << " owner_hv=" << binding.owner_hv_core;
+  const std::string_view kind = outbound ? "port.request" : "port.response";
   if (config_.log_payload_hashes && !slot.payload.empty()) {
     const Sha256Digest d = Sha256::Hash(std::span<const u8>(slot.payload.data(),
                                                             slot.payload.size()));
-    detail << " sha256=" << DigestHex(d).substr(0, 16);
+    machine_.trace().Event(machine_.clock().now(), TraceCategory::kPortIo, "hv",
+                           kind, "port={} op={} bytes={} hv={} owner_hv={} sha256={}",
+                           {binding.port_id, slot.opcode, slot.payload.size(),
+                            hv_core_id, binding.owner_hv_core,
+                            TraceArg::Hex16(DigestPrefixBe64(d))},
+                           static_cast<i64>(slot.payload.size()));
+  } else {
+    machine_.trace().Event(machine_.clock().now(), TraceCategory::kPortIo, "hv",
+                           kind, "port={} op={} bytes={} hv={} owner_hv={}",
+                           {binding.port_id, slot.opcode, slot.payload.size(),
+                            hv_core_id, binding.owner_hv_core},
+                           static_cast<i64>(slot.payload.size()));
   }
-  machine_.trace().Record(machine_.clock().now(), TraceCategory::kPortIo, "hv",
-                          outbound ? "port.request" : "port.response", detail.str(),
-                          static_cast<i64>(slot.payload.size()));
 }
 
 void SoftwareHypervisor::RejectRequest(int hv_core_id, PortBinding& binding,
@@ -269,10 +266,8 @@ void SoftwareHypervisor::RejectRequest(int hv_core_id, PortBinding& binding,
   (void)hv_core_id;
   ++stats.blocked;
   ++binding.rejected;
-  machine_.trace().Record(machine_.clock().now(), TraceCategory::kSecurity, "hv",
-                          "port.reject",
-                          "port=" + std::to_string(binding.port_id) + " " +
-                              std::string(why));
+  machine_.trace().Event(machine_.clock().now(), TraceCategory::kSecurity, "hv",
+                         "port.reject", "port={} {}", {binding.port_id, why});
   IoSlot err;
   err.opcode = code;  // guests read the status from the opcode field
   err.tag = slot.tag;
@@ -386,11 +381,10 @@ void SoftwareHypervisor::FinalizeResponse(int hv_core_id, PortBinding& binding,
     }
   } else {
     ++stats.dropped_responses;
-    machine_.trace().Record(machine_.clock().now(), TraceCategory::kPortIo, "hv",
-                            "port.drop",
-                            "port=" + std::to_string(binding.port_id) + " tag=" +
-                                std::to_string(out.tag) + " response ring full",
-                            static_cast<i64>(out.payload.size()));
+    machine_.trace().Event(machine_.clock().now(), TraceCategory::kPortIo, "hv",
+                           "port.drop", "port={} tag={} response ring full",
+                           {binding.port_id, out.tag},
+                           static_cast<i64>(out.payload.size()));
   }
 }
 
@@ -689,12 +683,9 @@ void SoftwareHypervisor::FlushCompletionBatches(int hv_core_id, ServiceStats& st
     ++stats.completion_irqs;
     ++stats.irq_batches;
     stats.batch_depth_max = std::max(stats.batch_depth_max, depth);
-    machine_.trace().Record(machine_.clock().now(), TraceCategory::kInterrupt, "hv",
-                            "port.irq_batch",
-                            "hv=" + std::to_string(hv_core_id) + " core=" +
-                                std::to_string(core) + " depth=" +
-                                std::to_string(depth),
-                            static_cast<i64>(depth));
+    machine_.trace().Event(machine_.clock().now(), TraceCategory::kInterrupt, "hv",
+                           "port.irq_batch", "hv={} core={} depth={}",
+                           {hv_core_id, core, depth}, static_cast<i64>(depth));
   }
 }
 
@@ -769,12 +760,10 @@ ServiceStats SoftwareHypervisor::ServiceOnce(int hv_core_id, bool poll_all) {
   // busy_cycles), so no flood can add a pass of latency to the kill path.
   for (PortBinding* binding : kill_ports) {
     if (SliceExhausted(hv_core_id, busy_start)) {
-      machine_.trace().Record(machine_.clock().now(), TraceCategory::kPortIo, "hv",
-                              "port.priority",
-                              "port=" + std::to_string(binding->port_id) +
-                                  " kill-class slice bypass hv=" +
-                                  std::to_string(hv_core_id),
-                              static_cast<i64>(binding->port_id));
+      machine_.trace().Event(machine_.clock().now(), TraceCategory::kPortIo, "hv",
+                             "port.priority", "port={} kill-class slice bypass hv={}",
+                             {binding->port_id, hv_core_id},
+                             static_cast<i64>(binding->port_id));
     }
     ServicePort(hv_core_id, *binding, stats, busy_start,
                 batched ? &pending : nullptr, /*bypass_slice=*/true);
@@ -857,9 +846,9 @@ void SoftwareHypervisor::ApplyProbationPolicy(const ProbationPolicy& policy) {
       binding->rights.byte_quota = binding->quota_used() + policy.residual_byte_quota;
     }
   }
-  machine_.trace().Record(machine_.clock().now(), TraceCategory::kIsolation, "hv",
-                          "hv.probation_policy",
-                          "residual_quota=" + std::to_string(policy.residual_byte_quota));
+  machine_.trace().Event(machine_.clock().now(), TraceCategory::kIsolation, "hv",
+                         "hv.probation_policy", "residual_quota={}",
+                         {policy.residual_byte_quota});
 }
 
 void SoftwareHypervisor::ClearProbationRestrictions() {
@@ -874,15 +863,15 @@ void SoftwareHypervisor::ClearProbationRestrictions() {
       binding->pre_probation_quota.reset();
     }
   }
-  machine_.trace().Record(machine_.clock().now(), TraceCategory::kIsolation, "hv",
-                          "hv.probation_cleared");
+  machine_.trace().Event(machine_.clock().now(), TraceCategory::kIsolation, "hv",
+                         "hv.probation_cleared");
 }
 
 void SoftwareHypervisor::ApplySoftwareIsolation(IsolationLevel level) {
   isolation_ = level;
-  machine_.trace().Record(machine_.clock().now(), TraceCategory::kIsolation, "hv",
-                          "hv.isolation", std::string(IsolationLevelName(level)),
-                          static_cast<i64>(level));
+  machine_.trace().Event(machine_.clock().now(), TraceCategory::kIsolation, "hv",
+                         "hv.isolation", "{}", {IsolationLevelName(level)},
+                         static_cast<i64>(level));
   if (level >= IsolationLevel::kSevered) {
     // Pause every model core so hypervisor cores can examine state (the
     // Severed definition keeps cores powered but portless).
@@ -942,9 +931,14 @@ Result<Bytes> SoftwareHypervisor::FilterModelInput(const Bytes& prompt) {
   obs.data = prompt;
   DetectorVerdict v = detectors_->Evaluate(obs);
   machine_.hv_core(0).AccountWork(v.cost);
-  machine_.trace().Record(machine_.clock().now(), TraceCategory::kDetector, "hv",
-                          "detect.input", v.reason,
-                          static_cast<i64>(v.action));
+  if (v.reason.empty()) {
+    machine_.trace().Event(machine_.clock().now(), TraceCategory::kDetector, "hv",
+                           "detect.input", "", {}, static_cast<i64>(v.action));
+  } else {
+    machine_.trace().Record(machine_.clock().now(), TraceCategory::kDetector, "hv",
+                            "detect.input", v.reason,
+                            static_cast<i64>(v.action));
+  }
   if (v.action == VerdictAction::kBlock || v.action == VerdictAction::kEscalate) {
     if (v.action == VerdictAction::kEscalate && escalate_) {
       escalate_(IsolationLevel::kProbation, v.reason);
@@ -967,9 +961,14 @@ Result<Bytes> SoftwareHypervisor::FilterModelOutput(const Bytes& response) {
   obs.data = response;
   DetectorVerdict v = detectors_->Evaluate(obs);
   machine_.hv_core(0).AccountWork(v.cost);
-  machine_.trace().Record(machine_.clock().now(), TraceCategory::kDetector, "hv",
-                          "detect.output", v.reason,
-                          static_cast<i64>(v.action));
+  if (v.reason.empty()) {
+    machine_.trace().Event(machine_.clock().now(), TraceCategory::kDetector, "hv",
+                           "detect.output", "", {}, static_cast<i64>(v.action));
+  } else {
+    machine_.trace().Record(machine_.clock().now(), TraceCategory::kDetector, "hv",
+                            "detect.output", v.reason,
+                            static_cast<i64>(v.action));
+  }
   if (v.action == VerdictAction::kBlock || v.action == VerdictAction::kEscalate) {
     if (v.action == VerdictAction::kEscalate && escalate_) {
       escalate_(IsolationLevel::kProbation, v.reason);
@@ -1015,10 +1014,16 @@ Result<DetectorVerdict> SoftwareHypervisor::InspectActivations(int hv_core, int 
     if (verdict.action == VerdictAction::kEscalate && escalate_) {
       escalate_(IsolationLevel::kSevered, verdict.reason);
     }
-    machine_.trace().Record(machine_.clock().now(), TraceCategory::kDetector, "hv",
-                            "detect.activations",
-                            "layer=" + std::to_string(layer) + " " + verdict.reason,
-                            static_cast<i64>(verdict.action));
+    if (verdict.reason.empty()) {
+      machine_.trace().Event(machine_.clock().now(), TraceCategory::kDetector, "hv",
+                             "detect.activations", "layer={} ", {layer},
+                             static_cast<i64>(verdict.action));
+    } else {
+      machine_.trace().Record(machine_.clock().now(), TraceCategory::kDetector, "hv",
+                              "detect.activations",
+                              "layer=" + std::to_string(layer) + " " + verdict.reason,
+                              static_cast<i64>(verdict.action));
+    }
   }
   return verdict;
 }
@@ -1042,8 +1047,9 @@ AttestationQuote SoftwareHypervisor::Attest(u64 nonce,
   MeasurePlatform(reg);
   AttestationQuote quote =
       MakeQuote(reg, nonce, machine_.tamper_seal_intact(), device_key);
-  machine_.trace().Record(machine_.clock().now(), TraceCategory::kAttestation, "hv",
-                          "attest.quote", DigestHex(quote.measurement).substr(0, 16));
+  machine_.trace().Event(machine_.clock().now(), TraceCategory::kAttestation, "hv",
+                         "attest.quote", "{}",
+                         {TraceArg::Hex16(DigestPrefixBe64(quote.measurement))});
   return quote;
 }
 

@@ -1,5 +1,7 @@
 #include "src/hv/snapshot.h"
 
+#include "src/crypto/sha256.h"
+
 namespace guillotine {
 
 namespace {
@@ -60,10 +62,9 @@ Result<ModelSnapshot> CaptureSnapshot(SoftwareHypervisor& hv, int core) {
   snapshot.dram.resize(machine.model_dram().size());
   GLL_RETURN_IF_ERROR(bus.ReadModelDram(0, 0, snapshot.dram));
   snapshot.digest = snapshot.ComputeDigest();
-  machine.trace().Record(machine.clock().now(), TraceCategory::kControlBus, "hv",
-                         "snapshot.capture",
-                         "core=" + std::to_string(core) +
-                             " digest=" + DigestHex(snapshot.digest).substr(0, 16));
+  machine.trace().Event(machine.clock().now(), TraceCategory::kControlBus, "hv",
+                        "snapshot.capture", "core={} digest={}",
+                        {core, TraceArg::Hex16(DigestPrefixBe64(snapshot.digest))});
   return snapshot;
 }
 
@@ -74,12 +75,11 @@ Status VerifySnapshotSealed(SoftwareHypervisor& hv, const ModelSnapshot& snapsho
   // A tampered snapshot is a security event, not just an API error: the
   // refusal must land in the audit trail alongside the capture record.
   Machine& machine = hv.machine();
-  machine.trace().Record(machine.clock().now(), TraceCategory::kSecurity, "hv",
-                         "snapshot.tamper",
-                         "core=" + std::to_string(snapshot.core) +
-                             " sealed=" + DigestHex(snapshot.digest).substr(0, 16) +
-                             " recomputed=" +
-                             DigestHex(snapshot.ComputeDigest()).substr(0, 16));
+  machine.trace().Event(
+      machine.clock().now(), TraceCategory::kSecurity, "hv", "snapshot.tamper",
+      "core={} sealed={} recomputed={}",
+      {snapshot.core, TraceArg::Hex16(DigestPrefixBe64(snapshot.digest)),
+       TraceArg::Hex16(DigestPrefixBe64(snapshot.ComputeDigest()))});
   return Unauthenticated("snapshot digest mismatch: refusing to restore");
 }
 
@@ -112,10 +112,9 @@ Status RestoreSnapshot(SoftwareHypervisor& hv, const ModelSnapshot& snapshot) {
     }
     GLL_RETURN_IF_ERROR(bus.WriteCsr(0, core, csr, snapshot.arch.csr[c]));
   }
-  machine.trace().Record(machine.clock().now(), TraceCategory::kControlBus, "hv",
-                         "snapshot.restore",
-                         "core=" + std::to_string(core) +
-                             " digest=" + DigestHex(snapshot.digest).substr(0, 16));
+  machine.trace().Event(machine.clock().now(), TraceCategory::kControlBus, "hv",
+                        "snapshot.restore", "core={} digest={}",
+                        {core, TraceArg::Hex16(DigestPrefixBe64(snapshot.digest))});
   return OkStatus();
 }
 

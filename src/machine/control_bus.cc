@@ -33,19 +33,6 @@ void ControlBus::Charge(int hv_core, Cycles cycles) {
   machine_.hv_core(hv_core).AccountWork(cycles);
 }
 
-void ControlBus::Log(int hv_core, int model_core, std::string_view op,
-                     std::string detail) {
-  std::ostringstream src;
-  src << "hvcore" << hv_core;
-  std::ostringstream d;
-  d << "modelcore" << model_core;
-  if (!detail.empty()) {
-    d << " " << detail;
-  }
-  machine_.trace().Record(machine_.clock().now(), TraceCategory::kControlBus,
-                          src.str(), std::string(op), d.str());
-}
-
 Status ControlBus::Pause(int hv_core, int model_core) {
   GLL_RETURN_IF_ERROR(CheckCores(hv_core, model_core));
   machine_.model_core(model_core).Pause(HaltReason::kHypervisorPause);
@@ -134,9 +121,8 @@ Result<u32> ControlBus::SetWatchpoint(int hv_core, int model_core, u64 lo, u64 h
   const u32 id = machine_.model_core(model_core)
                      .AddWatchpoint(lo, hi, on_exec, on_read, on_write);
   Charge(hv_core, kWatchpointCost);
-  std::ostringstream d;
-  d << "wp=" << id << " [" << lo << "," << hi << ")";
-  Log(hv_core, model_core, "ctl.set_watchpoint", d.str());
+  Log(hv_core, model_core, "ctl.set_watchpoint", "modelcore{} wp={} [{},{})",
+      id, lo, hi);
   return id;
 }
 
@@ -168,9 +154,8 @@ Status ControlBus::ConfigureLockdown(int hv_core, int model_core, PhysAddr exec_
   lockdown.exec_bound = exec_bound;
   machine_.model_core(model_core).SetLockdown(lockdown);
   Charge(hv_core, kLockdownCost);
-  std::ostringstream d;
-  d << "exec=[" << exec_base << "," << exec_bound << ")";
-  Log(hv_core, model_core, "ctl.lockdown", d.str());
+  Log(hv_core, model_core, "ctl.lockdown", "modelcore{} exec=[{},{})",
+      exec_base, exec_bound);
   return OkStatus();
 }
 
@@ -210,8 +195,8 @@ Status ControlBus::ReadModelDram(int hv_core, PhysAddr addr, std::span<u8> out) 
   }
   GLL_RETURN_IF_ERROR(machine_.model_dram().ReadBlock(addr, out));
   Charge(hv_core, kDramSetupCost + out.size() / 8);
-  Log(hv_core, 0, "ctl.read_dram",
-      "addr=" + std::to_string(addr) + " len=" + std::to_string(out.size()));
+  Log(hv_core, 0, "ctl.read_dram", "modelcore{} addr={} len={}", addr,
+      out.size());
   return OkStatus();
 }
 
@@ -223,8 +208,8 @@ Status ControlBus::WriteModelDram(int hv_core, PhysAddr addr,
   }
   GLL_RETURN_IF_ERROR(machine_.model_dram().WriteBlock(addr, data));
   Charge(hv_core, kDramSetupCost + data.size() / 8);
-  Log(hv_core, 0, "ctl.write_dram",
-      "addr=" + std::to_string(addr) + " len=" + std::to_string(data.size()));
+  Log(hv_core, 0, "ctl.write_dram", "modelcore{} addr={} len={}", addr,
+      data.size());
   return OkStatus();
 }
 

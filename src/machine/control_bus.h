@@ -10,6 +10,7 @@
 #ifndef SRC_MACHINE_CONTROL_BUS_H_
 #define SRC_MACHINE_CONTROL_BUS_H_
 
+#include <cstdio>
 #include <vector>
 
 #include "src/common/status.h"
@@ -72,7 +73,19 @@ class ControlBus {
   Status CheckCores(int hv_core, int model_core) const;
   Status RequireHalted(int model_core) const;
   void Charge(int hv_core, Cycles cycles);
-  void Log(int hv_core, int model_core, std::string_view op, std::string detail = "");
+  // Appends the typed audit event for one bus operation: source "hvcoreN",
+  // detail "modelcoreM[ <detail_fmt args...>]". Zero-allocation steady-state
+  // — the hvcore source renders into a stack buffer and everything else is
+  // interned ids + inline args.
+  template <typename... Args>
+  void Log(int hv_core, int model_core, std::string_view op,
+           std::string_view detail_fmt = "modelcore{}", Args... args) {
+    char src[16];
+    const int n = std::snprintf(src, sizeof(src), "hvcore%d", hv_core);
+    machine_.trace().Event(machine_.clock().now(), TraceCategory::kControlBus,
+                           std::string_view(src, static_cast<size_t>(n)), op,
+                           detail_fmt, {TraceArg(model_core), TraceArg(args)...});
+  }
 
   Machine& machine_;
 };

@@ -80,12 +80,12 @@ void Machine::OnDoorbell(u32 port_id, int core_id) {
     delivered = hv_cores_[static_cast<size_t>(hv_id)]->DeliverDoorbell(
         port_id, clock_.now());
   }
-  std::ostringstream detail;
-  detail << "port=" << port_id << " from=modelcore" << core_id
-         << (delivered ? (exempt ? " delivered kill-priority" : " delivered")
-                       : " throttled");
-  trace_.Record(clock_.now(), TraceCategory::kInterrupt, "machine", "doorbell",
-                detail.str(), static_cast<i64>(port_id));
+  const std::string_view outcome =
+      delivered ? (exempt ? " delivered kill-priority" : " delivered")
+                : " throttled";
+  trace_.Event(clock_.now(), TraceCategory::kInterrupt, "machine", "doorbell",
+               "port={} from=modelcore{}{}", {port_id, core_id, outcome},
+               static_cast<i64>(port_id));
 }
 
 void Machine::RunQuantum(Cycles quantum) {
@@ -118,7 +118,7 @@ void Machine::PowerOffBoard() {
   for (auto& dev : devices_) {
     dev->set_powered(false);
   }
-  trace_.Record(clock_.now(), TraceCategory::kPhysical, "machine", "board.power_off");
+  trace_.Event(clock_.now(), TraceCategory::kPhysical, "machine", "board.power_off");
 }
 
 void Machine::PowerOnBoard() {
@@ -126,7 +126,7 @@ void Machine::PowerOnBoard() {
   for (auto& dev : devices_) {
     dev->set_powered(true);
   }
-  trace_.Record(clock_.now(), TraceCategory::kPhysical, "machine", "board.power_on");
+  trace_.Event(clock_.now(), TraceCategory::kPhysical, "machine", "board.power_on");
 }
 
 void Machine::MeasureSilicon(MeasurementRegister& reg) const {

@@ -1,5 +1,7 @@
 #include "src/machine/model_core.h"
 
+#include <cstdio>
+
 #include <cassert>
 
 namespace guillotine {
@@ -305,9 +307,11 @@ void ModelCore::EnterTrap(TrapCause cause, u64 epc) {
     halt_reason_ = HaltReason::kFault;
     fault_cause_ = cause;
     if (trace_ != nullptr) {
-      trace_->Record(stats_.cycles, TraceCategory::kModel,
-                     "modelcore" + std::to_string(id_), "core.fault",
-                     std::string("cause=") + std::to_string(static_cast<int>(cause)));
+      char src[20];
+      const int n = std::snprintf(src, sizeof(src), "modelcore%d", id_);
+      trace_->Event(stats_.cycles, TraceCategory::kModel,
+                    std::string_view(src, static_cast<size_t>(n)), "core.fault",
+                    "cause={}", {static_cast<int>(cause)});
     }
     return;
   }

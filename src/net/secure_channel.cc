@@ -60,11 +60,11 @@ Result<Bytes> SecureChannel::Open(const Record& record) {
   if (record.sequence != recv_seq_) {
     ++stats_.replays_rejected;
     if (trace_ != nullptr) {
-      trace_->Record(trace_clock_ != nullptr ? trace_clock_->now() : 0,
-                     TraceCategory::kSecurity, trace_source_, "channel.replay",
-                     "record sequence " + std::to_string(record.sequence) +
-                         " != expected " + std::to_string(recv_seq_),
-                     static_cast<i64>(record.sequence));
+      trace_->Event(trace_clock_ != nullptr ? trace_clock_->now() : 0,
+                    TraceCategory::kSecurity, trace_source_, "channel.replay",
+                    "record sequence {} != expected {}",
+                    {record.sequence, recv_seq_},
+                    static_cast<i64>(record.sequence));
     }
     // Deliberately distinct from the kUnauthenticated MAC-mismatch below:
     // a replayed or reordered record is a channel-state violation the

@@ -1,5 +1,7 @@
 #include "src/physical/console.h"
 
+#include "src/crypto/sha256.h"
+
 namespace guillotine {
 
 std::string_view TransitionCauseName(TransitionCause c) {
@@ -52,11 +54,10 @@ Result<Cycles> ControlConsole::RequestTransition(
     signatures.push_back(SignTransition(admins_[static_cast<size_t>(id)], request));
   }
   GLL_ASSIGN_OR_RETURN(int accepted, hsm_.Authorize(request, signatures));
-  hv_.machine().trace().Record(
+  hv_.machine().trace().Event(
       hv_.machine().clock().now(), TraceCategory::kIsolation, "console",
-      "console.quorum_ok",
-      std::string(IsolationLevelName(level_)) + "->" +
-          std::string(IsolationLevelName(target)) + " votes=" + std::to_string(accepted));
+      "console.quorum_ok", "{}->{} votes={}",
+      {IsolationLevelName(level_), IsolationLevelName(target), accepted});
   return ExecuteTransition(target, TransitionCause::kQuorum, accepted, "");
 }
 
@@ -92,12 +93,11 @@ Result<Cycles> ControlConsole::RecoverFromSnapshot(
   Result<Cycles> result = RequestTransition(target, approving_admins);
   pending_recovery_ = nullptr;
   if (result.ok()) {
-    hv_.machine().trace().Record(
+    hv_.machine().trace().Event(
         hv_.machine().clock().now(), TraceCategory::kIsolation, "console",
-        "console.recovery",
-        "restored core=" + std::to_string(snapshot.core) +
-            " digest=" + DigestHex(snapshot.digest).substr(0, 16) + " level=" +
-            std::string(IsolationLevelName(target)),
+        "console.recovery", "restored core={} digest={} level={}",
+        {snapshot.core, TraceArg::Hex16(DigestPrefixBe64(snapshot.digest)),
+         IsolationLevelName(target)},
         static_cast<i64>(snapshot.core));
   }
   return result;
@@ -138,10 +138,10 @@ Result<Cycles> ControlConsole::ExecuteTransition(IsolationLevel target,
     level_ = target;
     ++transitions_;
     log_transition();
-    machine.trace().Record(machine.clock().now(), TraceCategory::kIsolation,
-                           "console", "isolation.transition",
-                           "decapitation->offline (cables replaced)",
-                           static_cast<i64>(target));
+    machine.trace().Event(machine.clock().now(), TraceCategory::kIsolation,
+                          "console", "isolation.transition",
+                          "decapitation->offline (cables replaced)", {},
+                          static_cast<i64>(target));
     return repair;
   }
 
@@ -237,11 +237,10 @@ Result<Cycles> ControlConsole::ExecuteTransition(IsolationLevel target,
   level_ = target;
   ++transitions_;
   log_transition();
-  machine.trace().Record(machine.clock().now(), TraceCategory::kIsolation, "console",
-                         "isolation.transition",
-                         std::string(IsolationLevelName(from)) + "->" +
-                             std::string(IsolationLevelName(target)),
-                         static_cast<i64>(target));
+  machine.trace().Event(machine.clock().now(), TraceCategory::kIsolation, "console",
+                        "isolation.transition", "{}->{}",
+                        {IsolationLevelName(from), IsolationLevelName(target)},
+                        static_cast<i64>(target));
   return total;
 }
 
@@ -253,10 +252,10 @@ Status ControlConsole::VerifyAndLoadModel(const AttestationVerifier& verifier,
   const u64 nonce = nonce_rng.Next();
   const AttestationQuote quote = hv_.Attest(nonce, device_key);
   GLL_RETURN_IF_ERROR(verifier.VerifyQuote(quote, nonce));
-  hv_.machine().trace().Record(hv_.machine().clock().now(),
-                               TraceCategory::kAttestation, "console",
-                               "attest.verified",
-                               "model load authorized nonce=" + std::to_string(nonce));
+  hv_.machine().trace().Event(hv_.machine().clock().now(),
+                              TraceCategory::kAttestation, "console",
+                              "attest.verified", "model load authorized nonce={}",
+                              {nonce});
   return hv_.LoadModel(core, image, load_address, entry);
 }
 

@@ -25,8 +25,8 @@ Status KillSwitchPlant::CheckAlive() const {
 
 Cycles KillSwitchPlant::Act(std::string_view what, Cycles latency) {
   clock_.Advance(latency);
-  trace_.Record(clock_.now(), TraceCategory::kPhysical, "plant", std::string(what),
-                "latency_cycles=" + std::to_string(latency));
+  trace_.Event(clock_.now(), TraceCategory::kPhysical, "plant", what,
+               "latency_cycles={}", {latency});
   return latency;
 }
 

@@ -437,6 +437,9 @@ FuzzCampaignStats ScenarioFuzzer::RunCampaign(int scenarios, u64 base_seed) {
     stats.steps += scenario.steps().size();
     if (runner_.has_system()) {
       stats.trace_events += runner_.system().trace().size();
+      for (const std::string_view kind : runner_.system().trace().KindNames()) {
+        stats.covered_kinds.insert(std::string(kind));
+      }
     }
     if (replay) {
       ++stats.replays;
@@ -465,7 +468,8 @@ FuzzCampaignStats ScenarioFuzzer::RunCampaign(int scenarios, u64 base_seed) {
 std::string FuzzCampaignStats::Summary() const {
   std::ostringstream out;
   out << "fuzz campaign: " << scenarios << " scenarios, " << steps << " steps, "
-      << trace_events << " trace events, " << replays << " replays, "
+      << trace_events << " trace events, " << covered_kinds.size()
+      << " event kinds covered, " << replays << " replays, "
       << failures.size() << " failure(s)\n";
   for (const FuzzFailure& f : failures) {
     out << "--- seed 0x" << std::hex << f.seed << std::dec << ": "

@@ -21,6 +21,7 @@
 #ifndef SRC_TESTING_FUZZER_H_
 #define SRC_TESTING_FUZZER_H_
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,13 @@ struct FuzzCampaignStats {
   u64 trace_events = 0;
   int replays = 0;
   std::vector<FuzzFailure> failures;
+
+  // Union of event kinds the campaign's runs recorded (per-run bitmaps come
+  // from EventTrace::KindCoverage; the union is by name because interner
+  // ids are assigned per-system in first-seen order). Recorded as a cheap
+  // coverage signal — a future campaign can weight seed scheduling by the
+  // novelty of the kinds a scenario lights up.
+  std::set<std::string> covered_kinds;
 
   std::string Summary() const;
 };

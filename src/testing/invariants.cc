@@ -117,14 +117,15 @@ void CheckOfflineBoardDead(const InvariantContext& ctx,
   if (ctx.system == nullptr) {
     return;
   }
-  auto is_activity = [](const TraceEvent& e) {
-    return e.kind == "model.load" || e.kind == "model.start" ||
-           e.kind == "port.response" || e.kind == "doorbell";
-  };
+  // Indexed selection: only the seven kinds this check interprets, in seq
+  // order, with no detail rendering — O(matches), not O(trace).
   IsolationLevel level = IsolationLevel::kStandard;
   bool pending_power_on = false;
-  for (const TraceEvent& e : ctx.system->trace().events()) {
-    if (e.kind == "isolation.transition") {
+  for (const EventTrace::EventRef& e : ctx.system->trace().Select(
+           {"isolation.transition", "board.power_on", "board.power_off",
+            "model.load", "model.start", "port.response", "doorbell"})) {
+    const std::string_view kind = e.kind();
+    if (kind == "isolation.transition") {
       level = static_cast<IsolationLevel>(e.value);
       if (level < IsolationLevel::kOffline) {
         pending_power_on = false;
@@ -134,24 +135,22 @@ void CheckOfflineBoardDead(const InvariantContext& ctx,
     if (level < IsolationLevel::kOffline) {
       continue;
     }
-    if (e.kind == "board.power_on") {
+    if (kind == "board.power_on") {
       // Tentatively legal; must be consumed by a relax transition before
       // any guest activity.
       pending_power_on = true;
       continue;
     }
-    if (e.kind == "board.power_off") {
+    if (kind == "board.power_off") {
       // The recovery rollback path re-darkens the board without logging a
       // transition; power that came back and went away again is no breach.
       pending_power_on = false;
       continue;
     }
-    if (is_activity(e)) {
-      violate("'" + e.kind + "' @" + std::to_string(e.time) + " while isolation is " +
-              std::string(IsolationLevelName(level)) +
-              (pending_power_on ? " (board repowered without a relax transition)"
-                                : " (board should be dark)"));
-    }
+    violate("'" + std::string(kind) + "' @" + std::to_string(e.time) +
+            " while isolation is " + std::string(IsolationLevelName(level)) +
+            (pending_power_on ? " (board repowered without a relax transition)"
+                              : " (board should be dark)"));
   }
   if (pending_power_on) {
     violate("board repowered while isolation stayed >= offline");
@@ -185,13 +184,15 @@ void CheckSeveredPortsDark(const InvariantContext& ctx,
             " requests to devices while severed");
   }
   IsolationLevel hv_level = IsolationLevel::kStandard;
-  for (const TraceEvent& e : ctx.system->trace().events()) {
-    if (e.kind == "hv.isolation") {
+  for (const EventTrace::EventRef& e :
+       ctx.system->trace().Select({"hv.isolation", "port.response"})) {
+    if (e.kind() == "hv.isolation") {
       hv_level = static_cast<IsolationLevel>(e.value);
       continue;
     }
-    if (hv_level >= IsolationLevel::kSevered && e.kind == "port.response") {
-      violate("port response (" + e.detail + ") @" + std::to_string(e.time) +
+    if (hv_level >= IsolationLevel::kSevered) {
+      // e.detail() renders lazily — only a violation pays for the string.
+      violate("port response (" + e.detail() + ") @" + std::to_string(e.time) +
               " while software isolation is " +
               std::string(IsolationLevelName(hv_level)));
     }
@@ -209,14 +210,15 @@ void CheckHeartbeatKillBound(const InvariantContext& ctx,
   }
   const PlantConfig& plant = ctx.system->config().plant;
   const Cycles bound = plant.net_disconnect_latency + plant.power_cut_latency;
-  const auto& events = ctx.system->trace().events();
+  const std::vector<EventTrace::EventRef> events = ctx.system->trace().Select(
+      {"console.force_offline", "isolation.transition"});
   for (size_t i = 0; i < events.size(); ++i) {
-    if (events[i].kind != "console.force_offline") {
+    if (events[i].kind() != "console.force_offline") {
       continue;
     }
     bool transitioned = false;
     for (size_t j = i + 1; j < events.size(); ++j) {
-      if (events[j].kind != "isolation.transition") {
+      if (events[j].kind() != "isolation.transition") {
         continue;
       }
       if (events[j].value < static_cast<i64>(IsolationLevel::kOffline)) {
@@ -267,16 +269,16 @@ void CheckImmolationTerminal(const InvariantContext& ctx,
     return;
   }
   bool immolated = false;
-  for (const TraceEvent& e : ctx.system->trace().events()) {
+  for (const EventTrace::EventRef& e : ctx.system->trace().Select(
+           {"isolation.transition", "board.power_on", "model.start",
+            "port.response"})) {
     if (!immolated) {
-      immolated = e.kind == "isolation.transition" &&
+      immolated = e.kind() == "isolation.transition" &&
                   e.value == static_cast<i64>(IsolationLevel::kImmolation);
       continue;
     }
-    if (e.kind == "isolation.transition" || e.kind == "board.power_on" ||
-        e.kind == "model.start" || e.kind == "port.response") {
-      violate("'" + e.kind + "' @" + std::to_string(e.time) + " after immolation");
-    }
+    violate("'" + std::string(e.kind()) + "' @" + std::to_string(e.time) +
+            " after immolation");
   }
   if (immolated && !ctx.system->plant().destroyed()) {
     violate("trace shows immolation but the plant is not destroyed");
@@ -368,19 +370,21 @@ void CheckDetectorVerdictConsistency(const InvariantContext& ctx,
   bool blocked = false;
   Cycles blocked_at = 0;
   std::string blocked_by;
-  for (const TraceEvent& e : ctx.system->trace().events()) {
-    if (e.kind == "detect.input") {
+  for (const EventTrace::EventRef& e : ctx.system->trace().Select(
+           {"detect.input", "detect.output", "infer.complete"})) {
+    const std::string_view kind = e.kind();
+    if (kind == "detect.input") {
       // A new inference attempt begins; its fate is this verdict's.
       blocked = blocking(e.value);
       blocked_at = e.time;
       blocked_by = "detect.input";
-    } else if (e.kind == "detect.output") {
+    } else if (kind == "detect.output") {
       if (blocking(e.value)) {
         blocked = true;
         blocked_at = e.time;
         blocked_by = "detect.output";
       }
-    } else if (e.kind == "infer.complete") {
+    } else if (kind == "infer.complete") {
       if (blocked) {
         violate("infer.complete @" + std::to_string(e.time) +
                 " after a blocking " + blocked_by + " verdict @" +
@@ -546,10 +550,13 @@ void CheckNoStateLeakAcrossMigration(const InvariantContext& ctx,
       violate("decommissioned deployment's board is still powered");
     }
     // After the final offline transition nothing guest-visible may appear.
-    const auto& events = ev->old_system->trace().events();
+    const std::vector<EventTrace::EventRef> events =
+        ev->old_system->trace().Select({"isolation.transition", "model.load",
+                                        "model.start", "port.response",
+                                        "doorbell"});
     size_t offline_at = events.size();
     for (size_t i = 0; i < events.size(); ++i) {
-      if (events[i].kind == "isolation.transition" &&
+      if (events[i].kind() == "isolation.transition" &&
           events[i].value >= static_cast<i64>(IsolationLevel::kOffline)) {
         offline_at = i;
       }
@@ -559,11 +566,11 @@ void CheckNoStateLeakAcrossMigration(const InvariantContext& ctx,
               "transition");
     } else {
       for (size_t i = offline_at + 1; i < events.size(); ++i) {
-        const TraceEvent& e = events[i];
-        if (e.kind == "model.load" || e.kind == "model.start" ||
-            e.kind == "port.response" || e.kind == "doorbell") {
-          violate("decommissioned deployment shows '" + e.kind + "' @" +
-                  std::to_string(e.time) + " after its offline transition");
+        const EventTrace::EventRef& e = events[i];
+        if (e.kind() != "isolation.transition") {
+          violate("decommissioned deployment shows '" + std::string(e.kind()) +
+                  "' @" + std::to_string(e.time) +
+                  " after its offline transition");
         }
       }
     }

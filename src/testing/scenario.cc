@@ -694,6 +694,12 @@ std::vector<std::string> TraceDigestLines(const EventTrace& trace) {
 }
 
 u64 TraceDigestHash(const EventTrace& trace) {
+  // The trace already folded every event into the canonical FNV-1a digest
+  // at Record time; under retention this also covers evicted events.
+  return trace.digest_hash();
+}
+
+u64 MaterializedTraceDigestHash(const EventTrace& trace) {
   u64 hash = 1469598103934665603ULL;  // FNV-1a offset basis
   auto mix = [&hash](std::string_view s) {
     for (const char c : s) {
@@ -771,6 +777,9 @@ ScenarioResult ScenarioRunner::Run(const Scenario& scenario) {
     deployment.hv.batch_detector_observations = true;
   }
   system_ = std::make_unique<GuillotineSystem>(deployment);
+  if (config_.trace_retention != 0) {
+    system_->trace().SetRetention(config_.trace_retention);
+  }
   exfil_payloads_.clear();
   next_tag_ = 1;
   priority_traffic_ = scenario.priority_traffic();
@@ -852,8 +861,12 @@ ScenarioResult ScenarioRunner::Run(const Scenario& scenario) {
     result.outcomes.push_back(std::move(outcome));
   }
 
-  result.trace_digest = TraceDigestLines(system_->trace());
+  if (config_.capture_digest_lines) {
+    result.trace_digest = TraceDigestLines(system_->trace());
+  }
   result.trace_hash = TraceDigestHash(system_->trace());
+  result.kind_coverage = system_->trace().KindCoverage();
+  result.distinct_kinds = system_->trace().DistinctKinds();
   return result;
 }
 

@@ -216,7 +216,11 @@ Result<Scenario> ParseScenarioScript(std::string_view script);
 // the lines. Golden assertions compare hashes (or individual lines) across
 // runs and across code changes.
 std::vector<std::string> TraceDigestLines(const EventTrace& trace);
+// O(1): the trace folds every event into this hash at Record time.
 u64 TraceDigestHash(const EventTrace& trace);
+// Reference implementation: materializes every line and hashes them. Exists
+// so property tests can assert the streaming fold is bit-identical.
+u64 MaterializedTraceDigestHash(const EventTrace& trace);
 
 // What the last quarantine-migrate step of a Run left behind, for the
 // no-state-leak-across-migration invariant: the decommissioned system (its
@@ -237,8 +241,14 @@ struct MigrationEvidence {
 struct ScenarioResult {
   std::string name;
   std::vector<StepOutcome> outcomes;
+  // Canonical digest lines — only filled when the runner config sets
+  // capture_digest_lines (the hash below no longer needs them).
   std::vector<std::string> trace_digest;
   u64 trace_hash = 0;
+  // Recorded event-kind coverage of the run (see EventTrace::KindCoverage):
+  // a cheap novelty signal the fuzzer aggregates across a campaign.
+  std::vector<u64> kind_coverage;
+  size_t distinct_kinds = 0;
 
   // True when every step ran (attack refusals still count as ran).
   bool AllStepsRan() const;
@@ -254,6 +264,14 @@ struct ScenarioRunnerConfig {
   Cycles fabric_propagation_delay = 0;
   u64 flood_budget_cycles = 50'000'000;
   u64 attack_scratch = 0x70000;  // result block for attack guests
+  // Materialize ScenarioResult::trace_digest lines. Off by default: the
+  // trace hash streams at record time, so most runs never render a line.
+  bool capture_digest_lines = false;
+  // Trace retention cap applied to the system's EventTrace (0 = unbounded).
+  // Open-world runs cap the rolling window while security / isolation /
+  // pinned-kind evidence and the streaming digest stay complete, so the
+  // invariant suite still audits the full run.
+  size_t trace_retention = 0;
 
   ScenarioRunnerConfig();
 };

@@ -216,6 +216,144 @@ TEST(TraceTest, CountsAndFilters) {
   EXPECT_FALSE(trace.Dump().empty());
 }
 
+// A typed event with an explicit zero payload renders "value=0"; the
+// legacy string path cannot distinguish "no value" from zero and keeps its
+// historical nonzero-only rendering.
+TEST(TraceTest, DumpRendersExplicitZeroValueForTypedEvents) {
+  EventTrace trace;
+  trace.Event(5, TraceCategory::kPortIo, "hv", "port.request", "port={}", {3},
+              0);
+  trace.Event(6, TraceCategory::kPortIo, "hv", "port.response", "port={}", {3});
+  trace.Record(7, TraceCategory::kPortIo, "hv", "port.reject", "legacy", 0);
+  const std::string dump = trace.Dump();
+  EXPECT_NE(dump.find("port.request (port=3) value=0"), std::string::npos)
+      << dump;
+  // No value passed (typed) and zero value (legacy): no "value=" rendered.
+  EXPECT_NE(dump.find("port.response (port=3)\n"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("port.reject (legacy)\n"), std::string::npos) << dump;
+}
+
+// Typed and legacy recordings of the same event digest identically, and
+// the detail renders back to the exact eager string.
+TEST(TraceTest, TypedAndLegacyPathsAgree) {
+  EventTrace typed;
+  EventTrace legacy;
+  for (int i = 0; i < 10; ++i) {
+    typed.Event(static_cast<Cycles>(i), TraceCategory::kInterrupt, "machine",
+                "doorbell", "port={} from=modelcore{}", {i % 3, 0}, 1);
+    legacy.Record(static_cast<Cycles>(i), TraceCategory::kInterrupt, "machine",
+                  "doorbell",
+                  "port=" + std::to_string(i % 3) + " from=modelcore0", 1);
+  }
+  EXPECT_EQ(typed.digest_hash(), legacy.digest_hash());
+  ASSERT_EQ(typed.events().size(), legacy.events().size());
+  for (size_t i = 0; i < typed.events().size(); ++i) {
+    EXPECT_EQ(typed.events()[i].detail, legacy.events()[i].detail);
+  }
+}
+
+// Retention evicts folded events while pinning security/isolation
+// categories and explicitly pinned kinds; the digest stays continuous.
+TEST(TraceTest, RetentionPinsEvidenceAndPreservesDigest) {
+  EventTrace unbounded;
+  EventTrace capped;
+  capped.SetRetention(16);
+  capped.PinKind("kill.plant");
+  for (int i = 0; i < 500; ++i) {
+    const Cycles t = static_cast<Cycles>(i);
+    for (EventTrace* trace : {&unbounded, &capped}) {
+      switch (i % 50) {
+        case 10:
+          trace->Event(t, TraceCategory::kSecurity, "hv", "port.reject",
+                       "n={}", {i});
+          break;
+        case 20:
+          trace->Event(t, TraceCategory::kIsolation, "console",
+                       "isolation.transition", "", {},
+                       static_cast<i64>(IsolationLevel::kSevered));
+          break;
+        case 30:
+          trace->Event(t, TraceCategory::kPhysical, "killswitch", "kill.plant",
+                       "n={}", {i});
+          break;
+        default:
+          trace->Event(t, TraceCategory::kPortIo, "hv", "port.request", "n={}",
+                       {i});
+          break;
+      }
+    }
+  }
+  EXPECT_EQ(capped.digest_hash(), unbounded.digest_hash());
+  EXPECT_GT(capped.evicted(), 0u);
+  EXPECT_LE(capped.size(), capped.pinned_retained() + 16);
+  // Lifetime counts survive eviction (the index is lifetime, not retained).
+  EXPECT_EQ(capped.CountKind("port.request"), unbounded.CountKind("port.request"));
+  // Every pinned-class event is still present in the retained view.
+  size_t pinned_class = 0;
+  for (const TraceEvent& e : capped.events()) {
+    if (e.category == TraceCategory::kSecurity ||
+        e.category == TraceCategory::kIsolation || e.kind == "kill.plant") {
+      ++pinned_class;
+    }
+  }
+  EXPECT_EQ(pinned_class, capped.CountCategory(TraceCategory::kSecurity) +
+                              capped.CountCategory(TraceCategory::kIsolation) +
+                              capped.CountKind("kill.plant"));
+  // Select still returns the retained pinned events in seq order.
+  const auto kills = capped.Select({"kill.plant"});
+  EXPECT_EQ(kills.size(), capped.CountKind("kill.plant"));
+  for (size_t i = 1; i < kills.size(); ++i) {
+    EXPECT_LT(kills[i - 1].seq, kills[i].seq);
+  }
+}
+
+// Interned ids are dense, stable, and identical across repeated interning
+// (the hot-path memo cache must never change an assignment).
+TEST(InternerTest, IdsAreStableAndCacheIsTransparent) {
+  StringInterner interner;
+  const u16 a = interner.Intern("port.request");
+  const u16 b = interner.Intern("port.response");
+  EXPECT_NE(a, b);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(interner.Intern("port.request"), a);
+    EXPECT_EQ(interner.Intern("port.response"), b);
+  }
+  // Same length + same first/last bytes collide in the memo slot; both
+  // must still resolve to their own ids.
+  const u16 c = interner.Intern("axxxz");
+  const u16 d = interner.Intern("ayyyz");
+  EXPECT_NE(c, d);
+  EXPECT_EQ(interner.Intern("axxxz"), c);
+  EXPECT_EQ(interner.Intern("ayyyz"), d);
+  EXPECT_EQ(interner.Name(a), "port.request");
+  u16 found = 0;
+  EXPECT_TRUE(interner.Find("port.response", &found));
+  EXPECT_EQ(found, b);
+  EXPECT_FALSE(interner.Find("never-interned", &found));
+  EXPECT_EQ(interner.Name(0xFFFE), "<bad-id>");
+}
+
+// KindCoverage reports exactly the kinds that ever recorded, as a bitmap
+// over interned ids.
+TEST(TraceTest, KindCoverageBitmapTracksRecordedKinds) {
+  EventTrace trace;
+  trace.Event(1, TraceCategory::kPortIo, "hv", "port.request");
+  trace.Event(2, TraceCategory::kInterrupt, "machine", "doorbell");
+  const std::vector<u64> coverage = trace.KindCoverage();
+  size_t covered = 0;
+  for (const u64 word : coverage) {
+    for (u64 w = word; w != 0; w &= w - 1) {
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, trace.DistinctKinds());
+  EXPECT_EQ(trace.DistinctKinds(), 2u);
+  // Interned-but-never-recorded strings (sources, formats) stay uncovered.
+  u16 source_id = 0;
+  ASSERT_TRUE(trace.interner().Find("hv", &source_id));
+  EXPECT_EQ(coverage[source_id / 64] >> (source_id % 64) & 1, 0u);
+}
+
 TEST(HistogramTest, Statistics) {
   Histogram h;
   for (int i = 1; i <= 100; ++i) {

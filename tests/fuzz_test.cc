@@ -61,6 +61,11 @@ TEST(ScenarioFuzzTest, SeededCorpusHoldsAllInvariants) {
   EXPECT_GT(stats.steps, static_cast<u64>(runs));  // scenarios are multi-step
   EXPECT_GT(stats.replays, 0);
   EXPECT_TRUE(stats.failures.empty()) << stats.Summary();
+  // The campaign's coverage signal: a corpus this size lights up a healthy
+  // spread of event kinds (isolation, port IO, doorbells, detectors, ...).
+  EXPECT_GT(stats.covered_kinds.size(), 15u) << stats.Summary();
+  EXPECT_TRUE(stats.covered_kinds.count("isolation.transition"))
+      << stats.Summary();
 }
 
 // --- Generation is a pure function of the seed. ---

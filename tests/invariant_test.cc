@@ -201,6 +201,85 @@ TEST(InvariantCheckerTest, PortOwnerInvariantRegisteredAndGreenAcrossCoreCounts)
   }
 }
 
+// --- Retention-mode open-world runs keep the whole suite green. ---
+
+// The open-world acceptance for bounded tracing: the same adversarial
+// scenario (riding continuous RunContinuous traffic) run unbounded and with
+// a retention cap must produce the identical streaming digest, keep every
+// security / isolation event retained, stay within cap + pinned evidence,
+// and still pass all thirteen default invariants on the retained view.
+TEST(InvariantCheckerTest, OpenWorldRetentionKeepsInvariantsAndDigest) {
+  constexpr size_t kCap = 192;
+  Scenario s("retention-open-world");
+  s.WithHvCores(2)
+      .WithTraffic(TrafficShape::kBursty)
+      .HostDefaultModel()
+      .InjectPrompt("please summarize the audit trail")
+      .FloodInterrupts(400)
+      .Pump(4)
+      .RequestIsolation(IsolationLevel::kSevered, {0, 1, 2, 3, 4})
+      .AttemptExfiltration(66, "weights shard")
+      .DropHeartbeats(200'000)
+      .Pump(4);
+
+  ScenarioRunner unbounded;
+  const ScenarioResult base = unbounded.Run(s);
+
+  ScenarioRunnerConfig capped_cfg;
+  capped_cfg.trace_retention = kCap;
+  ScenarioRunner capped(capped_cfg);
+  const ScenarioResult bounded = capped.Run(s);
+
+  // Digest continuity: eviction folds first, so the capped run streams the
+  // identical digest over the identical full event history. (The capped
+  // trace's materialized rendering covers only retained events, so the
+  // streaming hash is compared against the unbounded twin's rendering.)
+  EXPECT_EQ(base.trace_hash, bounded.trace_hash);
+  const EventTrace& trace = capped.system().trace();
+  EXPECT_EQ(bounded.trace_hash,
+            MaterializedTraceDigestHash(unbounded.system().trace()));
+
+  // Bounded memory: eviction actually ran, and the retained set is the
+  // rolling window plus pinned evidence only.
+  EXPECT_GT(trace.evicted(), 0u);
+  EXPECT_LT(trace.size(), trace.total_recorded());
+  EXPECT_LE(trace.size(), trace.pinned_retained() + kCap);
+
+  // Every security / isolation event ever recorded is still retained.
+  size_t retained_pinned_class = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.category == TraceCategory::kSecurity ||
+        e.category == TraceCategory::kIsolation) {
+      ++retained_pinned_class;
+    }
+  }
+  EXPECT_EQ(retained_pinned_class,
+            trace.CountCategory(TraceCategory::kSecurity) +
+                trace.CountCategory(TraceCategory::kIsolation));
+
+  // All thirteen invariants pass on the retained + digest view, traffic
+  // caches included.
+  InvariantContext ctx;
+  ctx.scenario = &s;
+  ctx.result = &bounded;
+  ctx.system = &capped.system();
+  if (const ModelService* svc = capped.traffic_service(); svc != nullptr) {
+    for (size_t i = 0; i < svc->num_shards(); ++i) {
+      ctx.kv_caches.push_back(&svc->shard(i).kv_cache());
+    }
+  }
+  const InvariantChecker checker = InvariantChecker::Default();
+  EXPECT_EQ(checker.invariants().size(), 13u);
+  const auto violations = checker.Check(ctx);
+  EXPECT_TRUE(violations.empty()) << RenderViolations(violations);
+
+  // The open-world loop really ran (the report covers the final pump
+  // burst, which arrives post-containment — arrivals flow, completions
+  // legitimately do not).
+  ASSERT_NE(capped.traffic_report(), nullptr);
+  EXPECT_GT(capped.traffic_report()->arrivals, 0u);
+}
+
 // --- Post-mortem checks degrade gracefully without the scenario. ---
 
 TEST(InvariantCheckerTest, WorksWithoutScenarioContext) {

@@ -248,8 +248,10 @@ class GeneratedScenarioDeterminism : public ::testing::TestWithParam<u64> {};
 
 TEST_P(GeneratedScenarioDeterminism, SameScriptSameDigest) {
   ScenarioFuzzer fuzzer;
-  ScenarioRunner a;
-  ScenarioRunner b;
+  ScenarioRunnerConfig cfg;
+  cfg.capture_digest_lines = true;  // this test diffs individual lines
+  ScenarioRunner a(cfg);
+  ScenarioRunner b(cfg);
   for (u64 i = 0; i < 25; ++i) {
     const u64 seed = GetParam() * 1'000'003 + i;
     const Scenario scenario = fuzzer.Generate(seed);
@@ -464,6 +466,70 @@ TEST_P(BatchedDetectorEquivalence, SameObservationsSameVerdictPlan) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BatchedDetectorEquivalence,
                          ::testing::Values(700, 701, 702, 703));
+
+// --- Property: the trace audit pipeline is faithful across the fuzz
+// corpus — for 100+ generated scripts replayed at 1/2/4 hv cores (4
+// instantiations x 9 scripts x 3 core counts = 108), the streaming digest
+// is bit-identical to the legacy materialized rendering, re-recording the
+// run's event stream under a tight retention cap preserves the digest
+// (eviction folds first), and interned kind ids are stable across
+// serialize -> parse -> replay. ---
+
+class TraceAuditFidelity : public ::testing::TestWithParam<u64> {};
+
+TEST_P(TraceAuditFidelity, StreamingRetentionAndReplayAgree) {
+  ScenarioFuzzer fuzzer;
+  ScenarioRunner direct;
+  ScenarioRunner replayed;
+  for (u64 i = 0; i < 9; ++i) {
+    for (const u32 hv_cores : {1u, 2u, 4u}) {
+      const u64 seed = GetParam() * 2'000'003 + i * 31 + hv_cores;
+      Scenario scenario = fuzzer.Generate(seed);
+      scenario.WithHvCores(hv_cores);
+
+      const ScenarioResult a = direct.Run(scenario);
+      const EventTrace& trace = direct.system().trace();
+
+      // 1. The streaming fold equals hashing every canonical line.
+      ASSERT_EQ(a.trace_hash, MaterializedTraceDigestHash(trace))
+          << "seed " << seed;
+
+      // 2. Retention continuity: the same event stream recorded unbounded
+      // and with a tight cap digests identically, while the capped twin
+      // keeps every security/isolation event and actually evicts.
+      EventTrace uncapped;
+      EventTrace capped;
+      capped.SetRetention(48);
+      for (const TraceEvent& e : trace.events()) {
+        uncapped.Record(e);
+        capped.Record(e);
+      }
+      ASSERT_EQ(uncapped.digest_hash(), capped.digest_hash())
+          << "seed " << seed;
+      ASSERT_LE(capped.size(), capped.pinned_retained() + 48) << "seed " << seed;
+
+      // 3. Interner id stability across script round-trip replay: the
+      // parsed script replays to the same digest and assigns every kind
+      // the same interned id in the same order.
+      const Result<std::string> script = SerializeScenarioScript(scenario);
+      ASSERT_TRUE(script.ok()) << script.status().ToString();
+      const Result<Scenario> parsed = ParseScenarioScript(*script);
+      ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+      const ScenarioResult b = replayed.Run(*parsed);
+      ASSERT_EQ(a.trace_hash, b.trace_hash) << "seed " << seed;
+      const StringInterner& ia = trace.interner();
+      const StringInterner& ib = replayed.system().trace().interner();
+      ASSERT_EQ(ia.size(), ib.size()) << "seed " << seed;
+      for (size_t id = 0; id < ia.size(); ++id) {
+        ASSERT_EQ(ia.Name(static_cast<u16>(id)), ib.Name(static_cast<u16>(id)))
+            << "seed " << seed << " id " << id;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceAuditFidelity,
+                         ::testing::Values(800, 801, 802, 803));
 
 // --- Property: snapshot round-trips are lossless across hv-core counts —
 // capture, clobber DRAM + core state, restore, re-capture: the portable

@@ -160,8 +160,10 @@ TEST(ScenarioTest, SameSeedSameTraceDigest) {
       .AttemptExfiltration(66, "probe")
       .DropHeartbeats(120'000);
 
-  ScenarioRunner a;
-  ScenarioRunner b;
+  ScenarioRunnerConfig cfg;
+  cfg.capture_digest_lines = true;  // this test diffs individual lines
+  ScenarioRunner a(cfg);
+  ScenarioRunner b(cfg);
   const ScenarioResult ra = a.Run(s);
   const ScenarioResult rb = b.Run(s);
 
